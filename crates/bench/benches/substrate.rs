@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for every substrate stage: parser front end,
+//! simulator, bounded verifier, candidate enumeration and policy scoring.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use asv_datagen::corpus::{Archetype, CorpusGen, SizeHint};
+use asv_mutation::repairspace::candidates;
+use asv_sim::Simulator;
+use asv_sva::bmc::Verifier;
+use assertsolver_core::features::{extract, CaseContext};
+use assertsolver_core::lm::NgramLm;
+use assertsolver_core::policy::Policy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture() -> String {
+    let gen = CorpusGen::new(7);
+    let mut rng = StdRng::seed_from_u64(3);
+    gen.instantiate(Archetype::FifoCtrl, 0, SizeHint { stages: 3, width: 4 }, &mut rng)
+        .source
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = fixture();
+    c.bench_function("parse", |b| {
+        b.iter(|| asv_verilog::parse(black_box(&src)).expect("parse"))
+    });
+    c.bench_function("compile", |b| {
+        b.iter(|| asv_verilog::compile(black_box(&src)).expect("compile"))
+    });
+    let unit = asv_verilog::parse(&src).expect("parse");
+    c.bench_function("render", |b| {
+        b.iter(|| asv_verilog::pretty::render_unit(black_box(&unit)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let design = asv_verilog::compile(&fixture()).expect("compile");
+    c.bench_function("simulate_64_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(black_box(&design));
+            sim.step(&[("rst_n", 0)]).expect("reset");
+            for _ in 0..63 {
+                sim.step(&[("rst_n", 1), ("push0", 1), ("pop0", 0)]).expect("step");
+            }
+            sim.into_trace().len()
+        })
+    });
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let design = asv_verilog::compile(&fixture()).expect("compile");
+    let verifier = Verifier {
+        depth: 8,
+        reset_cycles: 2,
+        exhaustive_limit: 64,
+        random_runs: 8,
+        seed: 1,
+    };
+    c.bench_function("bmc_check", |b| {
+        b.iter(|| verifier.check(black_box(&design)).expect("check"))
+    });
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let design = asv_verilog::compile(&fixture()).expect("compile");
+    c.bench_function("enumerate_candidates", |b| {
+        b.iter(|| candidates(black_box(&design)).len())
+    });
+    let cands = candidates(&design);
+    let ctx = CaseContext::new(&design.module, "fifo credit controller", &[]);
+    let lm = NgramLm::new();
+    c.bench_function("extract_features", |b| {
+        b.iter(|| {
+            cands
+                .iter()
+                .map(|cand| extract(black_box(&ctx), &lm, cand)[1])
+                .sum::<f64>()
+        })
+    });
+    let features: Vec<_> = cands.iter().map(|cd| extract(&ctx, &lm, cd)).collect();
+    let policy = Policy::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    c.bench_function("policy_sample_20", |b| {
+        b.iter(|| policy.sample_n(black_box(&features), 20, &mut rng).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_simulator,
+    bench_verifier,
+    bench_repair
+);
+criterion_main!(benches);

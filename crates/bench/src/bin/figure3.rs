@@ -1,0 +1,28 @@
+//! Regenerates **Fig. 3**: histogram of correct answers c across the 20
+//! responses, SFT model vs AssertSolver (RQ1 uncertainty analysis).
+
+use asv_bench::{Experiment, Scale};
+use asv_eval::EvalRun;
+use assertsolver_core::prelude::*;
+
+fn main() {
+    let exp = Experiment::prepare(Scale::from_env());
+    let sft_run = exp.evaluate(&Solver::with_name(exp.sft_model.clone(), "SFT Model"));
+    let dpo_run = exp.evaluate(&Solver::with_name(exp.assert_solver.clone(), "AssertSolver"));
+    let refs: Vec<&EvalRun> = vec![&sft_run, &dpo_run];
+    println!(
+        "{}",
+        asv_eval::report::histogram(
+            "Figure 3: correct answers across 20 responses (x-axis: c)",
+            &refs
+        )
+    );
+    // The paper's headline deterministic-vs-uncertain comparison.
+    let det = |r: &EvalRun| {
+        let h = r.histogram();
+        (h[0], h[h.len() - 1])
+    };
+    let (s0, s20) = det(&sft_run);
+    let (a0, a20) = det(&dpo_run);
+    println!("deterministic buckets: SFT c=0:{s0} c=20:{s20} | AssertSolver c=0:{a0} c=20:{a20}");
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Fig. 4**: AssertSolver vs the closed-source proxies per
+//! bug type (a) and per code-length interval (b), pass@1 and pass@5 (RQ4).
+
+use asv_bench::{Experiment, Scale};
+use asv_eval::EvalRun;
+use assertsolver_core::baselines::{HeuristicEngine, SelfVerifyEngine};
+use assertsolver_core::prelude::*;
+use assertsolver_core::RepairEngine;
+
+fn main() {
+    let exp = Experiment::prepare(Scale::from_env());
+    let lm = exp.base.lm.clone();
+    let engines: Vec<Box<dyn RepairEngine>> = vec![
+        Box::new(HeuristicEngine::claude35(lm.clone())),
+        Box::new(HeuristicEngine::gpt4(lm.clone())),
+        Box::new(SelfVerifyEngine::o1(lm)),
+        Box::new(Solver::with_name(exp.assert_solver.clone(), "AssertSolver")),
+    ];
+    let runs: Vec<EvalRun> = engines.iter().map(|e| exp.evaluate(e.as_ref())).collect();
+    let refs: Vec<&EvalRun> = runs.iter().collect();
+    for k in [1, 5] {
+        println!(
+            "{}",
+            asv_eval::report::grouped(
+                "Figure 4: comparison with closed-source LLM proxies",
+                k,
+                &refs
+            )
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Development probe: pass@k of the SFT model across sampling
+//! temperatures — quantifies the precision/diversity head-room that the
+//! DPO phase can exploit.
+use asv_bench::{Experiment, Scale};
+use assertsolver_core::prelude::*;
+
+fn main() {
+    let exp = Experiment::prepare(Scale::from_env());
+    for temp in [0.3, 0.2, 0.1, 0.05, 0.01] {
+        let mut m = exp.sft_model.clone();
+        m.policy.temperature = temp;
+        let run = exp.evaluate(&Solver::with_name(m, format!("SFT@t={temp}")));
+        println!("temp={temp}: pass@1={:.2}% pass@5={:.2}%", run.pass_at(1)*100.0, run.pass_at(5)*100.0);
+    }
+}

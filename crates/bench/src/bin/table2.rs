@@ -1,0 +1,57 @@
+//! Regenerates **Table II**: distribution of SVA-Bug (train) and SVA-Eval
+//! across code-length intervals and bug types.
+
+use asv_bench::Scale;
+use asv_datagen::dataset::{count_by_bin, count_by_category, LengthBin};
+use asv_datagen::pipeline::run as run_pipeline;
+use asv_mutation::BugCategory;
+
+fn main() {
+    let ds = run_pipeline(&Scale::from_env().pipeline_config());
+    let eval = ds.sva_eval();
+    println!("== Table II: distribution across code length intervals and bug types ==");
+    println!("\n-- by length interval --");
+    print!("{:<10}", "");
+    for bin in LengthBin::ALL {
+        print!("  {:>12}", bin.label());
+    }
+    println!();
+    for (name, entries) in [("SVA-Bug", &ds.sva_bug), ("SVA-Eval", &eval)] {
+        let counts = count_by_bin(entries);
+        print!("{name:<10}");
+        for bin in LengthBin::ALL {
+            print!("  {:>12}", counts.get(&bin).copied().unwrap_or(0));
+        }
+        println!();
+    }
+    println!("\n-- by bug type --");
+    print!("{:<10}", "");
+    for cat in BugCategory::ALL {
+        print!("  {:>9}", cat.to_string());
+    }
+    println!();
+    for (name, entries) in [("SVA-Bug", &ds.sva_bug), ("SVA-Eval", &eval)] {
+        let counts = count_by_category(entries);
+        print!("{name:<10}");
+        for cat in BugCategory::ALL {
+            print!("  {:>9}", counts.get(&cat).copied().unwrap_or(0));
+        }
+        println!();
+    }
+    println!(
+        "\ntotals: SVA-Bug = {}, SVA-Eval = {} ({} machine + {} human)",
+        ds.sva_bug.len(),
+        eval.len(),
+        ds.sva_eval_machine.len(),
+        ds.sva_eval_human.len()
+    );
+    println!(
+        "pipeline stats: corpus={} raw={} filtered={} compile_failures={} cot {}/{} kept",
+        ds.stats.corpus,
+        ds.stats.raw_items,
+        ds.stats.filtered,
+        ds.stats.compile_failures,
+        ds.stats.cot_kept,
+        ds.stats.cot_drafted
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Table III**: pass@1 / pass@5 for the base model, the SFT
+//! model and the full AssertSolver over SVA-Eval (RQ1).
+
+use asv_bench::{Experiment, Scale};
+use asv_eval::EvalRun;
+
+fn main() {
+    let exp = Experiment::prepare(Scale::from_env());
+    let engines = exp.rq1_engines();
+    let runs: Vec<EvalRun> = engines.iter().map(|e| exp.evaluate(e)).collect();
+    let refs: Vec<&EvalRun> = runs.iter().collect();
+    println!(
+        "{}",
+        asv_eval::report::pass_table(
+            "Table III: model performance as pass@k",
+            &[
+                ("pass@1", &|r: &EvalRun| r.pass_at(1)),
+                ("pass@5", &|r: &EvalRun| r.pass_at(5)),
+            ],
+            &refs,
+        )
+    );
+}

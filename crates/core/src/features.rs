@@ -1,0 +1,386 @@
+//! Feature extraction: the representation the repair policy scores.
+//!
+//! Each repair candidate (a single-line edit of the buggy design) is
+//! mapped to a fixed-length vector combining structural evidence (fault
+//! localisation), statistical evidence (LM likelihood delta from the PT
+//! phase), and lexical evidence (spec and log overlap) — the same signals
+//! a verification engineer weighs in the paper's Fig. 1.
+
+use crate::lm::NgramLm;
+use crate::localize::Localization;
+use crate::tokenizer::tokenize;
+use asv_mutation::kinds::SyntacticKind;
+use asv_mutation::Candidate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Number of features (dimension of the policy weight vector).
+pub const FEATURE_DIM: usize = 14;
+
+/// Human-readable feature names, index-aligned with the vectors.
+pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+    "bias",
+    "localization",
+    "lm_delta",
+    "edit_var",
+    "edit_value",
+    "edit_op",
+    "in_condition",
+    "spec_overlap",
+    "log_overlap",
+    "edit_distance",
+    "property_overlap",
+    "sibling_consistency",
+    "index_coherence",
+    "property_affinity",
+];
+
+/// A feature vector for one candidate.
+pub type Features = [f64; FEATURE_DIM];
+
+/// Shared per-case context used to extract candidate features.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CaseContext {
+    /// Localisation of the failing assertions.
+    pub localization: Localization,
+    /// Lowercased spec tokens.
+    pub spec_tokens: BTreeSet<String>,
+    /// Signal-like tokens extracted from the failure logs (assertion names
+    /// split on `.`/`_`, message words).
+    pub log_tokens: BTreeSet<String>,
+    /// Tokens of the property bodies (identifiers, operators, literals):
+    /// golden fixes usually mirror the checked expression.
+    pub property_tokens: BTreeSet<String>,
+    /// Digit/identifier-index-normalised line shapes of the design, with
+    /// occurrence counts: replicated structures (lanes, unrolled stages)
+    /// make a correct fix restore a shape its siblings already have.
+    pub line_shapes: std::collections::BTreeMap<String, usize>,
+}
+
+impl CaseContext {
+    /// Builds the context for one repair case.
+    pub fn new(module: &asv_verilog::ast::Module, spec: &str, logs: &[String]) -> Self {
+        // Focus all evidence on the assertions the logs report as failing.
+        let failing = crate::localize::failing_assertions(logs);
+        let localization = crate::localize::localize_filtered(
+            module,
+            if failing.is_empty() { None } else { Some(&failing) },
+        );
+        let spec_tokens = spec
+            .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .filter(|w| w.len() > 1)
+            .map(str::to_lowercase)
+            .collect();
+        let mut log_tokens: BTreeSet<String> = BTreeSet::new();
+        for log in logs {
+            for w in log.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
+                if w.len() > 1 {
+                    log_tokens.insert(w.to_lowercase());
+                    // Assertion labels often concatenate signal names.
+                    for part in w.split('_') {
+                        if part.len() > 1 {
+                            log_tokens.insert(part.to_lowercase());
+                        }
+                    }
+                }
+            }
+        }
+        // Property tokens restricted to the failing assertions (fall back
+        // to all properties when the logs name none).
+        let mut property_tokens: BTreeSet<String> = BTreeSet::new();
+        let failing_props: Vec<String> = module
+            .assertions()
+            .filter(|a| failing.is_empty() || failing.iter().any(|n| n == a.log_name()))
+            .map(|a| match &a.target {
+                asv_verilog::ast::AssertTarget::Named(n) => n.clone(),
+                asv_verilog::ast::AssertTarget::Inline(p) => p.name.clone(),
+            })
+            .collect();
+        for p in module.properties() {
+            if !failing_props.is_empty() && !failing_props.contains(&p.name) {
+                continue;
+            }
+            for tok in tokenize(&asv_verilog::pretty::render_prop(&p.body)) {
+                property_tokens.insert(tok);
+            }
+        }
+        for a in module.assertions() {
+            if let asv_verilog::ast::AssertTarget::Inline(p) = &a.target {
+                if !failing.is_empty() && !failing.iter().any(|n| n == a.log_name()) {
+                    continue;
+                }
+                for tok in tokenize(&asv_verilog::pretty::render_prop(&p.body)) {
+                    property_tokens.insert(tok);
+                }
+            }
+        }
+        // Strip history wrappers: `$past(a)` contributes `a`, `+`, ...
+        property_tokens.retain(|t| !t.starts_with('$'));
+        let mut line_shapes: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for line in asv_verilog::pretty::render_module(module).lines() {
+            let shape = line_shape(line);
+            if !shape.is_empty() {
+                *line_shapes.entry(shape).or_insert(0) += 1;
+            }
+        }
+        CaseContext {
+            localization,
+            spec_tokens,
+            log_tokens,
+            property_tokens,
+            line_shapes,
+        }
+    }
+}
+
+/// Normalises a source line to its *shape*: digits collapse to `#` so that
+/// lane indices and literal values do not distinguish replicated lines.
+pub fn line_shape(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut prev_hash = false;
+    for c in line.trim().chars() {
+        if c.is_ascii_digit() {
+            if !prev_hash {
+                out.push('#');
+                prev_hash = true;
+            }
+        } else {
+            out.push(c);
+            prev_hash = false;
+        }
+    }
+    out
+}
+
+/// Extracts the feature vector of one candidate.
+pub fn extract(ctx: &CaseContext, lm: &NgramLm, candidate: &Candidate) -> Features {
+    let mut f = [0.0; FEATURE_DIM];
+    f[0] = 1.0;
+    // Structural: how close the edited statement's targets sit to the
+    // failing assertion.
+    f[1] = ctx
+        .localization
+        .max_over(candidate.mutation.assigned.iter().map(String::as_str));
+    // Statistical: does the rewritten line look more idiomatic? Clamped so
+    // one feature cannot dominate the linear score.
+    let delta = lm.score_line(&candidate.new_line) - lm.score_line(&candidate.old_line);
+    f[2] = delta.clamp(-2.0, 2.0) / 2.0;
+    // Edit-type one-hot (priors learned in SFT).
+    match candidate.mutation.class.syntactic {
+        SyntacticKind::Var => f[3] = 1.0,
+        SyntacticKind::Value => f[4] = 1.0,
+        SyntacticKind::Op => f[5] = 1.0,
+    }
+    f[6] = f64::from(u8::from(candidate.mutation.class.cond));
+    // Lexical: overlap of the *new* line's tokens with the spec.
+    let new_tokens: Vec<String> = tokenize(&candidate.new_line)
+        .into_iter()
+        .filter(|t| t.chars().next().is_some_and(|c| c.is_ascii_alphabetic()))
+        .map(|t| t.to_lowercase())
+        .collect();
+    if !new_tokens.is_empty() {
+        let hits = new_tokens
+            .iter()
+            .filter(|t| ctx.spec_tokens.contains(*t))
+            .count();
+        f[7] = hits as f64 / new_tokens.len() as f64;
+        let log_hits = new_tokens
+            .iter()
+            .filter(|t| ctx.log_tokens.contains(*t))
+            .count();
+        f[8] = log_hits as f64 / new_tokens.len() as f64;
+    }
+    // Edit size: token-level symmetric difference, normalised.
+    let old: BTreeSet<String> = tokenize(&candidate.old_line).into_iter().collect();
+    let new: BTreeSet<String> = tokenize(&candidate.new_line).into_iter().collect();
+    let sym = old.symmetric_difference(&new).count();
+    let denom = (old.len() + new.len()).max(1);
+    f[9] = 1.0 - (sym as f64 / denom as f64);
+    // Property mirror: how much of the *changed* content matches tokens of
+    // the checked properties. Measured on the tokens the edit introduced,
+    // so an unchanged context line does not dilute the signal.
+    let introduced: Vec<&String> = new.difference(&old).collect();
+    if !introduced.is_empty() {
+        let hits = introduced
+            .iter()
+            .filter(|t| ctx.property_tokens.contains(**t))
+            .count();
+        f[10] = hits as f64 / introduced.len() as f64;
+    }
+    // Sibling consistency: does the repaired line's shape match replicated
+    // lines elsewhere in the design? The bug breaks lane symmetry; the
+    // golden fix restores it.
+    let new_shape = line_shape(&candidate.new_line);
+    let old_shape = line_shape(&candidate.old_line);
+    let mut siblings = ctx.line_shapes.get(&new_shape).copied().unwrap_or(0);
+    // Exclude the candidate's own (pre-edit) line when the edit does not
+    // change the shape (pure literal tweaks).
+    if new_shape == old_shape {
+        siblings = siblings.saturating_sub(1);
+    }
+    f[11] = (siblings.min(2) as f64) / 2.0;
+    // Index coherence *delta*: does the edit make the line's lane/stage
+    // indices agree more (`pulse4 = din[4] & ~prev3` -> `~prev4`)? A delta
+    // (rather than the absolute coherence) keeps legitimately mixed-index
+    // lines, like priority-arbiter chains, unpenalised.
+    let delta = index_coherence(&candidate.new_line) - index_coherence(&candidate.old_line);
+    f[12] = (delta + 1.0) / 2.0;
+    // Line affinity with the failing property: the repaired line should
+    // share vocabulary (case labels, operands, operators) with the checked
+    // expression — this is what points at the right case arm of an ALU.
+    let line_tokens = tokenize(&candidate.new_line);
+    if !line_tokens.is_empty() {
+        let hits = line_tokens
+            .iter()
+            .filter(|t| ctx.property_tokens.contains(*t))
+            .count();
+        f[13] = hits as f64 / line_tokens.len() as f64;
+    }
+    f
+}
+
+/// Fraction of numeric indices in the line that agree with the most common
+/// one. Lines with fewer than two indices score a neutral 0.5.
+pub fn index_coherence(line: &str) -> f64 {
+    let mut indices: Vec<u64> = Vec::new();
+    for tok in tokenize(line) {
+        // Identifier suffix indices (prev4) ...
+        if tok.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+            let digits: String = tok
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if !digits.is_empty() {
+                let d: String = digits.chars().rev().collect();
+                if let Ok(v) = d.parse() {
+                    indices.push(v);
+                }
+            }
+        } else if tok.chars().all(|c| c.is_ascii_digit()) {
+            // ... and bare bracket indices (din[4]); sized literals like
+            // 4'd1 are values, not indices, and are skipped.
+            if let Ok(v) = tok.parse() {
+                indices.push(v);
+            }
+        }
+    }
+    if indices.len() < 2 {
+        return 0.5;
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    for i in &indices {
+        *counts.entry(*i).or_insert(0usize) += 1;
+    }
+    let max = counts.values().copied().max().unwrap_or(0);
+    max as f64 / indices.len() as f64
+}
+
+/// Dot product of weights and features.
+pub fn dot(weights: &Features, features: &Features) -> f64 {
+    weights
+        .iter()
+        .zip(features.iter())
+        .map(|(w, f)| w * f)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_mutation::repairspace::candidates;
+    use asv_verilog::compile;
+
+    const SRC: &str = "module m(input clk, input rst_n, input en, input [3:0] a,\n\
+        input [3:0] b, output reg [3:0] q, output reg aux);\n\
+        always @(posedge clk or negedge rst_n) begin\n\
+          if (!rst_n) q <= 4'd0;\n\
+          else if (en) q <= a - b;\n\
+        end\n\
+        always @(posedge clk or negedge rst_n) begin\n\
+          if (!rst_n) aux <= 1'b0;\n\
+          else aux <= en;\n\
+        end\n\
+        property p; @(posedge clk) disable iff (!rst_n) en |-> ##1 q == $past(a) + $past(b); endproperty\n\
+        chk: assert property (p) else $error(\"q must be the sum\");\nendmodule";
+
+    fn setup() -> (CaseContext, NgramLm, Vec<asv_mutation::Candidate>) {
+        let d = compile(SRC).expect("compile");
+        let ctx = CaseContext::new(
+            &d.module,
+            "Module m: q accumulates the sum of operands a and b when en is high",
+            &["failed assertion m.chk at cycle 4: q must be the sum".to_string()],
+        );
+        let mut lm = NgramLm::new();
+        lm.train_text(SRC);
+        let cands = candidates(&d);
+        (ctx, lm, cands)
+    }
+
+    #[test]
+    fn feature_dim_matches_names() {
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn localization_feature_separates_cone_from_outside() {
+        let (ctx, lm, cands) = setup();
+        let on_q = cands
+            .iter()
+            .find(|c| c.mutation.assigned == vec!["q".to_string()])
+            .expect("candidate on q");
+        let on_aux = cands
+            .iter()
+            .find(|c| c.mutation.assigned == vec!["aux".to_string()])
+            .expect("candidate on aux");
+        let fq = extract(&ctx, &lm, on_q);
+        let fa = extract(&ctx, &lm, on_aux);
+        assert!(fq[1] > fa[1], "q is in the cone, aux is not");
+        assert_eq!(fa[1], 0.0);
+    }
+
+    #[test]
+    fn edit_type_one_hot_is_exclusive() {
+        let (ctx, lm, cands) = setup();
+        for c in &cands {
+            let f = extract(&ctx, &lm, c);
+            let hot = f[3] + f[4] + f[5];
+            assert!((hot - 1.0).abs() < 1e-9, "one-hot violated: {f:?}");
+        }
+    }
+
+    #[test]
+    fn features_are_bounded() {
+        let (ctx, lm, cands) = setup();
+        for c in &cands {
+            let f = extract(&ctx, &lm, c);
+            for (i, v) in f.iter().enumerate() {
+                assert!(
+                    (-1.0..=1.0).contains(v),
+                    "feature {} = {v} out of range",
+                    FEATURE_NAMES[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spec_overlap_rewards_spec_vocabulary() {
+        let (ctx, lm, cands) = setup();
+        // The golden fix `q <= a + b` mentions spec words a, b, q.
+        let golden = cands
+            .iter()
+            .find(|c| c.new_line.contains("a + b"))
+            .expect("inverse op candidate");
+        let f = extract(&ctx, &lm, golden);
+        assert!(f[7] > 0.0);
+    }
+
+    #[test]
+    fn dot_is_linear() {
+        let w: Features = [1.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 0.0];
+        let f: Features = [1.0, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.25, 0.0, 0.0, 0.0, 0.0];
+        assert!((dot(&w, &f) - (1.0 + 1.0 - 0.25)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! Fault localisation: ranking signals by structural proximity to the
+//! failing assertion.
+//!
+//! The verification engineer in the paper's Fig. 1 reasons backwards from
+//! the failed assertion through the signals feeding it. This module does
+//! the same mechanically: the assertion's observed signals seed a
+//! breadth-first walk of the dependency graph, and every signal gets a
+//! *suspiciousness* in (0, 1] decaying with distance — signals outside the
+//! cone of influence get 0.
+
+use asv_verilog::ast::{AssertTarget, Module};
+use asv_verilog::graph::DepGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Localisation result for one buggy design.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Localization {
+    /// Signals the assertions observe (distance 0).
+    pub observed: Vec<String>,
+    /// Suspiciousness per signal: `1 / (1 + distance)`; absent = 0.
+    pub suspiciousness: BTreeMap<String, f64>,
+}
+
+impl Localization {
+    /// Suspiciousness of one signal (0 when outside the cone).
+    pub fn of(&self, signal: &str) -> f64 {
+        self.suspiciousness.get(signal).copied().unwrap_or(0.0)
+    }
+
+    /// The maximum suspiciousness over a set of signals (used to score a
+    /// candidate line by the signals it assigns).
+    pub fn max_over<'a, I: IntoIterator<Item = &'a str>>(&self, signals: I) -> f64 {
+        signals
+            .into_iter()
+            .map(|s| self.of(s))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Computes localisation for a module from its own assertions.
+///
+/// Works directly on the buggy module: assertions and dependency structure
+/// are both present in the model's input, exactly as in the paper.
+pub fn localize(module: &Module) -> Localization {
+    localize_filtered(module, None)
+}
+
+/// Localisation restricted to the named assertions (as extracted from the
+/// failure logs). Falls back to all assertions when the filter matches
+/// nothing.
+pub fn localize_filtered(module: &Module, failing: Option<&[String]>) -> Localization {
+    let graph = DepGraph::build(module);
+    let observed = observed_signals(module, failing);
+    let distances = graph.distances(observed.iter().map(String::as_str));
+    let suspiciousness = distances
+        .into_iter()
+        .map(|(sig, d)| (sig, 1.0 / (1.0 + f64::from(d))))
+        .collect();
+    Localization {
+        observed,
+        suspiciousness,
+    }
+}
+
+/// The signals observed by the (failing) assertions; falls back to all
+/// assertions when `failing` is `None` or matches nothing.
+pub fn observed_signals(module: &Module, failing: Option<&[String]>) -> Vec<String> {
+    let collect = |filter: Option<&[String]>| -> Vec<String> {
+        let mut observed: Vec<String> = Vec::new();
+        for a in module.assertions() {
+            if let Some(f) = filter {
+                if !f.iter().any(|n| n == a.log_name()) {
+                    continue;
+                }
+            }
+            match &a.target {
+                AssertTarget::Inline(p) => observed.extend(p.body.idents()),
+                AssertTarget::Named(n) => {
+                    if let Some(p) = module.properties().find(|p| &p.name == n) {
+                        observed.extend(p.body.idents());
+                    }
+                }
+            }
+        }
+        observed.sort();
+        observed.dedup();
+        observed
+    };
+    let focused = collect(failing);
+    if focused.is_empty() {
+        collect(None)
+    } else {
+        focused
+    }
+}
+
+/// Extracts failing assertion names from log lines of the form
+/// `failed assertion <module>.<name> at cycle ...`.
+pub fn failing_assertions(logs: &[String]) -> Vec<String> {
+    let mut names = Vec::new();
+    for log in logs {
+        if let Some(rest) = log.strip_prefix("failed assertion ") {
+            if let Some(dotted) = rest.split_whitespace().next() {
+                if let Some((_, name)) = dotted.rsplit_once('.') {
+                    if !names.iter().any(|n: &String| n == name) {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_verilog::parse;
+
+    const SRC: &str = "module m(input clk, input a, input b, input unrelated,\n\
+        output reg y, output reg z);\n\
+        reg t;\n\
+        always @(posedge clk) begin\n\
+          t <= a & b;\n\
+          y <= t;\n\
+          z <= unrelated;\n\
+        end\n\
+        property p; @(posedge clk) t |-> ##1 y; endproperty\n\
+        chk: assert property (p) else $error(\"y lags t\");\nendmodule";
+
+    fn loc() -> Localization {
+        localize(&parse(SRC).expect("parse").modules[0])
+    }
+
+    #[test]
+    fn observed_signals_have_max_suspiciousness() {
+        let l = loc();
+        assert_eq!(l.of("y"), 1.0);
+        assert_eq!(l.of("t"), 1.0);
+    }
+
+    #[test]
+    fn suspiciousness_decays_with_distance() {
+        let l = loc();
+        // a and b feed t (distance 1 from t).
+        assert!(l.of("a") > 0.0);
+        assert!(l.of("a") < l.of("t"));
+    }
+
+    #[test]
+    fn unrelated_signals_score_zero() {
+        let l = loc();
+        assert_eq!(l.of("unrelated"), 0.0);
+        assert_eq!(l.of("z"), 0.0);
+        assert_eq!(l.of("ghost"), 0.0);
+    }
+
+    #[test]
+    fn max_over_picks_best() {
+        let l = loc();
+        assert_eq!(l.max_over(["z", "y"]), 1.0);
+        assert_eq!(l.max_over(["z", "unrelated"]), 0.0);
+        assert_eq!(l.max_over([]), 0.0);
+    }
+
+    #[test]
+    fn module_without_assertions_localises_nothing() {
+        let unit = parse("module m(input a, output y); assign y = a; endmodule").expect("ok");
+        let l = localize(&unit.modules[0]);
+        assert!(l.observed.is_empty());
+        assert!(l.suspiciousness.is_empty());
+    }
+}

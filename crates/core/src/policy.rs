@@ -1,0 +1,206 @@
+//! The repair policy: a softmax distribution over repair candidates.
+//!
+//! `π_θ(c | x) ∝ exp(θ·f(c, x) / τ)` — a linear-feature softmax policy.
+//! Sampling at temperature τ produces the n = 20 diverse responses the
+//! paper's pass@k protocol requires; DPO training (see [`crate::train`])
+//! adjusts θ against a frozen reference copy.
+
+use crate::features::{dot, Features, FEATURE_DIM};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Policy weights plus the sampling temperature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    /// Linear weights over [`crate::features::FEATURE_NAMES`].
+    pub weights: Features,
+    /// Softmax temperature (the paper uses 0.2 at inference).
+    pub temperature: f64,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            weights: [0.0; FEATURE_DIM],
+            temperature: 0.2,
+        }
+    }
+}
+
+impl Policy {
+    /// An untrained policy (uniform over candidates): the *base model*.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores one candidate.
+    pub fn score(&self, features: &Features) -> f64 {
+        dot(&self.weights, features)
+    }
+
+    /// Softmax probabilities over a candidate set at the policy
+    /// temperature. Empty input yields an empty vector.
+    pub fn probabilities(&self, features: &[Features]) -> Vec<f64> {
+        self.probabilities_at(features, self.temperature)
+    }
+
+    /// Softmax probabilities at an explicit temperature.
+    pub fn probabilities_at(&self, features: &[Features], temperature: f64) -> Vec<f64> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let t = temperature.max(1e-6);
+        let scores: Vec<f64> = features.iter().map(|f| self.score(f) / t).collect();
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / z).collect()
+    }
+
+    /// Log-probability of candidate `idx` under the policy (temperature
+    /// folded in, matching [`Policy::probabilities`]).
+    pub fn log_prob(&self, features: &[Features], idx: usize) -> f64 {
+        self.probabilities(features)[idx].max(1e-300).ln()
+    }
+
+    /// Samples one candidate index.
+    pub fn sample(&self, features: &[Features], rng: &mut StdRng) -> Option<usize> {
+        let probs = self.probabilities(features);
+        if probs.is_empty() {
+            return None;
+        }
+        let mut u: f64 = rng.gen();
+        for (i, p) in probs.iter().enumerate() {
+            u -= p;
+            if u <= 0.0 {
+                return Some(i);
+            }
+        }
+        Some(probs.len() - 1)
+    }
+
+    /// Samples `n` candidate indices with replacement (the paper's n = 20
+    /// responses per case).
+    pub fn sample_n(&self, features: &[Features], n: usize, rng: &mut StdRng) -> Vec<usize> {
+        (0..n)
+            .filter_map(|_| self.sample(features, rng))
+            .collect()
+    }
+
+    /// The argmax candidate.
+    pub fn best(&self, features: &[Features]) -> Option<usize> {
+        if features.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, f) in features.iter().enumerate() {
+            let s = self.score(f);
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Shannon entropy (nats) of the candidate distribution — the
+    /// *diversity* the paper's pass@5 metric is sensitive to.
+    pub fn entropy(&self, features: &[Features]) -> f64 {
+        self.probabilities(features)
+            .iter()
+            .filter(|p| **p > 0.0)
+            .map(|p| -p * p.ln())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn feats(scores: &[f64]) -> Vec<Features> {
+        scores
+            .iter()
+            .map(|&s| {
+                let mut f = [0.0; FEATURE_DIM];
+                f[1] = s;
+                f
+            })
+            .collect()
+    }
+
+    fn policy_with_w1(w: f64, temp: f64) -> Policy {
+        let mut p = Policy::new();
+        p.weights[1] = w;
+        p.temperature = temp;
+        p
+    }
+
+    #[test]
+    fn untrained_policy_is_uniform() {
+        let p = Policy::new();
+        let probs = p.probabilities(&feats(&[0.1, 0.9, 0.5]));
+        for pr in &probs {
+            assert!((pr - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let p = policy_with_w1(2.0, 0.2);
+        let probs = p.probabilities(&feats(&[0.0, 0.3, 0.9, 0.1]));
+        let z: f64 = probs.iter().sum();
+        assert!((z - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_score_gets_higher_probability() {
+        let p = policy_with_w1(1.0, 0.2);
+        let probs = p.probabilities(&feats(&[0.1, 0.9]));
+        assert!(probs[1] > probs[0]);
+        assert_eq!(p.best(&feats(&[0.1, 0.9])), Some(1));
+    }
+
+    #[test]
+    fn lower_temperature_sharpens() {
+        let warm = policy_with_w1(1.0, 1.0);
+        let cold = policy_with_w1(1.0, 0.1);
+        let f = feats(&[0.1, 0.9, 0.5]);
+        assert!(cold.entropy(&f) < warm.entropy(&f));
+    }
+
+    #[test]
+    fn sampling_tracks_distribution() {
+        let p = policy_with_w1(1.0, 0.2);
+        let f = feats(&[0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let picks = p.sample_n(&f, 2000, &mut rng);
+        let ones = picks.iter().filter(|&&i| i == 1).count();
+        let expected = p.probabilities(&f)[1];
+        let observed = ones as f64 / picks.len() as f64;
+        assert!(
+            (observed - expected).abs() < 0.03,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let p = policy_with_w1(1.0, 0.2);
+        let f = feats(&[0.2, 0.8, 0.5]);
+        let a = p.sample_n(&f, 50, &mut StdRng::seed_from_u64(3));
+        let b = p.sample_n(&f, 50, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_candidate_set_is_handled() {
+        let p = Policy::new();
+        assert!(p.probabilities(&[]).is_empty());
+        assert_eq!(p.best(&[]), None);
+        assert_eq!(p.sample(&[], &mut StdRng::seed_from_u64(0)), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Verilog-aware tokenizer for the statistical language model.
+//!
+//! A lightweight, lossless-enough segmentation: identifiers, numbers
+//! (with base prefixes kept intact) and multi-character operators each
+//! become one token. This plays the role of the BPE tokenizer in the
+//! paper's base model; the LM consuming it only needs consistent units.
+
+/// Splits a line of Verilog into tokens.
+///
+/// ```
+/// use assertsolver_core::tokenizer::tokenize;
+/// assert_eq!(
+///     tokenize("q <= q + 4'd1;"),
+///     vec!["q", "<=", "q", "+", "4'd1", ";"]
+/// );
+/// ```
+pub fn tokenize(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'$' {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(line[start..i].to_string());
+            continue;
+        }
+        // Number, optionally with a based suffix (4'd10, 'hFF).
+        if c.is_ascii_digit() || c == b'\'' {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'\'' {
+                i += 1;
+                if i < bytes.len() && matches!(bytes[i], b's' | b'S') {
+                    i += 1;
+                }
+                if i < bytes.len()
+                    && matches!(bytes[i].to_ascii_lowercase(), b'b' | b'o' | b'd' | b'h')
+                {
+                    i += 1;
+                }
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_hexdigit()
+                        || matches!(bytes[i], b'_' | b'x' | b'X' | b'z' | b'Z' | b'?'))
+                {
+                    i += 1;
+                }
+            }
+            if i == start {
+                i += 1; // lone apostrophe; consume to make progress
+            }
+            out.push(line[start..i].to_string());
+            continue;
+        }
+        // Multi-character operators, longest first.
+        const OPS: [&str; 20] = [
+            "|->", "|=>", "<<<", ">>>", "===", "!==", "##", "&&", "||", "==", "!=", "<=",
+            ">=", "<<", ">>", "**", "~^", "~&", "~|", "+:",
+        ];
+        let rest = &line[i..];
+        if let Some(op) = OPS.iter().find(|op| rest.starts_with(**op)) {
+            out.push((*op).to_string());
+            i += op.len();
+            continue;
+        }
+        out.push((c as char).to_string());
+        i += 1;
+    }
+    out
+}
+
+/// Tokenizes a multi-line text, inserting a line-break sentinel between
+/// lines so the LM learns statement boundaries.
+pub fn tokenize_text(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let toks = tokenize(line);
+        if toks.is_empty() {
+            continue;
+        }
+        out.extend(toks);
+        out.push("<nl>".to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_operators_and_idents() {
+        assert_eq!(
+            tokenize("assign y = a_1 && !b;"),
+            vec!["assign", "y", "=", "a_1", "&&", "!", "b", ";"]
+        );
+    }
+
+    #[test]
+    fn keeps_based_literals_whole() {
+        assert_eq!(tokenize("8'hFF + 'b10"), vec!["8'hFF", "+", "'b10"]);
+    }
+
+    #[test]
+    fn sva_operators_are_single_tokens() {
+        assert_eq!(
+            tokenize("a |-> ##1 b"),
+            vec!["a", "|->", "##", "1", "b"]
+        );
+    }
+
+    #[test]
+    fn sys_idents_keep_dollar() {
+        assert_eq!(tokenize("$past(d, 1)"), vec!["$past", "(", "d", ",", "1", ")"]);
+    }
+
+    #[test]
+    fn text_gets_line_sentinels() {
+        let toks = tokenize_text("a;\n\nb;");
+        assert_eq!(toks, vec!["a", ";", "<nl>", "b", ";", "<nl>"]);
+    }
+
+    #[test]
+    fn never_loses_progress_on_garbage() {
+        let toks = tokenize("@#%^&*'");
+        assert!(!toks.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Control-oriented archetypes: phase FSMs and request/acknowledge
+//! handshakes.
+
+use super::{spec_header, SizeHint};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Write;
+
+/// A timer-driven phase FSM (traffic-light generalisation): `phases`
+/// states, each held for a fixed dwell time, cycling forever.
+pub fn traffic_fsm(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, String) {
+    let phases = (hint.stages + 2).clamp(3, 14);
+    let dwell = rng.gen_range(1..=2u64);
+    let sw = 4u32; // state register width (up to 14 phases)
+    let tw = 4u32;
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        "module {name} (\n  input clk,\n  input rst_n,\n  output reg [{}:0] state,\n  output reg [{}:0] timer\n);\n",
+        sw - 1,
+        tw - 1
+    );
+    src.push_str("  always @(posedge clk or negedge rst_n) begin\n");
+    let _ = write!(
+        src,
+        "    if (!rst_n) begin\n      state <= {sw}'d0;\n      timer <= {tw}'d0;\n    end else begin\n      case (state)\n"
+    );
+    for p in 0..phases {
+        let next = (p + 1) % phases;
+        let _ = write!(
+            src,
+            "        {sw}'d{p}: begin\n          if (timer == {tw}'d{dwell}) begin\n            state <= {sw}'d{next};\n            timer <= {tw}'d0;\n          end else begin\n            timer <= timer + {tw}'d1;\n          end\n        end\n"
+        );
+    }
+    let _ = write!(
+        src,
+        "        default: begin\n          state <= {sw}'d0;\n          timer <= {tw}'d0;\n        end\n      endcase\n    end\n  end\n"
+    );
+    // Transition properties for the first two phases (later phases need
+    // more cycles than the bounded verifier's depth to be reached) and a
+    // state bound.
+    for p in 0..phases.min(2) {
+        let next = (p + 1) % phases;
+        let _ = write!(
+            src,
+            "  property p_step{p};\n    @(posedge clk) disable iff (!rst_n)\n    state == {sw}'d{p} && timer == {tw}'d{dwell} |-> ##1 state == {sw}'d{next};\n  endproperty\n  a_step{p}: assert property (p_step{p}) else $error(\"phase {p} must advance to {next}\");\n"
+        );
+    }
+    let top = phases - 1;
+    let _ = write!(
+        src,
+        "  property p_state_bound;\n    @(posedge clk) disable iff (!rst_n)\n    1'b1 |-> state <= {sw}'d{top};\n  endproperty\n  a_state_bound: assert property (p_state_bound) else $error(\"state out of range\");\n"
+    );
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("state", "current phase index"),
+            ("timer", "cycles spent in the current phase"),
+        ],
+        &format!(
+            "A {phases}-phase cyclic controller; each phase is held for {} cycles \
+             (timer counts 0..={dwell}) before advancing to the next phase, wrapping to phase 0.",
+            dwell + 1
+        ),
+    );
+    (src, spec)
+}
+
+/// Request/acknowledge handshake channels with one-cycle ack and a busy
+/// latch released when the request drops.
+pub fn handshake(name: &str, hint: SizeHint) -> (String, String) {
+    let lanes = hint.stages.clamp(1, 10);
+    let mut src = String::new();
+    let _ = write!(src, "module {name} (\n  input clk,\n  input rst_n");
+    for k in 0..lanes {
+        let _ = write!(src, ",\n  input req{k},\n  output reg ack{k}");
+    }
+    src.push_str("\n);\n");
+    for k in 0..lanes {
+        let _ = write!(src, "  reg busy{k};\n");
+        let _ = write!(
+            src,
+            "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) begin\n      ack{k} <= 1'b0;\n      busy{k} <= 1'b0;\n    end else if (req{k} && !busy{k}) begin\n      ack{k} <= 1'b1;\n      busy{k} <= 1'b1;\n    end else begin\n      ack{k} <= 1'b0;\n      if (busy{k} && !req{k}) busy{k} <= 1'b0;\n    end\n  end\n"
+        );
+        let _ = write!(
+            src,
+            "  property p_ack{k};\n    @(posedge clk) disable iff (!rst_n)\n    req{k} && !busy{k} |-> ##1 ack{k};\n  endproperty\n  a_ack{k}: assert property (p_ack{k}) else $error(\"new request must be acknowledged\");\n"
+        );
+        let _ = write!(
+            src,
+            "  property p_ack_cause{k};\n    @(posedge clk) disable iff (!rst_n)\n    ack{k} |-> $past(req{k});\n  endproperty\n  a_ack_cause{k}: assert property (p_ack_cause{k}) else $error(\"ack without request\");\n"
+        );
+    }
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("req*", "request inputs"),
+            ("ack*", "one-cycle acknowledges"),
+        ],
+        &format!(
+            "{lanes} independent req/ack handshake channels; a new request (req high \
+             while idle) is acknowledged for exactly one cycle, and the channel stays \
+             busy until the request is released."
+        ),
+    );
+    (src, spec)
+}

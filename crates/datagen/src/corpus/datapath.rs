@@ -1,0 +1,213 @@
+//! Datapath archetypes: ALU, priority arbiter, PWM, Gray-code pipeline.
+
+use super::{spec_header, SizeHint};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Write;
+
+/// Registered ALU with a case-selected operation table that grows with the
+/// size hint.
+pub fn alu(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, String) {
+    let w = hint.width.clamp(2, 16);
+    let n_ops = (4 + hint.stages * 2).clamp(4, 12) as usize;
+    let k = rng.gen_range(1..(1u64 << w.min(4)));
+    // (design expression, property-side expression over $past).
+    let ops: Vec<(String, String)> = vec![
+        ("a + b".into(), "$past(a) + $past(b)".into()),
+        ("a - b".into(), "$past(a) - $past(b)".into()),
+        ("a & b".into(), "($past(a) & $past(b))".into()),
+        ("a | b".into(), "($past(a) | $past(b))".into()),
+        ("a ^ b".into(), "($past(a) ^ $past(b))".into()),
+        ("~a".into(), "(~$past(a))".into()),
+        (format!("a + {w}'d{k}"), format!("($past(a) + {w}'d{k})")),
+        ("a >> 1".into(), "($past(a) >> 1)".into()),
+        ("a << 1".into(), "($past(a) << 1)".into()),
+        ("b - a".into(), "($past(b) - $past(a))".into()),
+        (format!("b ^ {w}'d{k}"), format!("($past(b) ^ {w}'d{k})")),
+        ("a".into(), "$past(a)".into()),
+    ];
+    let ops = &ops[..n_ops];
+    let ow = 4u32;
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        "module {name} (\n  input clk,\n  input rst_n,\n  input [{}:0] a,\n  input [{}:0] b,\n  input [{}:0] op,\n  output reg [{}:0] r\n);\n",
+        w - 1,
+        w - 1,
+        ow - 1,
+        w - 1
+    );
+    src.push_str("  always @(posedge clk or negedge rst_n) begin\n");
+    let _ = write!(src, "    if (!rst_n) r <= {w}'d0;\n    else begin\n      case (op)\n");
+    for (i, (expr, _)) in ops.iter().enumerate() {
+        let _ = write!(src, "        {ow}'d{i}: r <= {expr};\n");
+    }
+    let _ = write!(src, "        default: r <= {w}'d0;\n      endcase\n    end\n  end\n");
+    // Properties for the first three ops.
+    for (i, (_, past)) in ops.iter().enumerate().take(3) {
+        let _ = write!(
+            src,
+            "  property p_op{i};\n    @(posedge clk) disable iff (!rst_n)\n    op == {ow}'d{i} |-> ##1 r == {past};\n  endproperty\n  a_op{i}: assert property (p_op{i}) else $error(\"op {i} computed wrong result\");\n"
+        );
+    }
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("a/b", &format!("{w}-bit operands")),
+            ("op", "operation select"),
+            ("r", "registered result, one cycle after the operands"),
+        ],
+        &format!(
+            "A registered {w}-bit ALU with {} operations selected by op \
+             (0: add, 1: subtract, 2: bitwise and, ...); unknown opcodes yield 0.",
+            ops.len()
+        ),
+    );
+    (src, spec)
+}
+
+/// Fixed-priority arbiter: one-hot grant to the lowest-index active
+/// request, fully unrolled.
+pub fn arbiter(name: &str, hint: SizeHint) -> (String, String) {
+    let n = (hint.stages + 1).clamp(2, 10);
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        "module {name} (\n  input clk,\n  input [{}:0] req,\n  output [{}:0] gnt\n);\n",
+        n - 1,
+        n - 1
+    );
+    src.push_str("  assign gnt[0] = req[0];\n");
+    for k in 1..n {
+        let mask: Vec<String> = (0..k).map(|j| format!("~req[{j}]")).collect();
+        let _ = write!(src, "  assign gnt[{k}] = req[{k}] & {};\n", mask.join(" & "));
+    }
+    src.push_str(
+        "  property p_grant0;\n    @(posedge clk)\n    req[0] |-> gnt[0];\n  endproperty\n  a_grant0: assert property (p_grant0) else $error(\"requester 0 has absolute priority\");\n",
+    );
+    src.push_str(
+        "  property p_some_grant;\n    @(posedge clk)\n    (|req) |-> (|gnt);\n  endproperty\n  a_some_grant: assert property (p_some_grant) else $error(\"active request must be granted\");\n",
+    );
+    src.push_str(
+        "  property p_onehot;\n    @(posedge clk)\n    1'b1 |-> $onehot0(gnt);\n  endproperty\n  a_onehot: assert property (p_onehot) else $error(\"grant must be one-hot\");\n",
+    );
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "sampling clock for the checkers"),
+            ("req", "request bits, bit 0 has highest priority"),
+            ("gnt", "one-hot grant"),
+        ],
+        &format!(
+            "A combinational fixed-priority arbiter over {n} requesters: the \
+             lowest-index active request receives the (single) grant."
+        ),
+    );
+    (src, spec)
+}
+
+/// PWM generator: free-running counter compared against a duty input.
+pub fn pwm(name: &str, hint: SizeHint) -> (String, String) {
+    let w = hint.width.clamp(2, 12);
+    let lanes = hint.stages.clamp(1, 8);
+    let mut src = String::new();
+    let _ = write!(src, "module {name} (\n  input clk,\n  input rst_n");
+    for k in 0..lanes {
+        let _ = write!(src, ",\n  input [{}:0] duty{k},\n  output out{k}", w - 1);
+    }
+    src.push_str("\n);\n");
+    let _ = write!(src, "  reg [{}:0] cnt;\n", w - 1);
+    let _ = write!(
+        src,
+        "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) cnt <= {w}'d0;\n    else cnt <= cnt + {w}'d1;\n  end\n"
+    );
+    for k in 0..lanes {
+        let _ = write!(src, "  assign out{k} = cnt < duty{k};\n");
+        let _ = write!(
+            src,
+            "  property p_shape{k};\n    @(posedge clk) disable iff (!rst_n)\n    out{k} == (cnt < duty{k});\n  endproperty\n  a_shape{k}: assert property (p_shape{k}) else $error(\"PWM output shape violated\");\n"
+        );
+        let _ = write!(
+            src,
+            "  property p_zero{k};\n    @(posedge clk) disable iff (!rst_n)\n    duty{k} == {w}'d0 |-> !out{k};\n  endproperty\n  a_zero{k}: assert property (p_zero{k}) else $error(\"zero duty must keep output low\");\n"
+        );
+    }
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("duty*", &format!("{w}-bit duty thresholds")),
+            ("out*", "PWM outputs, high while the counter is below the duty"),
+        ],
+        &format!(
+            "{lanes} PWM channels sharing one free-running {w}-bit counter; \
+             channel k is high exactly while the counter is below duty{{k}}."
+        ),
+    );
+    (src, spec)
+}
+
+/// Binary counter with a combinational Gray-code view and wrap property.
+pub fn gray(name: &str, hint: SizeHint) -> (String, String) {
+    let w = hint.width.clamp(2, 12);
+    let taps = hint.stages.clamp(1, 8);
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        "module {name} (\n  input clk,\n  input rst_n,\n  output reg [{}:0] bin,\n  output [{}:0] gray0",
+        w - 1,
+        w - 1
+    );
+    for k in 1..taps {
+        let _ = write!(src, ",\n  output reg [{}:0] gray{k}", w - 1);
+    }
+    src.push_str("\n);\n");
+    let _ = write!(
+        src,
+        "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) bin <= {w}'d0;\n    else bin <= bin + {w}'d1;\n  end\n"
+    );
+    src.push_str("  assign gray0 = bin ^ (bin >> 1);\n");
+    for k in 1..taps {
+        let prev = k - 1;
+        let _ = write!(
+            src,
+            "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) gray{k} <= {w}'d0;\n    else gray{k} <= gray{prev};\n  end\n"
+        );
+    }
+    let _ = write!(
+        src,
+        "  property p_shape;\n    @(posedge clk) disable iff (!rst_n)\n    gray0 == (bin ^ (bin >> 1));\n  endproperty\n  a_shape: assert property (p_shape) else $error(\"gray encoding shape violated\");\n"
+    );
+    let _ = write!(
+        src,
+        "  property p_count;\n    @(posedge clk) disable iff (!rst_n)\n    1'b1 |-> ##1 bin == $past(bin) + {w}'d1;\n  endproperty\n  a_count: assert property (p_count) else $error(\"binary counter must advance\");\n"
+    );
+    if taps > 1 {
+        let _ = write!(
+            src,
+            "  property p_pipe1;\n    @(posedge clk) disable iff (!rst_n)\n    1'b1 |-> ##1 gray1 == $past(gray0);\n  endproperty\n  a_pipe1: assert property (p_pipe1) else $error(\"gray pipeline tap 1 stale\");\n"
+        );
+    }
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("bin", &format!("free-running {w}-bit binary counter")),
+            ("gray0", "combinational Gray encoding of bin"),
+            ("gray*", "registered pipeline taps of the Gray code"),
+        ],
+        &format!(
+            "A {w}-bit binary counter with a combinational Gray-code view and a \
+             {taps}-tap registered Gray pipeline."
+        ),
+    );
+    (src, spec)
+}

@@ -1,0 +1,281 @@
+//! Sequential (register-based) archetypes: counters, accumulators, shift
+//! chains, edge detectors, parity trackers and FIFO credit controllers.
+//!
+//! Every builder returns `(source, spec)` where the source embeds golden
+//! SVAs that *hold by construction* — the corpus test suite verifies each
+//! archetype with the bounded model checker. Properties never reference
+//! parameters (the monitor samples signals only), so all constants are
+//! inlined as sized literals.
+
+use super::{spec_header, SizeHint};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Write;
+
+/// Multi-lane enabled up-counter with increment/hold properties per lane.
+pub fn counter(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, String) {
+    let lanes = hint.stages.max(1);
+    let w = hint.width.clamp(2, 16);
+    let step = rng.gen_range(1..=3u64);
+    let mut src = String::new();
+    let _ = write!(src, "module {name} (\n  input clk,\n  input rst_n,\n  input [{}:0] en", lanes - 1);
+    for k in 0..lanes {
+        let _ = write!(src, ",\n  output reg [{}:0] q{k}", w - 1);
+    }
+    src.push_str("\n);\n");
+    for k in 0..lanes {
+        let _ = write!(
+            src,
+            "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) q{k} <= {w}'d0;\n    else if (en[{k}]) q{k} <= q{k} + {w}'d{step};\n  end\n"
+        );
+        let _ = write!(
+            src,
+            "  property p_inc_{k};\n    @(posedge clk) disable iff (!rst_n)\n    en[{k}] |-> ##1 q{k} == $past(q{k}) + {w}'d{step};\n  endproperty\n  a_inc_{k}: assert property (p_inc_{k}) else $error(\"q{k} must advance by {step} when enabled\");\n"
+        );
+        let _ = write!(
+            src,
+            "  property p_hold_{k};\n    @(posedge clk) disable iff (!rst_n)\n    !en[{k}] |-> ##1 q{k} == $past(q{k});\n  endproperty\n  a_hold_{k}: assert property (p_hold_{k}) else $error(\"q{k} must hold when disabled\");\n"
+        );
+    }
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("en", "per-lane count enable"),
+            ("q*", &format!("{w}-bit lane counters")),
+        ],
+        &format!(
+            "{lanes} independent {w}-bit up-counters; lane k advances by {step} \
+             each cycle en[k] is high and holds otherwise; all lanes clear on reset."
+        ),
+    );
+    (src, spec)
+}
+
+/// The paper's Fig. 1 accumulator: counts 4 valid inputs, pulses valid_out.
+pub fn accumulator(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, String) {
+    let lanes = hint.stages.max(1);
+    let w = hint.width.clamp(2, 8);
+    let sw = w + 2; // sum width for 4 samples
+    let _ = rng;
+    let mut src = String::new();
+    let _ = write!(src, "module {name} (\n  input clk,\n  input rst_n,\n  input valid_in");
+    for k in 0..lanes {
+        let _ = write!(src, ",\n  input [{}:0] in{k}", w - 1);
+        let _ = write!(src, ",\n  output reg [{}:0] sum{k}", sw - 1);
+    }
+    src.push_str(",\n  output reg valid_out\n);\n");
+    src.push_str("  reg [1:0] cnt;\n  wire end_cnt;\n");
+    src.push_str("  assign end_cnt = (cnt == 2'd3) && valid_in;\n");
+    src.push_str(
+        "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) cnt <= 2'd0;\n    else if (valid_in) cnt <= end_cnt ? 2'd0 : cnt + 2'd1;\n  end\n",
+    );
+    for k in 0..lanes {
+        let _ = write!(
+            src,
+            "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) sum{k} <= {sw}'d0;\n    else if (valid_in) sum{k} <= end_cnt ? {sw}'d0 : sum{k} + in{k};\n  end\n"
+        );
+    }
+    src.push_str(
+        "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) valid_out <= 1'b0;\n    else if (end_cnt) valid_out <= 1'b1;\n    else valid_out <= 1'b0;\n  end\n",
+    );
+    src.push_str(
+        "  property valid_out_check;\n    @(posedge clk) disable iff (!rst_n)\n    end_cnt |-> ##1 valid_out == 1'b1;\n  endproperty\n  valid_out_check_assertion: assert property (valid_out_check) else $error(\"valid_out should be high when end_cnt high\");\n",
+    );
+    src.push_str(
+        "  property valid_out_only_after_end;\n    @(posedge clk) disable iff (!rst_n)\n    valid_out |-> $past(end_cnt);\n  endproperty\n  a_only_after: assert property (valid_out_only_after_end) else $error(\"valid_out without end_cnt\");\n",
+    );
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("valid_in", "input sample strobe"),
+            ("in*", &format!("{w}-bit data lanes")),
+            ("sum*", "running 4-sample accumulators"),
+            ("valid_out", "pulses one cycle after every 4th valid input"),
+        ],
+        &format!(
+            "Accumulates {lanes} data lane(s) over groups of 4 valid samples; \
+             valid_out pulses for one cycle when a group completes (end_cnt)."
+        ),
+    );
+    (src, spec)
+}
+
+/// A D-deep shift-register pipeline with per-tap follow properties.
+pub fn shift_chain(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, String) {
+    let depth = (hint.stages + 1).clamp(2, 20);
+    let w = hint.width.clamp(1, 16);
+    let _ = rng;
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        "module {name} (\n  input clk,\n  input rst_n,\n  input [{}:0] din,\n  output [{}:0] dout\n);\n",
+        w - 1,
+        w - 1
+    );
+    for k in 0..depth {
+        let _ = write!(src, "  reg [{}:0] s{k};\n", w - 1);
+    }
+    src.push_str("  always @(posedge clk or negedge rst_n) begin\n");
+    let _ = write!(src, "    if (!rst_n) begin\n");
+    for k in 0..depth {
+        let _ = write!(src, "      s{k} <= {w}'d0;\n");
+    }
+    src.push_str("    end else begin\n      s0 <= din;\n");
+    for k in 1..depth {
+        let _ = write!(src, "      s{k} <= s{};\n", k - 1);
+    }
+    src.push_str("    end\n  end\n");
+    let _ = write!(src, "  assign dout = s{};\n", depth - 1);
+    // Follow properties on the first tap and every third tap.
+    let _ = write!(
+        src,
+        "  property p_tap0;\n    @(posedge clk) disable iff (!rst_n)\n    1'b1 |-> ##1 s0 == $past(din);\n  endproperty\n  a_tap0: assert property (p_tap0) else $error(\"s0 must capture din\");\n"
+    );
+    for k in (1..depth).step_by(3) {
+        let _ = write!(
+            src,
+            "  property p_tap{k};\n    @(posedge clk) disable iff (!rst_n)\n    1'b1 |-> ##1 s{k} == $past(s{});\n  endproperty\n  a_tap{k}: assert property (p_tap{k}) else $error(\"s{k} must follow s{}\");\n",
+            k - 1,
+            k - 1
+        );
+    }
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("din", &format!("{w}-bit pipeline input")),
+            ("dout", &format!("{w}-bit output, din delayed {depth} cycles")),
+        ],
+        &format!("A {depth}-stage, {w}-bit shift-register pipeline; each stage captures the previous stage every clock."),
+    );
+    (src, spec)
+}
+
+/// Rising-edge detector lanes producing one-cycle pulses.
+pub fn edge_detector(name: &str, hint: SizeHint) -> (String, String) {
+    let lanes = hint.stages.clamp(1, 12);
+    let mut src = String::new();
+    let _ = write!(src, "module {name} (\n  input clk,\n  input rst_n,\n  input [{}:0] din", lanes - 1);
+    for k in 0..lanes {
+        let _ = write!(src, ",\n  output pulse{k}");
+    }
+    src.push_str("\n);\n");
+    for k in 0..lanes {
+        let _ = write!(src, "  reg prev{k};\n");
+        let _ = write!(
+            src,
+            "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) prev{k} <= 1'b0;\n    else prev{k} <= din[{k}];\n  end\n"
+        );
+        let _ = write!(src, "  assign pulse{k} = din[{k}] & ~prev{k};\n");
+        let _ = write!(
+            src,
+            "  property p_edge{k};\n    @(posedge clk) disable iff (!rst_n)\n    pulse{k} |-> din[{k}] && !$past(din[{k}]);\n  endproperty\n  a_edge{k}: assert property (p_edge{k}) else $error(\"pulse{k} must mark a rising edge\");\n"
+        );
+    }
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("din", "monitored level inputs"),
+            ("pulse*", "one-cycle pulse on each rising edge of din[k]"),
+        ],
+        &format!("{lanes} rising-edge detectors; pulse k is high exactly when din[k] rose this cycle."),
+    );
+    (src, spec)
+}
+
+/// Running parity tracker over a data input.
+pub fn parity(name: &str, hint: SizeHint) -> (String, String) {
+    let lanes = hint.stages.clamp(1, 12);
+    let w = hint.width.clamp(1, 16);
+    let mut src = String::new();
+    let _ = write!(src, "module {name} (\n  input clk,\n  input rst_n");
+    for k in 0..lanes {
+        let _ = write!(src, ",\n  input [{}:0] d{k},\n  output reg par{k}", w - 1);
+    }
+    src.push_str("\n);\n");
+    for k in 0..lanes {
+        let _ = write!(
+            src,
+            "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) par{k} <= 1'b0;\n    else par{k} <= par{k} ^ (^d{k});\n  end\n"
+        );
+        let _ = write!(
+            src,
+            "  property p_par{k};\n    @(posedge clk) disable iff (!rst_n)\n    1'b1 |-> ##1 par{k} == ($past(par{k}) ^ (^$past(d{k})));\n  endproperty\n  a_par{k}: assert property (p_par{k}) else $error(\"par{k} must track running parity\");\n"
+        );
+    }
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("d*", &format!("{w}-bit data words")),
+            ("par*", "running parity of all words seen on lane k"),
+        ],
+        &format!("{lanes} running-parity trackers; each cycle lane k XORs the reduction parity of d{{k}} into par{{k}}."),
+    );
+    (src, spec)
+}
+
+/// FIFO credit controller: occupancy counter with full/empty flags.
+pub fn fifo_ctrl(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, String) {
+    let lanes = hint.stages.clamp(1, 8);
+    let cw = 4u32;
+    let depth = rng.gen_range(5..=12u64);
+    let mut src = String::new();
+    let _ = write!(src, "module {name} (\n  input clk,\n  input rst_n");
+    for k in 0..lanes {
+        let _ = write!(
+            src,
+            ",\n  input push{k},\n  input pop{k},\n  output full{k},\n  output empty{k},\n  output reg [{}:0] count{k}",
+            cw - 1
+        );
+    }
+    src.push_str("\n);\n");
+    for k in 0..lanes {
+        let _ = write!(src, "  wire do_push{k};\n  wire do_pop{k};\n");
+        let _ = write!(src, "  assign full{k} = count{k} == {cw}'d{depth};\n");
+        let _ = write!(src, "  assign empty{k} = count{k} == {cw}'d0;\n");
+        let _ = write!(src, "  assign do_push{k} = push{k} && !full{k};\n");
+        let _ = write!(src, "  assign do_pop{k} = pop{k} && !empty{k};\n");
+        let _ = write!(
+            src,
+            "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) count{k} <= {cw}'d0;\n    else if (do_push{k} && !do_pop{k}) count{k} <= count{k} + {cw}'d1;\n    else if (do_pop{k} && !do_push{k}) count{k} <= count{k} - {cw}'d1;\n  end\n"
+        );
+        let _ = write!(
+            src,
+            "  property p_push{k};\n    @(posedge clk) disable iff (!rst_n)\n    do_push{k} && !do_pop{k} |-> ##1 count{k} == $past(count{k}) + {cw}'d1;\n  endproperty\n  a_push{k}: assert property (p_push{k}) else $error(\"push must raise occupancy\");\n"
+        );
+        let _ = write!(
+            src,
+            "  property p_bound{k};\n    @(posedge clk) disable iff (!rst_n)\n    1'b1 |-> count{k} <= {cw}'d{depth};\n  endproperty\n  a_bound{k}: assert property (p_bound{k}) else $error(\"occupancy above depth\");\n"
+        );
+    }
+    src.push_str("endmodule\n");
+    let spec = spec_header(
+        name,
+        &[
+            ("clk", "clock"),
+            ("rst_n", "active-low asynchronous reset"),
+            ("push*/pop*", "enqueue/dequeue strobes per channel"),
+            ("full*/empty*", "occupancy flags"),
+            ("count*", "channel occupancy"),
+        ],
+        &format!(
+            "{lanes}-channel FIFO credit controller of depth {depth}: occupancy \
+             rises on accepted push, falls on accepted pop, and never exceeds the depth."
+        ),
+    );
+    (src, spec)
+}

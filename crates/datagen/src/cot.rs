@@ -1,0 +1,211 @@
+//! Stage 3: chain-of-thought generation and validation.
+//!
+//! The paper prompts GPT-4 with spec, buggy code, logs and bug location and
+//! asks for a reasoning chain, then validates the chain against the golden
+//! solution (74.55% of chains survived). Our substitute renders the chain
+//! deterministically from the same evidence — the failing assertion, the
+//! cone of influence, and the diff — and passes it through an *error
+//! channel* that corrupts a configurable fraction of drafts (pointing at a
+//! plausible-but-wrong line), so the validation gate exercises the same
+//! code path and discards a comparable fraction.
+
+use crate::dataset::SvaBugEntry;
+use asv_verilog::graph::DepGraph;
+use asv_verilog::parse;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A CoT draft before validation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CotDraft {
+    /// The line the chain concludes is buggy.
+    pub concluded_line_no: u32,
+    /// The fix the chain concludes.
+    pub concluded_fix: String,
+    /// The rendered reasoning text.
+    pub text: String,
+}
+
+/// Stage-3 configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CotGen {
+    /// Fraction of drafts corrupted by the error channel (the paper
+    /// observed 1 − 0.7455 invalid chains).
+    pub error_rate: f64,
+}
+
+impl Default for CotGen {
+    fn default() -> Self {
+        CotGen { error_rate: 0.2545 }
+    }
+}
+
+impl CotGen {
+    /// Creates a generator with the paper's observed error rate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drafts a chain of thought for an entry. The draft walks the actual
+    /// localisation evidence; the error channel may corrupt its conclusion.
+    pub fn draft(&self, entry: &SvaBugEntry, rng: &mut StdRng) -> CotDraft {
+        let corrupt = rng.gen_bool(self.error_rate.clamp(0.0, 1.0));
+        let (line_no, fix) = if corrupt {
+            // A plausible wrong conclusion: a different line of the source.
+            let lines: Vec<&str> = entry.buggy_source.lines().collect();
+            let alt = pick_other_line(&lines, entry.line_no, rng);
+            (alt.0, alt.1)
+        } else {
+            (entry.line_no, entry.fixed_line.clone())
+        };
+        let text = self.render(entry, line_no, &fix);
+        CotDraft {
+            concluded_line_no: line_no,
+            concluded_fix: fix,
+            text,
+        }
+    }
+
+    /// Validates a draft against the golden solution, exactly as the
+    /// paper's script compares GPT-4's output with the golden fix: the
+    /// concluded line and fix must both match.
+    pub fn validate(&self, entry: &SvaBugEntry, draft: &CotDraft) -> bool {
+        draft.concluded_line_no == entry.line_no && draft.concluded_fix == entry.fixed_line
+    }
+
+    /// Drafts and validates, returning the chain only when correct — the
+    /// value stored in `SvaBugEntry::cot`.
+    pub fn generate(&self, entry: &SvaBugEntry, rng: &mut StdRng) -> Option<String> {
+        let draft = self.draft(entry, rng);
+        self.validate(entry, &draft).then_some(draft.text)
+    }
+
+    fn render(&self, entry: &SvaBugEntry, line_no: u32, fix: &str) -> String {
+        let mut steps: Vec<String> = Vec::new();
+        steps.push(format!(
+            "The simulation log reports: {}.",
+            entry.logs.first().map(String::as_str).unwrap_or("an assertion failure")
+        ));
+        // Cone-of-influence evidence from the real dependency graph.
+        if let Ok(unit) = parse(&entry.buggy_source) {
+            let module = &unit.modules[0];
+            let graph = DepGraph::build(module);
+            let mut observed: Vec<String> = Vec::new();
+            for p in module.properties() {
+                observed.extend(p.body.idents());
+            }
+            observed.sort();
+            observed.dedup();
+            if !observed.is_empty() {
+                let cone = graph.cone_of_influence(observed.iter().map(String::as_str));
+                steps.push(format!(
+                    "The failing assertion observes {}; its cone of influence covers {}.",
+                    observed.join(", "),
+                    cone.into_iter().collect::<Vec<_>>().join(", ")
+                ));
+            }
+        }
+        let buggy = entry
+            .buggy_source
+            .lines()
+            .nth(line_no as usize - 1)
+            .unwrap_or("")
+            .trim();
+        steps.push(format!(
+            "Within that cone, line {line_no} (`{buggy}`) drives the checked behaviour \
+             and disagrees with the specification."
+        ));
+        steps.push(format!("Replacing it with `{fix}` restores the intended logic."));
+        steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{}. {s}", i + 1))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn pick_other_line(lines: &[&str], avoid: u32, rng: &mut StdRng) -> (u32, String) {
+    let candidates: Vec<u32> = (1..=lines.len() as u32)
+        .filter(|&n| {
+            n != avoid
+                && lines
+                    .get(n as usize - 1)
+                    .map(|l| l.trim_end().ends_with(';') && !l.contains("property"))
+                    .unwrap_or(false)
+        })
+        .collect();
+    if candidates.is_empty() {
+        return (avoid.saturating_add(1), "// no fix".to_string());
+    }
+    let n = candidates[rng.gen_range(0..candidates.len())];
+    (n, lines[n as usize - 1].trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LengthBin;
+    use asv_mutation::kinds::{BugClass, SyntacticKind};
+    use rand::SeedableRng;
+
+    fn entry() -> SvaBugEntry {
+        let buggy_source = "module m (\n  input clk,\n  input a,\n  output reg y\n);\n  always @(posedge clk) y <= !a;\n  property p;\n    @(posedge clk)\n    a |-> ##1 y;\n  endproperty\n  chk: assert property (p) else $error(\"y must follow a\");\nendmodule\n".to_string();
+        SvaBugEntry {
+            module_name: "m".into(),
+            spec: "y follows a".into(),
+            golden_source: buggy_source.replace("!a", "a"),
+            buggy_source,
+            logs: vec!["failed assertion m.chk at cycle 4: y must follow a".into()],
+            line_no: 6,
+            buggy_line: "always @(posedge clk) y <= !a;".into(),
+            fixed_line: "always @(posedge clk) y <= a;".into(),
+            class: BugClass {
+                syntactic: SyntacticKind::Op,
+                cond: false,
+                direct: Some(true),
+            },
+            length_bin: LengthBin::B50,
+            cot: None,
+        }
+    }
+
+    #[test]
+    fn clean_drafts_validate_and_cite_evidence() {
+        let gen = CotGen { error_rate: 0.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = entry();
+        let draft = gen.draft(&e, &mut rng);
+        assert!(gen.validate(&e, &draft));
+        assert!(draft.text.contains("failed assertion m.chk"));
+        assert!(draft.text.contains("cone of influence"));
+        assert!(draft.text.contains("line 6"));
+    }
+
+    #[test]
+    fn corrupted_drafts_fail_validation() {
+        let gen = CotGen { error_rate: 1.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = entry();
+        let draft = gen.draft(&e, &mut rng);
+        assert!(!gen.validate(&e, &draft));
+        assert!(gen.generate(&e, &mut rng).is_none());
+    }
+
+    #[test]
+    fn survival_rate_tracks_error_rate() {
+        let gen = CotGen::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = entry();
+        let n = 2000;
+        let kept = (0..n)
+            .filter(|_| gen.generate(&e, &mut rng).is_some())
+            .count();
+        let rate = kept as f64 / n as f64;
+        assert!(
+            (rate - 0.7455).abs() < 0.04,
+            "survival rate {rate} far from the paper's 74.55%"
+        );
+    }
+}

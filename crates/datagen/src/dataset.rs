@@ -1,0 +1,344 @@
+//! Dataset entry types and the module-name train/test split.
+//!
+//! Mirrors the three datasets of the paper's Fig. 2: *Verilog-PT*
+//! (pretraining text), *Verilog-Bug* (bugs that did not trip any SVA) and
+//! *SVA-Bug* (assertion-failure repair instances), plus the paper's length
+//! bins and the 90/10 module-name split used to carve out SVA-Eval.
+
+use asv_mutation::kinds::BugClass;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The paper's five code-length bins (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LengthBin {
+    /// (0, 50] lines.
+    B50,
+    /// (50, 100] lines.
+    B100,
+    /// (100, 150] lines.
+    B150,
+    /// (150, 200] lines.
+    B200,
+    /// (200, +∞) lines.
+    B200Plus,
+}
+
+impl LengthBin {
+    /// All bins in Table II order.
+    pub const ALL: [LengthBin; 5] = [
+        LengthBin::B50,
+        LengthBin::B100,
+        LengthBin::B150,
+        LengthBin::B200,
+        LengthBin::B200Plus,
+    ];
+
+    /// Classifies a line count.
+    pub fn of_lines(lines: usize) -> Self {
+        match lines {
+            0..=50 => LengthBin::B50,
+            51..=100 => LengthBin::B100,
+            101..=150 => LengthBin::B150,
+            151..=200 => LengthBin::B200,
+            _ => LengthBin::B200Plus,
+        }
+    }
+
+    /// The paper's interval label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LengthBin::B50 => "(0, 50]",
+            LengthBin::B100 => "(50, 100]",
+            LengthBin::B150 => "(100, 150]",
+            LengthBin::B200 => "(150, 200]",
+            LengthBin::B200Plus => "(200, +inf)",
+        }
+    }
+}
+
+impl fmt::Display for LengthBin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One pretraining entry: code text with spec and (for compile failures)
+/// a diagnostic analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerilogPtEntry {
+    /// Module name (or a synthetic id for unparseable text).
+    pub name: String,
+    /// The code text.
+    pub code: String,
+    /// The generated specification.
+    pub spec: String,
+    /// Compiler analysis for code that failed the syntax check.
+    pub analysis: Option<String>,
+}
+
+impl VerilogPtEntry {
+    /// Renders the entry as a single pretraining text blob (the dataset (a)
+    /// format of the paper's Fig. 2).
+    pub fn to_text(&self) -> String {
+        match &self.analysis {
+            Some(a) => format!(
+                "The following Verilog code failed to compile. The specification is:\n{}\nCode:\n{}\nThe failure may have been caused by: {}\n",
+                self.spec, self.code, a
+            ),
+            None => format!(
+                "Specification:\n{}\nCode:\n{}\n",
+                self.spec, self.code
+            ),
+        }
+    }
+}
+
+/// One Verilog-Bug entry: a bug that did not trigger any assertion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerilogBugEntry {
+    /// Module name.
+    pub module_name: String,
+    /// Specification text.
+    pub spec: String,
+    /// Buggy source (canonical rendering).
+    pub buggy_source: String,
+    /// 1-based buggy line number.
+    pub line_no: u32,
+    /// Buggy line text.
+    pub buggy_line: String,
+    /// Correct line text (the repair plan's answer).
+    pub fixed_line: String,
+}
+
+/// One SVA-Bug / SVA-Eval entry: an assertion-failure repair instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvaBugEntry {
+    /// Module name (the split key).
+    pub module_name: String,
+    /// Specification text.
+    pub spec: String,
+    /// Buggy source with SVAs embedded (canonical rendering).
+    pub buggy_source: String,
+    /// Golden source (held out from the model; used for scoring).
+    pub golden_source: String,
+    /// Assertion failure logs from the verifier.
+    pub logs: Vec<String>,
+    /// 1-based buggy line number in the canonical rendering.
+    pub line_no: u32,
+    /// Buggy line text.
+    pub buggy_line: String,
+    /// Correct line text.
+    pub fixed_line: String,
+    /// Table I classification (with `direct` resolved).
+    pub class: BugClass,
+    /// Code-length bin of the buggy source.
+    pub length_bin: LengthBin,
+    /// Validated chain-of-thought, if Stage 3 produced a correct one.
+    pub cot: Option<String>,
+}
+
+impl SvaBugEntry {
+    /// Renders the model input ("Question") exactly as Fig. 2 dataset (c):
+    /// buggy SV + logs + spec (+ the `step by step` cue when a CoT exists).
+    pub fn question(&self) -> String {
+        let cue = if self.cot.is_some() {
+            " Please solve it step by step."
+        } else {
+            ""
+        };
+        format!(
+            "There is a buggy SystemVerilog design that triggers assertions.\nLogs:\n{}\nThe specification is:\n{}\nCode:\n{}\nPlease give me a solution.{}",
+            self.logs.join("\n"),
+            self.spec,
+            self.buggy_source,
+            cue
+        )
+    }
+
+    /// Renders the golden "Answer": buggy line and corrected code, plus the
+    /// CoT when validated.
+    pub fn answer(&self) -> String {
+        let mut s = format!(
+            "Buggy line {}: {}\nFixed line: {}\n",
+            self.line_no, self.buggy_line, self.fixed_line
+        );
+        if let Some(cot) = &self.cot {
+            s.push_str("Reasoning:\n");
+            s.push_str(cot);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// A train/test split of SVA-Bug entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    /// Training portion (~90% of module names per length bin).
+    pub train: Vec<SvaBugEntry>,
+    /// Held-out portion (SVA-Eval-Machine).
+    pub test: Vec<SvaBugEntry>,
+}
+
+/// Splits entries by *module name* within each length bin, as the paper
+/// prescribes: bins are formed first, unique module names enumerated per
+/// bin, and 90% of names (uniformly, seeded) go to training. All entries
+/// of a module land on the same side, so train and test never share code.
+pub fn split_by_module(entries: Vec<SvaBugEntry>, train_frac: f64, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Bin -> unique module names (deterministic order).
+    let mut by_bin: BTreeMap<LengthBin, Vec<String>> = BTreeMap::new();
+    for e in &entries {
+        let names = by_bin.entry(e.length_bin).or_default();
+        if !names.contains(&e.module_name) {
+            names.push(e.module_name.clone());
+        }
+    }
+    let mut train_names: Vec<String> = Vec::new();
+    for (_bin, mut names) in by_bin {
+        names.shuffle(&mut rng);
+        let k = ((names.len() as f64) * train_frac).round() as usize;
+        // At least one name on each side when the bin has ≥ 2 modules.
+        let k = if names.len() >= 2 {
+            k.clamp(1, names.len() - 1)
+        } else {
+            k.min(names.len())
+        };
+        train_names.extend(names.into_iter().take(k));
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for e in entries {
+        if train_names.contains(&e.module_name) {
+            train.push(e);
+        } else {
+            test.push(e);
+        }
+    }
+    Split { train, test }
+}
+
+/// Per-category instance counts (the Table II rows).
+pub fn count_by_category(entries: &[SvaBugEntry]) -> BTreeMap<asv_mutation::BugCategory, usize> {
+    let mut m = BTreeMap::new();
+    for e in entries {
+        for c in e.class.categories() {
+            *m.entry(c).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+/// Per-length-bin instance counts (the Table II columns).
+pub fn count_by_bin(entries: &[SvaBugEntry]) -> BTreeMap<LengthBin, usize> {
+    let mut m = BTreeMap::new();
+    for e in entries {
+        *m.entry(e.length_bin).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_mutation::kinds::SyntacticKind;
+
+    fn entry(module: &str, lines: usize) -> SvaBugEntry {
+        SvaBugEntry {
+            module_name: module.to_string(),
+            spec: "spec".into(),
+            buggy_source: "x\n".repeat(lines),
+            golden_source: String::new(),
+            logs: vec!["failed assertion m.p at cycle 3".into()],
+            line_no: 1,
+            buggy_line: "bad".into(),
+            fixed_line: "good".into(),
+            class: BugClass {
+                syntactic: SyntacticKind::Op,
+                cond: false,
+                direct: Some(true),
+            },
+            length_bin: LengthBin::of_lines(lines),
+            cot: None,
+        }
+    }
+
+    #[test]
+    fn length_bins_match_paper_intervals() {
+        assert_eq!(LengthBin::of_lines(1), LengthBin::B50);
+        assert_eq!(LengthBin::of_lines(50), LengthBin::B50);
+        assert_eq!(LengthBin::of_lines(51), LengthBin::B100);
+        assert_eq!(LengthBin::of_lines(150), LengthBin::B150);
+        assert_eq!(LengthBin::of_lines(151), LengthBin::B200);
+        assert_eq!(LengthBin::of_lines(201), LengthBin::B200Plus);
+    }
+
+    #[test]
+    fn split_keeps_modules_on_one_side() {
+        let mut entries = Vec::new();
+        for m in 0..30 {
+            for _ in 0..4 {
+                entries.push(entry(&format!("mod_{m}"), 20 + m));
+            }
+        }
+        let split = split_by_module(entries, 0.9, 42);
+        let train_names: std::collections::BTreeSet<_> =
+            split.train.iter().map(|e| &e.module_name).collect();
+        let test_names: std::collections::BTreeSet<_> =
+            split.test.iter().map(|e| &e.module_name).collect();
+        assert!(train_names.is_disjoint(&test_names), "module leakage");
+        assert!(!split.test.is_empty());
+        assert!(split.train.len() > split.test.len());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let entries: Vec<_> = (0..20).map(|m| entry(&format!("m{m}"), 10 + m)).collect();
+        let a = split_by_module(entries.clone(), 0.9, 7);
+        let b = split_by_module(entries, 0.9, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn question_includes_step_by_step_only_with_cot() {
+        let mut e = entry("m", 10);
+        assert!(!e.question().contains("step by step"));
+        e.cot = Some("1. look at the log".into());
+        assert!(e.question().contains("step by step"));
+        assert!(e.answer().contains("Reasoning"));
+    }
+
+    #[test]
+    fn category_counts_overlap_as_in_table2() {
+        let entries = vec![entry("a", 10), entry("b", 10)];
+        let counts = count_by_category(&entries);
+        // Each entry contributes to Direct, Op and Non_cond.
+        assert_eq!(counts[&asv_mutation::BugCategory::Direct], 2);
+        assert_eq!(counts[&asv_mutation::BugCategory::Op], 2);
+        assert_eq!(counts[&asv_mutation::BugCategory::NonCond], 2);
+        let total: usize = counts.values().sum();
+        assert!(total > entries.len(), "categories overlap by design");
+    }
+
+    #[test]
+    fn pt_entry_text_mentions_analysis_when_present() {
+        let e = VerilogPtEntry {
+            name: "m".into(),
+            code: "module m; endmodule".into(),
+            spec: "a spec".into(),
+            analysis: Some("missing semicolon".into()),
+        };
+        assert!(e.to_text().contains("failed to compile"));
+        assert!(e.to_text().contains("missing semicolon"));
+        let ok = VerilogPtEntry {
+            analysis: None,
+            ..e.clone()
+        };
+        assert!(!ok.to_text().contains("failed to compile"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Stage 1: filtering and syntax checking (paper Fig. 2-I, step 1).
+//!
+//! Raw corpus items are filtered on the paper's three criteria (missing
+//! `module`/`endmodule`, no functional logic, duplicates), then syntax-
+//! checked with the in-tree compiler. Failures — with their diagnostic
+//! analysis standing in for GPT-4's failure explanations — become
+//! Verilog-PT entries; successes move on to Stage 2.
+
+use crate::dataset::VerilogPtEntry;
+use asv_verilog::ast::Item;
+use asv_verilog::{compile, SourceFile};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A raw corpus item entering the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawItem {
+    /// Best-effort name (module name or synthetic id).
+    pub name: String,
+    /// Code text (possibly broken).
+    pub code: String,
+    /// Specification text.
+    pub spec: String,
+}
+
+/// Why an item was dropped by the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Lacks `module` or `endmodule`.
+    NotAModule,
+    /// Only declarations/constant assignments, no functional logic.
+    NoFunctionalLogic,
+    /// Exact duplicate of an earlier item.
+    Duplicate,
+}
+
+/// Output of Stage 1.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stage1Output {
+    /// Items that compiled; they continue to Stage 2.
+    pub compiled: Vec<RawItem>,
+    /// The Verilog-PT dataset: compile failures with analysis plus the
+    /// spec'd code of successes.
+    pub verilog_pt: Vec<VerilogPtEntry>,
+    /// Count of items dropped per reason.
+    pub dropped: Vec<(RawItem, DropReason)>,
+}
+
+/// Runs Stage 1 over raw items.
+pub fn run(items: Vec<RawItem>) -> Stage1Output {
+    let mut out = Stage1Output::default();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for item in items {
+        if !(item.code.contains("module") && item.code.contains("endmodule")) {
+            out.dropped.push((item, DropReason::NotAModule));
+            continue;
+        }
+        if !seen.insert(item.code.clone()) {
+            out.dropped.push((item, DropReason::Duplicate));
+            continue;
+        }
+        match compile(&item.code) {
+            Ok(design) => {
+                if !has_functional_logic(&design.module) {
+                    out.dropped.push((item, DropReason::NoFunctionalLogic));
+                    continue;
+                }
+                out.verilog_pt.push(VerilogPtEntry {
+                    name: item.name.clone(),
+                    code: item.code.clone(),
+                    spec: item.spec.clone(),
+                    analysis: None,
+                });
+                out.compiled.push(item);
+            }
+            Err(e) => {
+                let src = SourceFile::new(item.code.clone());
+                out.verilog_pt.push(VerilogPtEntry {
+                    name: item.name.clone(),
+                    code: item.code.clone(),
+                    spec: item.spec.clone(),
+                    analysis: Some(e.render(&src)),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The paper's "no functional logic" criterion: at least one always block,
+/// or a continuous assign whose right-hand side is not a bare constant.
+fn has_functional_logic(module: &asv_verilog::ast::Module) -> bool {
+    module.items.iter().any(|i| match i {
+        Item::Always(_) => true,
+        Item::Assign(a) => !matches!(a.rhs, asv_verilog::ast::Expr::Number { .. }),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(name: &str, code: &str) -> RawItem {
+        RawItem {
+            name: name.into(),
+            code: code.into(),
+            spec: format!("spec for {name}"),
+        }
+    }
+
+    #[test]
+    fn drops_non_modules() {
+        let out = run(vec![item("x", "assign y = a & b;")]);
+        assert_eq!(out.dropped.len(), 1);
+        assert_eq!(out.dropped[0].1, DropReason::NotAModule);
+        assert!(out.compiled.is_empty());
+    }
+
+    #[test]
+    fn drops_duplicates() {
+        let code = "module m(input a, output y); assign y = ~a; endmodule";
+        let out = run(vec![item("a", code), item("b", code)]);
+        assert_eq!(out.compiled.len(), 1);
+        assert_eq!(out.dropped.len(), 1);
+        assert_eq!(out.dropped[0].1, DropReason::Duplicate);
+    }
+
+    #[test]
+    fn drops_constant_only_modules() {
+        let out = run(vec![item(
+            "c",
+            "module m(output y); assign y = 1'b0; endmodule",
+        )]);
+        assert_eq!(out.dropped.len(), 1);
+        assert_eq!(out.dropped[0].1, DropReason::NoFunctionalLogic);
+    }
+
+    #[test]
+    fn failures_get_analysis_successes_do_not() {
+        let good = item("g", "module m(input a, output y); assign y = ~a; endmodule");
+        let bad = item("b", "module m(input a, output y); assign y = ~ghost; endmodule");
+        let out = run(vec![good, bad]);
+        assert_eq!(out.compiled.len(), 1);
+        assert_eq!(out.verilog_pt.len(), 2);
+        let g = out.verilog_pt.iter().find(|e| e.name == "g").expect("g");
+        let b = out.verilog_pt.iter().find(|e| e.name == "b").expect("b");
+        assert!(g.analysis.is_none());
+        let analysis = b.analysis.as_deref().expect("analysis");
+        assert!(analysis.contains("ghost"), "got: {analysis}");
+    }
+
+    #[test]
+    fn syntax_errors_also_land_in_pt() {
+        let out = run(vec![item(
+            "s",
+            "module m(input a, output y) assign y = a; endmodule",
+        )]);
+        assert_eq!(out.compiled.len(), 0);
+        assert_eq!(out.verilog_pt.len(), 1);
+        assert!(out.verilog_pt[0].analysis.is_some());
+    }
+}

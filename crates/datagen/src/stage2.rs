@@ -1,0 +1,232 @@
+//! Stage 2: key-component generation and validation (paper Fig. 2-I).
+//!
+//! For each compiled design: (1) the embedded/mined SVAs are proven valid
+//! on the golden code with the bounded verifier; (2) random bugs are drawn
+//! from the mutation engine; (3) each bug is injected, re-compiled (syntax
+//! errors introduced by generation are discarded, as in the paper) and
+//! verified. Bugs that trip an assertion become SVA-Bug instances carrying
+//! the verifier's failure logs; bugs that survive all assertions become
+//! Verilog-Bug instances.
+
+use crate::corpus::GeneratedDesign;
+use crate::dataset::{LengthBin, SvaBugEntry, VerilogBugEntry};
+use asv_mutation::inject::{apply, classify_direct, enumerate};
+use asv_sva::bmc::{Verdict, Verifier};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Stage-2 configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Stage2 {
+    /// Maximum bugs sampled per design.
+    pub bugs_per_design: usize,
+    /// Seed for bug sampling.
+    pub seed: u64,
+    /// Verifier used for both SVA validation and bug confirmation.
+    pub verifier: Verifier,
+}
+
+impl Default for Stage2 {
+    fn default() -> Self {
+        Stage2 {
+            bugs_per_design: 8,
+            seed: 0x57A6_E002,
+            verifier: Verifier::default(),
+        }
+    }
+}
+
+/// Output of Stage 2 for a corpus.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stage2Output {
+    /// Assertion-failure instances (before the train/test split).
+    pub sva_bug: Vec<SvaBugEntry>,
+    /// Bugs not caught by any SVA.
+    pub verilog_bug: Vec<VerilogBugEntry>,
+    /// Designs whose golden SVAs failed validation (generator bugs; should
+    /// stay empty).
+    pub rejected_designs: Vec<String>,
+    /// Injections discarded because the mutated code no longer compiles.
+    pub discarded_syntax: usize,
+}
+
+impl Stage2 {
+    /// Runs Stage 2 over compiled designs.
+    pub fn run(&self, designs: &[GeneratedDesign]) -> Stage2Output {
+        let mut out = Stage2Output::default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for gd in designs {
+            self.run_one(gd, &mut rng, &mut out);
+        }
+        out
+    }
+
+    fn run_one(&self, gd: &GeneratedDesign, rng: &mut StdRng, out: &mut Stage2Output) {
+        let Ok(golden) = asv_verilog::compile(&gd.source) else {
+            out.rejected_designs.push(gd.name.clone());
+            return;
+        };
+        // SVA validation on the golden design (SymbiYosys step 1).
+        match self.verifier.check(&golden) {
+            Ok(Verdict::Holds { .. }) => {}
+            _ => {
+                out.rejected_designs.push(gd.name.clone());
+                return;
+            }
+        }
+        let mut mutations = enumerate(&golden);
+        mutations.shuffle(rng);
+        mutations.truncate(self.bugs_per_design);
+        for m in &mutations {
+            let Ok(injection) = apply(&golden, m) else {
+                continue;
+            };
+            // Compiler gate (SymbiYosys step 2 pre-check): bugs that break
+            // elaboration are discarded, mirroring the paper's removal of
+            // syntax errors introduced by generation.
+            let Ok(buggy) = asv_verilog::compile(&injection.buggy_source) else {
+                out.discarded_syntax += 1;
+                continue;
+            };
+            match self.verifier.check(&buggy) {
+                Ok(Verdict::Fails(cex)) => {
+                    let mut class = m.class;
+                    class.direct = classify_direct(&golden, m);
+                    out.sva_bug.push(SvaBugEntry {
+                        module_name: gd.name.clone(),
+                        spec: gd.spec.clone(),
+                        length_bin: LengthBin::of_lines(
+                            injection.buggy_source.lines().count(),
+                        ),
+                        buggy_source: injection.buggy_source.clone(),
+                        golden_source: injection.golden_source.clone(),
+                        logs: cex.logs,
+                        line_no: injection.line_no,
+                        buggy_line: injection.buggy_line.clone(),
+                        fixed_line: injection.fixed_line.clone(),
+                        class,
+                        cot: None,
+                    });
+                }
+                Ok(Verdict::Holds { .. }) => {
+                    // Functional bug below SVA coverage: Verilog-Bug.
+                    out.verilog_bug.push(VerilogBugEntry {
+                        module_name: gd.name.clone(),
+                        spec: gd.spec.clone(),
+                        buggy_source: injection.buggy_source.clone(),
+                        line_no: injection.line_no,
+                        buggy_line: injection.buggy_line.clone(),
+                        fixed_line: injection.fixed_line.clone(),
+                    });
+                }
+                _ => {
+                    // Simulation divergence (e.g. a mutation created a
+                    // combinational loop): treat like a syntax reject.
+                    out.discarded_syntax += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusGen;
+    use asv_mutation::BugCategory;
+
+    fn small_verifier() -> Verifier {
+        Verifier {
+            depth: 8,
+            random_runs: 12,
+            exhaustive_limit: 256,
+            ..Verifier::default()
+        }
+    }
+
+    #[test]
+    fn produces_both_dataset_kinds() {
+        let designs = CorpusGen::new(21).generate(12);
+        let stage2 = Stage2 {
+            bugs_per_design: 6,
+            seed: 1,
+            verifier: small_verifier(),
+        };
+        let out = stage2.run(&designs);
+        assert!(out.rejected_designs.is_empty(), "{:?}", out.rejected_designs);
+        assert!(
+            out.sva_bug.len() >= 10,
+            "too few SVA-Bug instances: {}",
+            out.sva_bug.len()
+        );
+        // Some bugs escape SVA coverage (the Verilog-Bug stream).
+        assert!(!out.verilog_bug.is_empty(), "expected uncaught bugs");
+    }
+
+    #[test]
+    fn sva_bug_entries_are_well_formed() {
+        let designs = CorpusGen::new(22).generate(6);
+        let out = Stage2 {
+            bugs_per_design: 5,
+            seed: 2,
+            verifier: small_verifier(),
+        }
+        .run(&designs);
+        for e in &out.sva_bug {
+            assert!(!e.logs.is_empty(), "logs required");
+            assert!(e.logs[0].contains("failed assertion"));
+            assert_ne!(e.buggy_line, e.fixed_line);
+            assert!(e.class.direct.is_some(), "direct classification required");
+            // The recorded line number must point at the buggy line.
+            let line = e
+                .buggy_source
+                .lines()
+                .nth(e.line_no as usize - 1)
+                .expect("line in range");
+            assert_eq!(line.trim(), e.buggy_line);
+            // The golden fix differs from the buggy source at that line.
+            let gline = e
+                .golden_source
+                .lines()
+                .nth(e.line_no as usize - 1)
+                .expect("line in range");
+            assert_eq!(gline.trim(), e.fixed_line);
+        }
+    }
+
+    #[test]
+    fn direct_and_indirect_both_occur() {
+        let designs = CorpusGen::new(23).generate(12);
+        let out = Stage2 {
+            bugs_per_design: 8,
+            seed: 3,
+            verifier: small_verifier(),
+        }
+        .run(&designs);
+        let direct = out
+            .sva_bug
+            .iter()
+            .filter(|e| e.class.is(BugCategory::Direct))
+            .count();
+        let indirect = out
+            .sva_bug
+            .iter()
+            .filter(|e| e.class.is(BugCategory::Indirect))
+            .count();
+        assert!(direct > 0, "no Direct bugs");
+        assert!(indirect > 0, "no Indirect bugs");
+    }
+
+    #[test]
+    fn stage2_is_deterministic() {
+        let designs = CorpusGen::new(24).generate(4);
+        let cfg = Stage2 {
+            bugs_per_design: 4,
+            seed: 9,
+            verifier: small_verifier(),
+        };
+        assert_eq!(cfg.run(&designs), cfg.run(&designs));
+    }
+}

@@ -1,0 +1,124 @@
+//! The unbiased pass@k estimator (paper §IV-D).
+//!
+//! `pass@k = E_problems[ 1 − C(n−c, k) / C(n, k) ]` with `n` samples per
+//! problem of which `c` are correct — the estimator of Chen et al. used
+//! throughout the LLM-for-hardware literature.
+
+/// Unbiased per-problem pass@k term.
+///
+/// Computed as `1 − Π_{i=0}^{k−1} (n−c−i)/(n−i)` for numerical stability.
+///
+/// # Panics
+///
+/// Panics if `c > n` or `k > n` (harness bugs, not data).
+pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+    assert!(c <= n, "correct count {c} exceeds samples {n}");
+    assert!(k <= n, "k {k} exceeds samples {n}");
+    if n - c < k {
+        return 1.0;
+    }
+    let mut prod = 1.0;
+    for i in 0..k {
+        prod *= (n - c - i) as f64 / (n - i) as f64;
+    }
+    1.0 - prod
+}
+
+/// Mean pass@k over `(n, c)` pairs. Returns 0 for an empty set.
+pub fn mean_pass_at_k<I: IntoIterator<Item = (usize, usize)>>(cases: I, k: usize) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (n, c) in cases {
+        sum += pass_at_k(n, c, k);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_correct_is_one() {
+        assert_eq!(pass_at_k(20, 20, 1), 1.0);
+        assert_eq!(pass_at_k(20, 20, 5), 1.0);
+    }
+
+    #[test]
+    fn none_correct_is_zero() {
+        assert_eq!(pass_at_k(20, 0, 1), 0.0);
+        assert_eq!(pass_at_k(20, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn pass_at_1_is_fraction_correct() {
+        // For k = 1 the estimator reduces to c/n.
+        for c in 0..=20 {
+            let p = pass_at_k(20, c, 1);
+            assert!((p - c as f64 / 20.0).abs() < 1e-12, "c={c}: {p}");
+        }
+    }
+
+    #[test]
+    fn known_value() {
+        // n=20, c=10, k=5: 1 - C(10,5)/C(20,5) = 1 - 252/15504.
+        let expected = 1.0 - 252.0 / 15504.0;
+        assert!((pass_at_k(20, 10, 5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_over_cases() {
+        let m = mean_pass_at_k([(20, 20), (20, 0)], 1);
+        assert!((m - 0.5).abs() < 1e-12);
+        assert_eq!(mean_pass_at_k(std::iter::empty(), 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds samples")]
+    fn rejects_c_above_n() {
+        let _ = pass_at_k(5, 6, 1);
+    }
+
+    proptest! {
+        /// pass@k is monotone in both c and k, and bounded in [0, 1].
+        #[test]
+        fn monotone_and_bounded(n in 1usize..40, c in 0usize..40, k in 1usize..40) {
+            let c = c.min(n);
+            let k = k.min(n);
+            let p = pass_at_k(n, c, k);
+            prop_assert!((0.0..=1.0).contains(&p));
+            if c + 1 <= n {
+                prop_assert!(pass_at_k(n, c + 1, k) >= p);
+            }
+            if k + 1 <= n {
+                prop_assert!(pass_at_k(n, c, k + 1) >= p);
+            }
+        }
+
+        /// The estimator is exactly the probability that a random size-k
+        /// subset of the n samples contains a correct one (checked by
+        /// exhaustive counting for small n).
+        #[test]
+        fn matches_combinatorial_definition(n in 1usize..12, c in 0usize..12, k in 1usize..12) {
+            let c = c.min(n);
+            let k = k.min(n);
+            // Count subsets of size k avoiding all c correct samples.
+            fn binom(n: usize, k: usize) -> u128 {
+                if k > n { return 0; }
+                let mut r: u128 = 1;
+                for i in 0..k {
+                    r = r * (n - i) as u128 / (i + 1) as u128;
+                }
+                r
+            }
+            let p_expected = 1.0 - binom(n - c, k) as f64 / binom(n, k) as f64;
+            prop_assert!((pass_at_k(n, c, k) - p_expected).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Benchmark runner: drives a repair engine over SVA-Eval and aggregates
+//! pass@k, per-category and per-length-bin results.
+
+use crate::judge::Judge;
+use crate::passk::mean_pass_at_k;
+use asv_datagen::dataset::{LengthBin, SvaBugEntry};
+use asv_mutation::BugCategory;
+use assertsolver_core::{RepairEngine, RepairTask};
+use serde::{Deserialize, Serialize};
+
+/// Evaluation protocol parameters (paper: n = 20, k ∈ {1, 5}, temp 0.2).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Samples per case.
+    pub n: usize,
+    /// Base seed; each case uses `seed + case index`.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            n: 20,
+            seed: 0xE7A1_0001,
+        }
+    }
+}
+
+/// One benchmark case annotated with provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchCase {
+    /// The underlying entry.
+    pub entry: SvaBugEntry,
+    /// True for SVA-Eval-Human cases.
+    pub human: bool,
+}
+
+/// Builds the combined benchmark from machine and human entries.
+pub fn benchmark(machine: &[SvaBugEntry], human: &[SvaBugEntry]) -> Vec<BenchCase> {
+    let mut out: Vec<BenchCase> = machine
+        .iter()
+        .cloned()
+        .map(|entry| BenchCase {
+            entry,
+            human: false,
+        })
+        .collect();
+    out.extend(human.iter().cloned().map(|entry| BenchCase {
+        entry,
+        human: true,
+    }));
+    out
+}
+
+/// Per-case outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Module name.
+    pub module: String,
+    /// Table I categories of the injected bug.
+    pub categories: Vec<BugCategory>,
+    /// Code-length bin.
+    pub bin: LengthBin,
+    /// Human-curated case?
+    pub human: bool,
+    /// Number of effective responses.
+    pub c: usize,
+    /// Number of responses requested.
+    pub n: usize,
+}
+
+/// A full evaluation of one engine over the benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRun {
+    /// Engine display name.
+    pub engine: String,
+    /// Per-case outcomes, in benchmark order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl EvalRun {
+    /// pass@k over all cases.
+    pub fn pass_at(&self, k: usize) -> f64 {
+        mean_pass_at_k(self.cases.iter().map(|c| (c.n, c.c)), k)
+    }
+
+    /// pass@k over cases matching a predicate.
+    pub fn pass_at_where<F: Fn(&CaseResult) -> bool>(&self, k: usize, pred: F) -> f64 {
+        mean_pass_at_k(
+            self.cases.iter().filter(|c| pred(c)).map(|c| (c.n, c.c)),
+            k,
+        )
+    }
+
+    /// pass@k restricted to a bug category.
+    pub fn pass_at_category(&self, k: usize, cat: BugCategory) -> f64 {
+        self.pass_at_where(k, |c| c.categories.contains(&cat))
+    }
+
+    /// pass@k restricted to a length bin.
+    pub fn pass_at_bin(&self, k: usize, bin: LengthBin) -> f64 {
+        self.pass_at_where(k, |c| c.bin == bin)
+    }
+
+    /// pass@k over the machine/human subset.
+    pub fn pass_at_subset(&self, k: usize, human: bool) -> f64 {
+        self.pass_at_where(k, |c| c.human == human)
+    }
+
+    /// Histogram of `c` (correct-out-of-n) — the paper's Fig. 3 series.
+    /// Index `i` counts cases with exactly `i` effective responses.
+    pub fn histogram(&self) -> Vec<usize> {
+        let n = self.cases.iter().map(|c| c.n).max().unwrap_or(0);
+        let mut h = vec![0usize; n + 1];
+        for c in &self.cases {
+            h[c.c] += 1;
+        }
+        h
+    }
+}
+
+/// Evaluates one engine over the benchmark.
+///
+/// Deterministic in `(engine, benchmark, config)`: each case derives its
+/// sampling seed from the config seed and the case index.
+pub fn evaluate(
+    engine: &dyn RepairEngine,
+    benchmark: &[BenchCase],
+    config: &EvalConfig,
+    judge: &mut Judge,
+) -> EvalRun {
+    let mut cases = Vec::with_capacity(benchmark.len());
+    for (i, bc) in benchmark.iter().enumerate() {
+        let task = RepairTask::from(&bc.entry);
+        let responses = engine.respond(&task, config.n, config.seed.wrapping_add(i as u64));
+        let c = judge.count_effective(&bc.entry, &responses);
+        cases.push(CaseResult {
+            module: bc.entry.module_name.clone(),
+            categories: bc.entry.class.categories(),
+            bin: bc.entry.length_bin,
+            human: bc.human,
+            c,
+            n: config.n,
+        });
+    }
+    EvalRun {
+        engine: engine.name().to_string(),
+        cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_datagen::pipeline::{run as run_pipeline, PipelineConfig};
+    use assertsolver_core::prelude::*;
+
+    fn small_eval() -> (Vec<BenchCase>, EvalConfig) {
+        let ds = run_pipeline(&PipelineConfig::quick());
+        let bench: Vec<BenchCase> = benchmark(&ds.sva_eval_machine, &ds.sva_eval_human)
+            .into_iter()
+            .take(12)
+            .collect();
+        (bench, EvalConfig { n: 10, seed: 1 })
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let (bench, cfg) = small_eval();
+        let engine = Solver::new(base_model(&[]));
+        let a = evaluate(&engine, &bench, &cfg, &mut Judge::fast());
+        let b = evaluate(&engine, &bench, &cfg, &mut Judge::fast());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn results_cover_every_case() {
+        let (bench, cfg) = small_eval();
+        let engine = Solver::new(base_model(&[]));
+        let run = evaluate(&engine, &bench, &cfg, &mut Judge::fast());
+        assert_eq!(run.cases.len(), bench.len());
+        for c in &run.cases {
+            assert!(c.c <= c.n);
+            assert!(!c.categories.is_empty());
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_case_count() {
+        let (bench, cfg) = small_eval();
+        let engine = Solver::new(base_model(&[]));
+        let run = evaluate(&engine, &bench, &cfg, &mut Judge::fast());
+        let h = run.histogram();
+        assert_eq!(h.iter().sum::<usize>(), run.cases.len());
+        assert_eq!(h.len(), cfg.n + 1);
+    }
+
+    #[test]
+    fn pass_at_filters_work() {
+        let run = EvalRun {
+            engine: "t".into(),
+            cases: vec![
+                CaseResult {
+                    module: "a".into(),
+                    categories: vec![BugCategory::Direct, BugCategory::Op],
+                    bin: LengthBin::B50,
+                    human: false,
+                    c: 10,
+                    n: 10,
+                },
+                CaseResult {
+                    module: "b".into(),
+                    categories: vec![BugCategory::Indirect, BugCategory::Var],
+                    bin: LengthBin::B100,
+                    human: true,
+                    c: 0,
+                    n: 10,
+                },
+            ],
+        };
+        assert_eq!(run.pass_at(1), 0.5);
+        assert_eq!(run.pass_at_category(1, BugCategory::Direct), 1.0);
+        assert_eq!(run.pass_at_category(1, BugCategory::Var), 0.0);
+        assert_eq!(run.pass_at_bin(1, LengthBin::B50), 1.0);
+        assert_eq!(run.pass_at_subset(1, true), 0.0);
+        assert_eq!(run.pass_at_subset(1, false), 1.0);
+    }
+}

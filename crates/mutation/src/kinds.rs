@@ -1,0 +1,164 @@
+//! Bug taxonomy from Table I of the paper.
+//!
+//! Three orthogonal classifications apply to every injected bug:
+//!
+//! * **syntactic kind** — what was edited: a variable name (`Var`), a
+//!   constant (`Value`), or an operator (`Op`);
+//! * **conditional context** — whether the edit sits inside a conditional
+//!   construct (`Cond`) or not (`Non_cond`);
+//! * **assertion relation** — whether the signal the bug corrupts appears
+//!   directly in the triggered assertion (`Direct`) or only feeds it
+//!   through other logic (`Indirect`).
+//!
+//! These overlap by design (the paper's Table II per-type counts sum to
+//! more than the dataset size), so [`BugClass`] carries all three.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of token the mutation edits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SyntacticKind {
+    /// Incorrect variable name (Table I `Var`).
+    Var,
+    /// Incorrect constant / literal value (Table I `Value`).
+    Value,
+    /// Misused operator, including inserted/dropped negations
+    /// (Table I `Op`).
+    Op,
+}
+
+impl fmt::Display for SyntacticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SyntacticKind::Var => "Var",
+            SyntacticKind::Value => "Value",
+            SyntacticKind::Op => "Op",
+        })
+    }
+}
+
+/// Full bug classification (Table I row membership).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BugClass {
+    /// Syntactic kind of the edit.
+    pub syntactic: SyntacticKind,
+    /// True when the edit is inside an `if`/`case`/ternary condition or
+    /// restructures a conditional.
+    pub cond: bool,
+    /// True when the corrupted signal appears directly in the failing
+    /// assertion; `None` before assertion analysis.
+    pub direct: Option<bool>,
+}
+
+/// The seven Table I category labels a bug can fall under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BugCategory {
+    /// Bug signal appears directly in the assertion.
+    Direct,
+    /// Bug signal reaches the assertion only transitively.
+    Indirect,
+    /// Incorrect variable name or type.
+    Var,
+    /// Incorrect constant / value / width.
+    Value,
+    /// Misuse of operators.
+    Op,
+    /// Bug in a conditional statement.
+    Cond,
+    /// Bug unrelated to conditional statements.
+    NonCond,
+}
+
+impl BugCategory {
+    /// All seven categories in Table I order.
+    pub const ALL: [BugCategory; 7] = [
+        BugCategory::Direct,
+        BugCategory::Indirect,
+        BugCategory::Var,
+        BugCategory::Value,
+        BugCategory::Op,
+        BugCategory::Cond,
+        BugCategory::NonCond,
+    ];
+}
+
+impl fmt::Display for BugCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BugCategory::Direct => "Direct",
+            BugCategory::Indirect => "Indirect",
+            BugCategory::Var => "Var",
+            BugCategory::Value => "Value",
+            BugCategory::Op => "Op",
+            BugCategory::Cond => "Cond",
+            BugCategory::NonCond => "Non_cond",
+        })
+    }
+}
+
+impl BugClass {
+    /// The Table I categories this bug belongs to.
+    pub fn categories(&self) -> Vec<BugCategory> {
+        let mut cats = Vec::with_capacity(3);
+        match self.direct {
+            Some(true) => cats.push(BugCategory::Direct),
+            Some(false) => cats.push(BugCategory::Indirect),
+            None => {}
+        }
+        cats.push(match self.syntactic {
+            SyntacticKind::Var => BugCategory::Var,
+            SyntacticKind::Value => BugCategory::Value,
+            SyntacticKind::Op => BugCategory::Op,
+        });
+        cats.push(if self.cond {
+            BugCategory::Cond
+        } else {
+            BugCategory::NonCond
+        });
+        cats
+    }
+
+    /// True if the bug belongs to `cat`.
+    pub fn is(&self, cat: BugCategory) -> bool {
+        self.categories().contains(&cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_cover_all_axes() {
+        let c = BugClass {
+            syntactic: SyntacticKind::Op,
+            cond: true,
+            direct: Some(false),
+        };
+        let cats = c.categories();
+        assert!(cats.contains(&BugCategory::Indirect));
+        assert!(cats.contains(&BugCategory::Op));
+        assert!(cats.contains(&BugCategory::Cond));
+        assert_eq!(cats.len(), 3);
+    }
+
+    #[test]
+    fn unanalysed_bug_has_two_categories() {
+        let c = BugClass {
+            syntactic: SyntacticKind::Value,
+            cond: false,
+            direct: None,
+        };
+        assert_eq!(c.categories().len(), 2);
+        assert!(c.is(BugCategory::NonCond));
+        assert!(!c.is(BugCategory::Direct));
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(BugCategory::NonCond.to_string(), "Non_cond");
+        assert_eq!(BugCategory::Direct.to_string(), "Direct");
+        assert_eq!(SyntacticKind::Op.to_string(), "Op");
+    }
+}

@@ -1,0 +1,495 @@
+//! Cycle-accurate executor for elaborated designs.
+//!
+//! The simulator advances in clock ticks. Each [`Simulator::step`]:
+//!
+//! 1. applies the caller's input assignments,
+//! 2. settles combinational logic to a fixpoint,
+//! 3. samples all signals into the [`Trace`] (the SVA *preponed* sample),
+//! 4. executes every clocked `always` block against the sampled state,
+//!    collecting nonblocking updates, then commits them atomically,
+//! 5. settles combinational logic again.
+//!
+//! Asynchronous resets are handled at tick granularity: stimulus asserts
+//! reset across whole cycles, so the reset branch executes at the next tick
+//! — the documented 2-state/cycle-level substitution for event-driven
+//! simulation.
+
+use crate::eval::{assign_lvalue, eval, Env, EvalError};
+use crate::trace::Trace;
+use crate::value::Value;
+use asv_verilog::ast::*;
+use asv_verilog::sema::Design;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised while running a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Expression evaluation failed.
+    Eval(EvalError),
+    /// Combinational logic did not reach a fixpoint (ring oscillator or
+    /// delta-cycle explosion).
+    CombDivergence,
+    /// The design has no clock but a clocked step was requested.
+    NoClock,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SimError::CombDivergence => write!(f, "combinational logic failed to settle"),
+            SimError::NoClock => write!(f, "design has no recognisable clock"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> Self {
+        SimError::Eval(e)
+    }
+}
+
+/// Maximum delta iterations while settling combinational logic.
+const MAX_SETTLE_ITERS: usize = 64;
+
+/// A running simulation of one elaborated [`Design`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    design: Design,
+    state: BTreeMap<String, Value>,
+    comb: Vec<CombProc>,
+    seq: Vec<AlwaysBlock>,
+    trace_names: Vec<String>,
+    trace: Trace,
+}
+
+#[derive(Debug, Clone)]
+enum CombProc {
+    Assign(ContAssign),
+    Block(AlwaysBlock),
+}
+
+struct StateEnv<'a> {
+    state: &'a BTreeMap<String, Value>,
+    params: &'a BTreeMap<String, u64>,
+}
+
+impl Env for StateEnv<'_> {
+    fn value_of(&self, name: &str) -> Option<Value> {
+        self.state
+            .get(name)
+            .copied()
+            .or_else(|| self.params.get(name).map(|&v| Value::new(v, 64)))
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with all signals initialised to zero.
+    pub fn new(design: &Design) -> Self {
+        let mut state = BTreeMap::new();
+        for (name, info) in &design.signals {
+            state.insert(name.clone(), Value::zero(info.width));
+        }
+        let mut comb = Vec::new();
+        let mut seq = Vec::new();
+        for item in &design.module.items {
+            match item {
+                Item::Assign(a) => comb.push(CombProc::Assign(a.clone())),
+                Item::Always(al) => {
+                    if al.sensitivity.is_combinational() {
+                        comb.push(CombProc::Block(al.clone()));
+                    } else {
+                        seq.push(al.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        let trace_names: Vec<String> = design.signals.keys().cloned().collect();
+        Simulator {
+            design: design.clone(),
+            state,
+            comb,
+            seq,
+            trace: Trace::new(trace_names.clone()),
+            trace_names,
+        }
+    }
+
+    /// The design under simulation.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Current (post-settle) value of a signal.
+    pub fn value(&self, name: &str) -> Option<Value> {
+        self.state.get(name).copied()
+    }
+
+    /// Drives an input port for subsequent ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a known signal (programming error in the
+    /// harness, not recoverable data).
+    pub fn set_input(&mut self, name: &str, value: u64) {
+        let width = self
+            .state
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown signal `{name}`"))
+            .width();
+        self.state.insert(name.to_string(), Value::new(value, width));
+    }
+
+    /// The recorded waveform so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the simulator, returning the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Runs one clock tick with the given input assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on evaluation failure or non-settling
+    /// combinational logic.
+    pub fn step(&mut self, inputs: &[(&str, u64)]) -> Result<(), SimError> {
+        for (name, v) in inputs {
+            self.set_input(name, *v);
+        }
+        self.settle()?;
+        self.sample();
+        self.clock_edge()?;
+        self.settle()?;
+        Ok(())
+    }
+
+    /// Runs `n` ticks with constant inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn run(&mut self, n: usize, inputs: &[(&str, u64)]) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step(inputs)?;
+        }
+        Ok(())
+    }
+
+    /// Settles combinational logic to a fixpoint.
+    fn settle(&mut self) -> Result<(), SimError> {
+        for _ in 0..MAX_SETTLE_ITERS {
+            let before = self.state.clone();
+            let comb = self.comb.clone();
+            for proc in &comb {
+                match proc {
+                    CombProc::Assign(a) => {
+                        let env = StateEnv {
+                            state: &self.state,
+                            params: &self.design.params,
+                        };
+                        let v = eval(&a.rhs, &env)?;
+                        self.write_lvalue(&a.lhs, v)?;
+                    }
+                    CombProc::Block(b) => {
+                        // Combinational always blocks use blocking assigns:
+                        // effects are visible immediately within the block.
+                        let mut nba = Vec::new();
+                        self.exec_stmt(&b.body, &mut nba)?;
+                        // NBAs in comb blocks are committed immediately too
+                        // (delta-cycle collapse).
+                        for (lv, v) in nba {
+                            self.write_lvalue(&lv, v)?;
+                        }
+                    }
+                }
+            }
+            if self.state == before {
+                return Ok(());
+            }
+        }
+        Err(SimError::CombDivergence)
+    }
+
+    fn sample(&mut self) {
+        let row: Vec<Value> = self
+            .trace_names
+            .iter()
+            .map(|n| self.state[n])
+            .collect();
+        self.trace.push(row);
+    }
+
+    fn clock_edge(&mut self) -> Result<(), SimError> {
+        // Evaluate every clocked block against the pre-edge state; commit
+        // nonblocking updates atomically afterwards.
+        let pre_edge = self.state.clone();
+        let mut nba_all: Vec<(LValue, Value)> = Vec::new();
+        let seq = self.seq.clone();
+        for block in &seq {
+            // Blocking assigns inside a clocked block take effect within
+            // that block only; start each block from the pre-edge state.
+            self.state = pre_edge.clone();
+            let mut nba = Vec::new();
+            self.exec_stmt(&block.body, &mut nba)?;
+            // Blocking writes performed by this block also persist: record
+            // them as updates relative to pre-edge.
+            for (name, v) in &self.state {
+                if pre_edge.get(name) != Some(v) {
+                    nba_all.push((
+                        LValue::Ident {
+                            name: name.clone(),
+                            span: asv_verilog::Span::default(),
+                        },
+                        *v,
+                    ));
+                }
+            }
+            nba_all.extend(nba);
+        }
+        self.state = pre_edge;
+        for (lv, v) in nba_all {
+            self.write_lvalue(&lv, v)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(
+        &mut self,
+        s: &Stmt,
+        nba: &mut Vec<(LValue, Value)>,
+    ) -> Result<(), SimError> {
+        match s {
+            Stmt::Block { stmts, .. } => {
+                for st in stmts {
+                    self.exec_stmt(st, nba)?;
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let env = StateEnv {
+                    state: &self.state,
+                    params: &self.design.params,
+                };
+                if eval(cond, &env)?.is_truthy() {
+                    self.exec_stmt(then_branch, nba)
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e, nba)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                ..
+            } => {
+                let env = StateEnv {
+                    state: &self.state,
+                    params: &self.design.params,
+                };
+                let sv = eval(scrutinee, &env)?;
+                for arm in arms {
+                    for label in &arm.labels {
+                        let lv = eval(label, &env)?;
+                        if lv.bits() == sv.bits() {
+                            return self.exec_stmt(&arm.body, nba);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec_stmt(d, nba)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Assign {
+                lhs,
+                rhs,
+                nonblocking,
+                ..
+            } => {
+                let env = StateEnv {
+                    state: &self.state,
+                    params: &self.design.params,
+                };
+                let v = eval(rhs, &env)?;
+                if *nonblocking {
+                    nba.push((lhs.clone(), v));
+                } else {
+                    self.write_lvalue(lhs, v)?;
+                }
+                Ok(())
+            }
+            Stmt::Empty { .. } => Ok(()),
+        }
+    }
+
+    fn write_lvalue(&mut self, lv: &LValue, v: Value) -> Result<(), SimError> {
+        let env_state = self.state.clone();
+        let env = StateEnv {
+            state: &env_state,
+            params: &self.design.params,
+        };
+        let state = &mut self.state;
+        assign_lvalue(
+            lv,
+            v,
+            &env,
+            &mut |n| env_state.get(n).copied(),
+            &mut |n, val| {
+                state.insert(n.to_string(), val);
+            },
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_verilog::compile;
+
+    fn sim(src: &str) -> Simulator {
+        let d = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
+        Simulator::new(&d)
+    }
+
+    #[test]
+    fn combinational_gate_settles() {
+        let mut s = sim("module g(input a, input b, output y); assign y = a & b; endmodule");
+        s.step(&[("a", 1), ("b", 1)]).expect("step");
+        assert_eq!(s.value("y").map(Value::bits), Some(1));
+        s.step(&[("a", 1), ("b", 0)]).expect("step");
+        assert_eq!(s.value("y").map(Value::bits), Some(0));
+    }
+
+    #[test]
+    fn chained_assign_settles_in_order_independent_way() {
+        // y depends on t which depends on a: must settle regardless of
+        // declaration order.
+        let mut s = sim(
+            "module g(input a, output y);\n\
+             wire t;\n assign y = t;\n assign t = ~a;\nendmodule",
+        );
+        s.step(&[("a", 0)]).expect("step");
+        assert_eq!(s.value("y").map(Value::bits), Some(1));
+    }
+
+    const COUNTER: &str = "module c(input clk, input rst_n, input en, output reg [3:0] q);\n\
+        always @(posedge clk or negedge rst_n) begin\n\
+          if (!rst_n) q <= 4'd0;\n\
+          else if (en) q <= q + 4'd1;\n\
+        end\nendmodule";
+
+    #[test]
+    fn counter_counts() {
+        let mut s = sim(COUNTER);
+        s.step(&[("rst_n", 0), ("en", 0)]).expect("reset");
+        assert_eq!(s.value("q").map(Value::bits), Some(0));
+        for i in 1..=5u64 {
+            s.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+            assert_eq!(s.value("q").map(Value::bits), Some(i));
+        }
+        s.step(&[("rst_n", 1), ("en", 0)]).expect("hold");
+        assert_eq!(s.value("q").map(Value::bits), Some(5));
+    }
+
+    #[test]
+    fn counter_wraps_at_width() {
+        let mut s = sim(COUNTER);
+        s.step(&[("rst_n", 0), ("en", 0)]).expect("reset");
+        for _ in 0..16 {
+            s.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+        }
+        assert_eq!(s.value("q").map(Value::bits), Some(0), "wraps mod 16");
+    }
+
+    #[test]
+    fn nba_reads_pre_edge_values() {
+        // Classic swap: both registers must exchange values in one tick.
+        let mut s = sim(
+            "module swap(input clk, input ld, input [3:0] a0, input [3:0] b0,\n\
+              output reg [3:0] x, output reg [3:0] y);\n\
+             always @(posedge clk) begin\n\
+               if (ld) begin x <= a0; y <= b0; end\n\
+               else begin x <= y; y <= x; end\n\
+             end\nendmodule",
+        );
+        s.step(&[("ld", 1), ("a0", 3), ("b0", 9)]).expect("load");
+        assert_eq!(s.value("x").map(Value::bits), Some(3));
+        s.step(&[("ld", 0)]).expect("swap");
+        assert_eq!(s.value("x").map(Value::bits), Some(9));
+        assert_eq!(s.value("y").map(Value::bits), Some(3));
+    }
+
+    #[test]
+    fn trace_samples_preponed_values() {
+        let mut s = sim(COUNTER);
+        s.step(&[("rst_n", 0), ("en", 0)]).expect("reset");
+        s.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+        s.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+        // At tick t the trace holds the value *before* that tick's edge.
+        assert_eq!(s.trace().value(1, "q").map(Value::bits), Some(0));
+        assert_eq!(s.trace().value(2, "q").map(Value::bits), Some(1));
+        assert_eq!(s.value("q").map(Value::bits), Some(2));
+    }
+
+    #[test]
+    fn comb_always_block_behaves_like_assign() {
+        let mut s = sim(
+            "module m(input [1:0] sel, input [3:0] a, input [3:0] b, output reg [3:0] y);\n\
+             always @(*) begin\n\
+               case (sel) 2'd0: y = a; 2'd1: y = b; default: y = 4'd0; endcase\n\
+             end\nendmodule",
+        );
+        s.step(&[("sel", 0), ("a", 7), ("b", 2)]).expect("step");
+        assert_eq!(s.value("y").map(Value::bits), Some(7));
+        s.step(&[("sel", 1)]).expect("step");
+        assert_eq!(s.value("y").map(Value::bits), Some(2));
+        s.step(&[("sel", 2)]).expect("step");
+        assert_eq!(s.value("y").map(Value::bits), Some(0));
+    }
+
+    #[test]
+    fn blocking_assign_in_seq_block_is_sequential() {
+        let mut s = sim(
+            "module m(input clk, input [3:0] a, output reg [3:0] y);\n\
+             reg [3:0] t;\n\
+             always @(posedge clk) begin\n\
+               t = a + 4'd1;\n\
+               y <= t;\n\
+             end\nendmodule",
+        );
+        s.step(&[("a", 4)]).expect("step");
+        assert_eq!(s.value("y").map(Value::bits), Some(5));
+    }
+
+    #[test]
+    fn divergent_comb_loop_is_reported() {
+        let mut s = sim("module osc(input a, output y);\nwire n;\nassign n = ~n | a;\nassign y = n;\nendmodule");
+        // `n = ~n | a` with a=0 oscillates.
+        let r = s.step(&[("a", 0)]);
+        assert_eq!(r, Err(SimError::CombDivergence));
+    }
+
+    #[test]
+    fn set_input_masks_to_width() {
+        let mut s = sim(COUNTER);
+        s.set_input("en", 0xFF);
+        assert_eq!(s.value("en").map(Value::bits), Some(1));
+    }
+}

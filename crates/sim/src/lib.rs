@@ -1,0 +1,37 @@
+//! # asv-sim
+//!
+//! Cycle-accurate, 2-state RTL simulator for elaborated
+//! [`asv_verilog::Design`]s — the reproduction's substitute for the
+//! event-driven simulation step the AssertSolver paper performs with
+//! Icarus Verilog (substitution rationale in DESIGN.md).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use asv_sim::{Simulator, Value};
+//!
+//! let design = asv_verilog::compile(
+//!     "module c(input clk, input rst_n, output reg [3:0] q);\n\
+//!      always @(posedge clk or negedge rst_n) begin\n\
+//!        if (!rst_n) q <= 4'd0; else q <= q + 4'd1;\n\
+//!      end\nendmodule",
+//! )?;
+//! let mut sim = Simulator::new(&design);
+//! sim.step(&[("rst_n", 0)])?;
+//! sim.step(&[("rst_n", 1)])?;
+//! sim.step(&[("rst_n", 1)])?;
+//! assert_eq!(sim.value("q"), Some(Value::new(2, 4)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod eval;
+pub mod exec;
+pub mod stimulus;
+pub mod trace;
+pub mod value;
+
+pub use eval::{Env, EvalError};
+pub use exec::{SimError, Simulator};
+pub use stimulus::{Stimulus, StimulusGen};
+pub use trace::Trace;
+pub use value::Value;

@@ -1,0 +1,180 @@
+//! Waveform traces: per-cycle sampled signal values.
+//!
+//! Samples are taken in the *preponed* region of each clock tick (after
+//! combinational settling, before register updates), matching SVA sampling
+//! semantics: a property evaluated at tick `t` observes exactly
+//! `trace.value(t, sig)`.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A recorded waveform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    names: Vec<String>,
+    index: BTreeMap<String, usize>,
+    steps: Vec<Vec<Value>>,
+}
+
+impl Trace {
+    /// Creates an empty trace over the given signal names.
+    pub fn new(names: Vec<String>) -> Self {
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        Trace {
+            names,
+            index,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Signal names in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of recorded ticks.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if no tick has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends one tick worth of samples (must match column order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` length differs from the number of signals.
+    pub fn push(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.names.len(), "row arity mismatch");
+        self.steps.push(row);
+    }
+
+    /// Sampled value of `signal` at tick `t`.
+    pub fn value(&self, t: usize, signal: &str) -> Option<Value> {
+        let &col = self.index.get(signal)?;
+        self.steps.get(t).map(|row| row[col])
+    }
+
+    /// Sampled value `n` ticks before `t` (`$past` semantics). For
+    /// `t < n` returns the value at tick 0, matching simulators that
+    /// return the initial sampled value before enough history exists.
+    pub fn past(&self, t: usize, signal: &str, n: usize) -> Option<Value> {
+        let at = t.saturating_sub(n);
+        self.value(at, signal)
+    }
+
+    /// `$rose`: bit 0 of `signal` is 1 at `t` and was 0 at `t-1`.
+    pub fn rose(&self, t: usize, signal: &str) -> Option<bool> {
+        let now = self.value(t, signal)?.get_bit(0);
+        let before = if t == 0 {
+            false
+        } else {
+            self.value(t - 1, signal)?.get_bit(0)
+        };
+        Some(now && !before)
+    }
+
+    /// `$fell`: bit 0 was 1 at `t-1` and is 0 at `t`.
+    pub fn fell(&self, t: usize, signal: &str) -> Option<bool> {
+        let now = self.value(t, signal)?.get_bit(0);
+        let before = if t == 0 {
+            false
+        } else {
+            self.value(t - 1, signal)?.get_bit(0)
+        };
+        Some(!now && before)
+    }
+
+    /// `$stable`: value unchanged between `t-1` and `t` (true at `t = 0`).
+    pub fn stable(&self, t: usize, signal: &str) -> Option<bool> {
+        if t == 0 {
+            return Some(true);
+        }
+        Some(self.value(t, signal)? == self.value(t - 1, signal)?)
+    }
+
+    /// Renders a compact textual waveform of the chosen signals (debugging
+    /// aid and CoT evidence).
+    pub fn format_signals(&self, signals: &[&str]) -> String {
+        let mut out = String::new();
+        for sig in signals {
+            out.push_str(&format!("{sig:>12}: "));
+            for t in 0..self.len() {
+                match self.value(t, sig) {
+                    Some(v) => out.push_str(&format!("{:>3} ", v.bits())),
+                    None => out.push_str("  ? "),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr() -> Trace {
+        let mut t = Trace::new(vec!["a".into(), "b".into()]);
+        t.push(vec![Value::new(0, 1), Value::new(0, 4)]);
+        t.push(vec![Value::new(1, 1), Value::new(3, 4)]);
+        t.push(vec![Value::new(0, 1), Value::new(3, 4)]);
+        t
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = tr();
+        assert_eq!(t.value(1, "b").map(Value::bits), Some(3));
+        assert_eq!(t.value(9, "b"), None);
+        assert_eq!(t.value(0, "zz"), None);
+    }
+
+    #[test]
+    fn past_clamps_at_zero() {
+        let t = tr();
+        assert_eq!(t.past(2, "b", 1).map(Value::bits), Some(3));
+        assert_eq!(t.past(0, "b", 3).map(Value::bits), Some(0));
+    }
+
+    #[test]
+    fn rose_and_fell() {
+        let t = tr();
+        assert_eq!(t.rose(1, "a"), Some(true));
+        assert_eq!(t.rose(2, "a"), Some(false));
+        assert_eq!(t.fell(2, "a"), Some(true));
+        assert_eq!(t.rose(0, "a"), Some(false));
+    }
+
+    #[test]
+    fn stable_detects_changes() {
+        let t = tr();
+        assert_eq!(t.stable(0, "b"), Some(true));
+        assert_eq!(t.stable(1, "b"), Some(false));
+        assert_eq!(t.stable(2, "b"), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn push_checks_arity() {
+        let mut t = Trace::new(vec!["a".into()]);
+        t.push(vec![Value::new(0, 1), Value::new(0, 1)]);
+    }
+
+    #[test]
+    fn format_is_readable() {
+        let t = tr();
+        let s = t.format_signals(&["a"]);
+        assert!(s.contains("a"));
+        assert!(s.contains("1"));
+    }
+}

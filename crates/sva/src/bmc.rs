@@ -1,0 +1,339 @@
+//! Bounded model checking: the reproduction's substitute for SymbiYosys.
+//!
+//! The paper uses SymbiYosys twice: (1) to prove generated SVAs valid on
+//! the golden design, and (2) to confirm injected bugs trip the SVAs and to
+//! produce the failure logs. Both uses only need a *refutation oracle with
+//! traces*. [`Verifier::check`] provides that by driving the design with
+//! the complete input space up to a bounded depth when the space is small
+//! (a genuine bounded proof), and with seeded random stimulus otherwise.
+
+use crate::monitor::{check_module, AssertionFailure, CheckOutcome, MonitorError};
+use asv_sim::exec::{SimError, Simulator};
+use asv_sim::stimulus::{Stimulus, StimulusGen};
+use asv_sim::trace::Trace;
+use asv_verilog::sema::Design;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of verifying a design's assertions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// No failure found. `exhaustive` is true when the whole input space up
+    /// to the depth was enumerated (bounded proof), false when sampled.
+    Holds {
+        /// Whether the search was exhaustive up to the depth.
+        exhaustive: bool,
+        /// Number of stimuli simulated.
+        stimuli: usize,
+        /// Assertions that never fired non-vacuously on any stimulus
+        /// (empty = every check was exercised).
+        vacuous: Vec<String>,
+    },
+    /// A counterexample was found.
+    Fails(CounterExample),
+}
+
+impl Verdict {
+    /// True for [`Verdict::Fails`].
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Verdict::Fails(_))
+    }
+
+    /// True when the design holds and every assertion fired at least once
+    /// (the correctness notion used by the evaluation judge).
+    pub fn holds_non_vacuously(&self) -> bool {
+        matches!(self, Verdict::Holds { vacuous, .. } if vacuous.is_empty())
+    }
+
+    /// True when the design holds but no assertion ever fired.
+    pub fn all_vacuous(&self, total_assertions: usize) -> bool {
+        matches!(self, Verdict::Holds { vacuous, .. } if vacuous.len() == total_assertions)
+    }
+}
+
+/// A concrete failing run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterExample {
+    /// The stimulus that exposed the failure.
+    pub stimulus: Stimulus,
+    /// All assertion failures observed on that stimulus.
+    pub failures: Vec<AssertionFailure>,
+    /// Rendered log lines (the `Logs` input of the repair task).
+    pub logs: Vec<String>,
+}
+
+/// Errors raised during verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Simulation failed (e.g. combinational divergence after a mutation).
+    Sim(SimError),
+    /// Monitoring failed.
+    Monitor(MonitorError),
+    /// The design has no assertions to check.
+    NoAssertions,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Sim(e) => write!(f, "simulation error: {e}"),
+            VerifyError::Monitor(e) => write!(f, "monitor error: {e}"),
+            VerifyError::NoAssertions => write!(f, "design has no assertions"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<SimError> for VerifyError {
+    fn from(e: SimError) -> Self {
+        VerifyError::Sim(e)
+    }
+}
+
+impl From<MonitorError> for VerifyError {
+    fn from(e: MonitorError) -> Self {
+        VerifyError::Monitor(e)
+    }
+}
+
+/// Bounded verifier configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verifier {
+    /// Post-reset cycles per run.
+    pub depth: usize,
+    /// Reset cycles at the head of every run.
+    pub reset_cycles: usize,
+    /// Cap on exhaustively enumerated stimuli before falling back to
+    /// random sampling.
+    pub exhaustive_limit: u64,
+    /// Number of random stimuli when sampling.
+    pub random_runs: usize,
+    /// RNG seed for random stimulus.
+    pub seed: u64,
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Verifier {
+            depth: 12,
+            reset_cycles: 2,
+            exhaustive_limit: 4096,
+            random_runs: 48,
+            seed: 0xA55E_7501,
+        }
+    }
+}
+
+impl Verifier {
+    /// Creates a verifier with default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks all assertions of `design`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::NoAssertions`] when the design has no
+    /// assertion directives, and propagates simulation/monitoring errors.
+    pub fn check(&self, design: &Design) -> Result<Verdict, VerifyError> {
+        if design.module.assertions().count() == 0 {
+            return Err(VerifyError::NoAssertions);
+        }
+        let gen = StimulusGen::new(design);
+        let (stimuli, exhaustive) = match gen.exhaustive(
+            self.depth,
+            self.reset_cycles,
+            self.exhaustive_limit,
+        ) {
+            Some(all) => (all, true),
+            None => {
+                let mut runs = Vec::with_capacity(self.random_runs);
+                for i in 0..self.random_runs {
+                    runs.push(gen.random_seeded(
+                        self.depth,
+                        self.reset_cycles,
+                        self.seed.wrapping_add(i as u64),
+                    ));
+                }
+                (runs, false)
+            }
+        };
+        let count = stimuli.len();
+        let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for stim in stimuli {
+            let trace = self.simulate(design, &stim)?;
+            let results = check_module(&design.module, &trace)?;
+            let mut failures = Vec::new();
+            for (dir, outcome) in &results {
+                match outcome {
+                    CheckOutcome::Failed(f) => failures.extend(f.clone()),
+                    CheckOutcome::Passed { .. } => {
+                        fired.insert(dir.log_name().to_string());
+                    }
+                    CheckOutcome::Vacuous => {}
+                }
+            }
+            if !failures.is_empty() {
+                let logs = failures.iter().map(ToString::to_string).collect();
+                return Ok(Verdict::Fails(CounterExample {
+                    stimulus: stim,
+                    failures,
+                    logs,
+                }));
+            }
+        }
+        let vacuous: Vec<String> = design
+            .module
+            .assertions()
+            .map(|a| a.log_name().to_string())
+            .filter(|n| !fired.contains(n))
+            .collect();
+        Ok(Verdict::Holds {
+            exhaustive,
+            stimuli: count,
+            vacuous,
+        })
+    }
+
+    /// Simulates one stimulus, returning the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`].
+    pub fn simulate(&self, design: &Design, stim: &Stimulus) -> Result<Trace, VerifyError> {
+        let mut sim = Simulator::new(design);
+        for t in 0..stim.len() {
+            sim.step(&stim.cycle(t))?;
+        }
+        Ok(sim.into_trace())
+    }
+
+    /// Replays a counterexample and returns its trace (for CoT evidence).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`].
+    pub fn replay(&self, design: &Design, cex: &CounterExample) -> Result<Trace, VerifyError> {
+        self.simulate(design, &cex.stimulus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_verilog::compile;
+
+    const GOOD: &str = r#"
+module latch1(input clk, input rst_n, input d, output reg q);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 1'b0;
+    else q <= d;
+  end
+  property follow;
+    @(posedge clk) disable iff (!rst_n) d |-> ##1 q;
+  endproperty
+  chk: assert property (follow) else $error("q must follow d");
+endmodule
+"#;
+
+    const BAD: &str = r#"
+module latch1(input clk, input rst_n, input d, output reg q);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 1'b0;
+    else q <= !d;
+  end
+  property follow;
+    @(posedge clk) disable iff (!rst_n) d |-> ##1 q;
+  endproperty
+  chk: assert property (follow) else $error("q must follow d");
+endmodule
+"#;
+
+    #[test]
+    fn good_design_holds_exhaustively() {
+        let d = compile(GOOD).expect("compile");
+        let v = Verifier {
+            depth: 6,
+            ..Verifier::default()
+        };
+        match v.check(&d).expect("verify") {
+            Verdict::Holds {
+                exhaustive,
+                stimuli,
+                vacuous,
+            } => {
+                assert!(exhaustive, "1-bit input over 6 cycles is enumerable");
+                assert_eq!(stimuli, 64);
+                assert!(vacuous.is_empty());
+            }
+            Verdict::Fails(cex) => panic!("unexpected failure: {:?}", cex.logs),
+        }
+    }
+
+    #[test]
+    fn bad_design_yields_counterexample_with_logs() {
+        let d = compile(BAD).expect("compile");
+        let v = Verifier {
+            depth: 6,
+            ..Verifier::default()
+        };
+        let Verdict::Fails(cex) = v.check(&d).expect("verify") else {
+            panic!("bug must be found");
+        };
+        assert!(!cex.logs.is_empty());
+        assert!(cex.logs[0].contains("failed assertion latch1.chk"));
+        // Counterexample must replay to the same failure.
+        let trace = v.replay(&d, &cex).expect("replay");
+        let logs = crate::monitor::failure_logs(&d.module, &trace).expect("monitor");
+        assert_eq!(logs, cex.logs);
+    }
+
+    #[test]
+    fn no_assertions_is_an_error() {
+        let d = compile("module m(input a, output y); assign y = a; endmodule").expect("compile");
+        assert_eq!(
+            Verifier::new().check(&d),
+            Err(VerifyError::NoAssertions)
+        );
+    }
+
+    #[test]
+    fn wide_inputs_fall_back_to_random() {
+        let src = r#"
+module add1(input clk, input rst_n, input [7:0] a, output reg [8:0] s);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) s <= 9'd0;
+    else s <= a + 8'd1;
+  end
+  p_inc: assert property (@(posedge clk) disable iff (!rst_n)
+    1'b1 |-> ##1 s == $past(a, 1) + 9'd1) else $error("bad sum");
+endmodule
+"#;
+        let d = compile(src).expect("compile");
+        let v = Verifier {
+            depth: 8,
+            random_runs: 8,
+            ..Verifier::default()
+        };
+        match v.check(&d).expect("verify") {
+            Verdict::Holds {
+                exhaustive,
+                stimuli,
+                ..
+            } => {
+                assert!(!exhaustive, "8-bit × 8 cycles cannot be enumerated");
+                assert_eq!(stimuli, 8);
+            }
+            Verdict::Fails(cex) => panic!("unexpected failure: {:?}", cex.logs),
+        }
+    }
+
+    #[test]
+    fn verdict_is_deterministic() {
+        let d = compile(BAD).expect("compile");
+        let v = Verifier::default();
+        assert_eq!(v.check(&d).expect("a"), v.check(&d).expect("b"));
+    }
+}

@@ -1,0 +1,445 @@
+//! Runtime assertion monitor: checks SVA directives over a recorded trace
+//! and produces the failure logs the repair model consumes.
+//!
+//! Semantics (per DESIGN.md, matching the supported subset):
+//!
+//! * Properties are evaluated at every tick of the property clock. The
+//!   simulator records one sample per tick, so each trace row is one
+//!   evaluation attempt.
+//! * `disable iff (expr)`: an attempt is discarded if the disable condition
+//!   is true at any tick the attempt observes.
+//! * Linear sequences `e0 ##n1 e1 ##n2 e2`: `e0` at the start tick, `e1`
+//!   `n1` ticks later, and so on.
+//! * `a |-> c`: if the antecedent matches ending at tick `t`, the
+//!   consequent must match starting at `t`; `|=>` starts at `t + 1`.
+//! * Attempts whose window extends past the end of the trace are *pending*
+//!   and never reported as failures (bounded semantics).
+
+use crate::eval::holds_at;
+use asv_sim::eval::EvalError;
+use asv_sim::trace::Trace;
+use asv_verilog::ast::{
+    AssertDirective, AssertTarget, Module, PropExpr, PropertyDecl, SeqExpr,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One assertion failure observed on a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssertionFailure {
+    /// Module name.
+    pub module: String,
+    /// Assertion name (label or property name).
+    pub assertion: String,
+    /// Tick at which the attempt started.
+    pub start_tick: usize,
+    /// Tick at which the violation was established.
+    pub fail_tick: usize,
+    /// The `$error` message, if the directive has one.
+    pub message: Option<String>,
+}
+
+impl fmt::Display for AssertionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "failed assertion {}.{} at cycle {}",
+            self.module, self.assertion, self.fail_tick
+        )?;
+        if let Some(m) = &self.message {
+            write!(f, ": {m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of checking one assertion over one trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckOutcome {
+    /// No attempt failed; at least one attempt completed non-vacuously.
+    Passed {
+        /// Number of non-vacuous completed attempts.
+        attempts: usize,
+    },
+    /// No attempt completed non-vacuously (antecedent never matched).
+    Vacuous,
+    /// At least one attempt failed.
+    Failed(Vec<AssertionFailure>),
+}
+
+impl CheckOutcome {
+    /// True when the outcome is [`CheckOutcome::Failed`].
+    pub fn is_failure(&self) -> bool {
+        matches!(self, CheckOutcome::Failed(_))
+    }
+}
+
+/// Errors raised by the monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// The directive references a property the module does not declare.
+    UnknownProperty(String),
+    /// Expression evaluation failed at some tick.
+    Eval(EvalError),
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::UnknownProperty(p) => write!(f, "unknown property `{p}`"),
+            MonitorError::Eval(e) => write!(f, "monitor evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<EvalError> for MonitorError {
+    fn from(e: EvalError) -> Self {
+        MonitorError::Eval(e)
+    }
+}
+
+/// Checks every assertion directive of `module` against `trace`.
+///
+/// Returns outcomes in directive order.
+///
+/// # Errors
+///
+/// Returns [`MonitorError`] for dangling property references or evaluation
+/// failures (undeclared signals in properties are caught earlier by
+/// elaboration, so an error here indicates a harness bug).
+pub fn check_module(
+    module: &Module,
+    trace: &Trace,
+) -> Result<Vec<(AssertDirective, CheckOutcome)>, MonitorError> {
+    let mut out = Vec::new();
+    for dir in module.assertions() {
+        let prop = resolve(module, dir)?;
+        let outcome = check_property(&module.name, dir, prop, trace)?;
+        out.push((dir.clone(), outcome));
+    }
+    Ok(out)
+}
+
+/// Collects the rendered failure-log lines for a whole module (the `Logs`
+/// artefact fed to the repair model).
+///
+/// # Errors
+///
+/// Propagates [`MonitorError`] from [`check_module`].
+pub fn failure_logs(module: &Module, trace: &Trace) -> Result<Vec<String>, MonitorError> {
+    let mut logs = Vec::new();
+    for (_, outcome) in check_module(module, trace)? {
+        if let CheckOutcome::Failed(fails) = outcome {
+            for f in fails {
+                logs.push(f.to_string());
+            }
+        }
+    }
+    Ok(logs)
+}
+
+fn resolve<'m>(
+    module: &'m Module,
+    dir: &'m AssertDirective,
+) -> Result<&'m PropertyDecl, MonitorError> {
+    match &dir.target {
+        AssertTarget::Named(n) => module
+            .properties()
+            .find(|p| &p.name == n)
+            .ok_or_else(|| MonitorError::UnknownProperty(n.clone())),
+        AssertTarget::Inline(p) => Ok(p),
+    }
+}
+
+/// Checks a single property for a directive, reporting all failures (capped
+/// at 16 to bound log size, as real simulators do with `-assert-limit`).
+fn check_property(
+    module_name: &str,
+    dir: &AssertDirective,
+    prop: &PropertyDecl,
+    trace: &Trace,
+) -> Result<CheckOutcome, MonitorError> {
+    const MAX_REPORTED: usize = 16;
+    let mut failures = Vec::new();
+    let mut completed = 0usize;
+    for start in 0..trace.len() {
+        match attempt(prop, trace, start)? {
+            AttemptOutcome::Pass => completed += 1,
+            AttemptOutcome::Vacuous | AttemptOutcome::Disabled | AttemptOutcome::Pending => {}
+            AttemptOutcome::Fail { fail_tick } => {
+                if failures.len() < MAX_REPORTED {
+                    failures.push(AssertionFailure {
+                        module: module_name.to_string(),
+                        assertion: dir.log_name().to_string(),
+                        start_tick: start,
+                        fail_tick,
+                        message: dir.message.clone(),
+                    });
+                }
+            }
+        }
+    }
+    if !failures.is_empty() {
+        Ok(CheckOutcome::Failed(failures))
+    } else if completed > 0 {
+        Ok(CheckOutcome::Passed {
+            attempts: completed,
+        })
+    } else {
+        Ok(CheckOutcome::Vacuous)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptOutcome {
+    Pass,
+    Vacuous,
+    Disabled,
+    Pending,
+    Fail { fail_tick: usize },
+}
+
+/// Evaluates one property attempt starting at `start`.
+fn attempt(
+    prop: &PropertyDecl,
+    trace: &Trace,
+    start: usize,
+) -> Result<AttemptOutcome, MonitorError> {
+    let window = property_window(prop);
+    // Disable check across the whole observation window (clamped to trace).
+    if let Some(dis) = &prop.disable {
+        let end = (start + window as usize).min(trace.len().saturating_sub(1));
+        for t in start..=end {
+            if holds_at(dis, trace, t)? {
+                return Ok(AttemptOutcome::Disabled);
+            }
+        }
+    }
+    match &prop.body {
+        PropExpr::Seq(seq) => match match_seq(seq, trace, start)? {
+            SeqOutcome::Match { .. } => Ok(AttemptOutcome::Pass),
+            SeqOutcome::NoMatch { fail_tick } => Ok(AttemptOutcome::Fail { fail_tick }),
+            SeqOutcome::Pending => Ok(AttemptOutcome::Pending),
+        },
+        PropExpr::Implication {
+            antecedent,
+            overlapping,
+            consequent,
+            ..
+        } => {
+            match match_seq(antecedent, trace, start)? {
+                SeqOutcome::NoMatch { .. } => Ok(AttemptOutcome::Vacuous),
+                SeqOutcome::Pending => Ok(AttemptOutcome::Pending),
+                SeqOutcome::Match { end } => {
+                    let cstart = if *overlapping { end } else { end + 1 };
+                    match match_seq(consequent, trace, cstart)? {
+                        SeqOutcome::Match { .. } => Ok(AttemptOutcome::Pass),
+                        SeqOutcome::NoMatch { fail_tick } => {
+                            Ok(AttemptOutcome::Fail { fail_tick })
+                        }
+                        SeqOutcome::Pending => Ok(AttemptOutcome::Pending),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeqOutcome {
+    Match { end: usize },
+    NoMatch { fail_tick: usize },
+    Pending,
+}
+
+/// Matches a linear sequence starting at tick `start`.
+fn match_seq(seq: &SeqExpr, trace: &Trace, start: usize) -> Result<SeqOutcome, MonitorError> {
+    match seq {
+        SeqExpr::Expr(e) => {
+            if start >= trace.len() {
+                return Ok(SeqOutcome::Pending);
+            }
+            if holds_at(e, trace, start)? {
+                Ok(SeqOutcome::Match { end: start })
+            } else {
+                Ok(SeqOutcome::NoMatch { fail_tick: start })
+            }
+        }
+        SeqExpr::Delay {
+            lhs, cycles, rhs, ..
+        } => match match_seq(lhs, trace, start)? {
+            SeqOutcome::Match { end } => match_seq(rhs, trace, end + *cycles as usize),
+            other => Ok(other),
+        },
+    }
+}
+
+/// Total number of ticks (beyond the start) a property may observe.
+fn property_window(prop: &PropertyDecl) -> u32 {
+    match &prop.body {
+        PropExpr::Seq(s) => s.duration(),
+        PropExpr::Implication {
+            antecedent,
+            overlapping,
+            consequent,
+            ..
+        } => antecedent.duration() + consequent.duration() + u32::from(!*overlapping),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_sim::Simulator;
+    use asv_verilog::compile;
+
+    /// The paper's Fig. 1 accumulator with the seeded logic error
+    /// (`!end_cnt` instead of `end_cnt`).
+    const ACCU_BUGGY: &str = r#"
+module accu(input clk, input rst_n, input valid_in, output reg valid_out);
+  reg [1:0] cnt;
+  wire end_cnt;
+  assign end_cnt = (cnt == 2'd3) && valid_in;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) cnt <= 2'd0;
+    else if (valid_in) cnt <= end_cnt ? 2'd0 : cnt + 2'd1;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) valid_out <= 1'b0;
+    else if (!end_cnt) valid_out <= 1'b1;
+    else valid_out <= 1'b0;
+  end
+  property valid_out_check;
+    @(posedge clk) disable iff (!rst_n)
+    end_cnt |-> ##1 valid_out == 1'b1;
+  endproperty
+  valid_out_check_assertion: assert property (valid_out_check)
+    else $error("valid_out should be high when end_cnt high");
+endmodule
+"#;
+
+    const ACCU_FIXED: &str = r#"
+module accu(input clk, input rst_n, input valid_in, output reg valid_out);
+  reg [1:0] cnt;
+  wire end_cnt;
+  assign end_cnt = (cnt == 2'd3) && valid_in;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) cnt <= 2'd0;
+    else if (valid_in) cnt <= end_cnt ? 2'd0 : cnt + 2'd1;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) valid_out <= 1'b0;
+    else if (end_cnt) valid_out <= 1'b1;
+    else valid_out <= 1'b0;
+  end
+  property valid_out_check;
+    @(posedge clk) disable iff (!rst_n)
+    end_cnt |-> ##1 valid_out == 1'b1;
+  endproperty
+  valid_out_check_assertion: assert property (valid_out_check)
+    else $error("valid_out should be high when end_cnt high");
+endmodule
+"#;
+
+    fn run(src: &str, cycles: usize) -> (asv_verilog::Design, Trace) {
+        let d = compile(src).unwrap_or_else(|e| panic!("compile: {e}"));
+        let mut sim = Simulator::new(&d);
+        sim.step(&[("rst_n", 0), ("valid_in", 0)]).expect("reset");
+        for _ in 0..cycles {
+            sim.step(&[("rst_n", 1), ("valid_in", 1)]).expect("step");
+        }
+        let trace = sim.into_trace();
+        (d, trace)
+    }
+
+    #[test]
+    fn buggy_accu_fails_assertion() {
+        let (d, trace) = run(ACCU_BUGGY, 12);
+        let logs = failure_logs(&d.module, &trace).expect("monitor ok");
+        assert!(!logs.is_empty(), "bug must trip the assertion");
+        assert!(
+            logs[0].contains("failed assertion accu.valid_out_check_assertion"),
+            "got: {}",
+            logs[0]
+        );
+        assert!(logs[0].contains("valid_out should be high"));
+    }
+
+    #[test]
+    fn fixed_accu_passes_assertion() {
+        let (d, trace) = run(ACCU_FIXED, 12);
+        let results = check_module(&d.module, &trace).expect("monitor ok");
+        assert_eq!(results.len(), 1);
+        match &results[0].1 {
+            CheckOutcome::Passed { attempts } => assert!(*attempts >= 2, "attempts: {attempts}"),
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vacuous_when_antecedent_never_fires() {
+        let (d, trace) = {
+            let d = compile(ACCU_FIXED).expect("compile");
+            let mut sim = Simulator::new(&d);
+            sim.step(&[("rst_n", 0), ("valid_in", 0)]).expect("reset");
+            for _ in 0..8 {
+                sim.step(&[("rst_n", 1), ("valid_in", 0)]).expect("step");
+            }
+            (d.clone(), sim.into_trace())
+        };
+        let results = check_module(&d.module, &trace).expect("monitor ok");
+        assert_eq!(results[0].1, CheckOutcome::Vacuous);
+    }
+
+    #[test]
+    fn disable_iff_suppresses_reset_failures() {
+        // Keep reset asserted the whole run: the property must never fire.
+        let d = compile(ACCU_BUGGY).expect("compile");
+        let mut sim = Simulator::new(&d);
+        for _ in 0..8 {
+            sim.step(&[("rst_n", 0), ("valid_in", 1)]).expect("step");
+        }
+        let trace = sim.into_trace();
+        let results = check_module(&d.module, &trace).expect("monitor ok");
+        assert!(
+            !results[0].1.is_failure(),
+            "attempts under reset must be discarded"
+        );
+    }
+
+    #[test]
+    fn pending_windows_are_not_failures() {
+        // Run exactly up to a tick where end_cnt fires but the ##1
+        // consequent tick is past the end of the trace.
+        let d = compile(ACCU_BUGGY).expect("compile");
+        let mut sim = Simulator::new(&d);
+        sim.step(&[("rst_n", 0), ("valid_in", 0)]).expect("reset");
+        for _ in 0..4 {
+            sim.step(&[("rst_n", 1), ("valid_in", 1)]).expect("step");
+        }
+        // end_cnt is sampled true at tick 4 (cnt==3), consequent at 5 missing.
+        let trace = sim.into_trace();
+        assert_eq!(trace.len(), 5);
+        let results = check_module(&d.module, &trace).expect("monitor ok");
+        assert!(
+            !results[0].1.is_failure(),
+            "pending obligation must not fail: {:?}",
+            results[0].1
+        );
+    }
+
+    #[test]
+    fn failure_fields_are_populated() {
+        let (d, trace) = run(ACCU_BUGGY, 12);
+        let results = check_module(&d.module, &trace).expect("monitor ok");
+        let CheckOutcome::Failed(fails) = &results[0].1 else {
+            panic!("expected failure");
+        };
+        let f = &fails[0];
+        assert_eq!(f.module, "accu");
+        assert_eq!(f.assertion, "valid_out_check_assertion");
+        assert_eq!(f.fail_tick, f.start_tick + 1, "##1 consequent");
+    }
+}

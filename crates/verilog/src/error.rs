@@ -1,0 +1,138 @@
+//! Compilation diagnostics.
+
+use crate::source::{LineCol, Span};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Hard error; compilation fails.
+    Error,
+    /// Suspicious but accepted construct.
+    Warning,
+}
+
+/// A single diagnostic message attached to a source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// How severe the problem is.
+    pub severity: Severity,
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Where the problem is.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}: {}", self.message)
+    }
+}
+
+/// Error returned when parsing or elaboration fails.
+///
+/// Carries every diagnostic collected before the failure so callers (the
+/// stage-1 syntax-check filter in particular) can log the causes, mirroring
+/// the paper's use of compiler output as pretraining analysis text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompileError {
+    /// All diagnostics; at least one has [`Severity::Error`].
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CompileError {
+    /// Wraps a single error message.
+    pub fn single(message: impl Into<String>, span: Span) -> Self {
+        CompileError {
+            diagnostics: vec![Diagnostic::error(message, span)],
+        }
+    }
+
+    /// The first error-severity diagnostic.
+    pub fn primary(&self) -> &Diagnostic {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .unwrap_or(&self.diagnostics[0])
+    }
+
+    /// Renders all diagnostics with line/column info resolved against `src`.
+    pub fn render(&self, src: &crate::source::SourceFile) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| {
+                let lc: LineCol = src.line_col(d.span.start);
+                format!("{lc}: {d}")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.primary())
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Convenient result alias for front-end operations.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn primary_picks_first_error() {
+        let e = CompileError {
+            diagnostics: vec![
+                Diagnostic::warning("odd width", Span::new(0, 1)),
+                Diagnostic::error("unknown identifier", Span::new(5, 8)),
+            ],
+        };
+        assert_eq!(e.primary().message, "unknown identifier");
+    }
+
+    #[test]
+    fn render_includes_positions() {
+        let src = SourceFile::new("module m;\nbad\nendmodule");
+        let e = CompileError::single("unexpected token", Span::new(10, 13));
+        let out = e.render(&src);
+        assert!(out.contains("2:1"), "got {out}");
+        assert!(out.contains("unexpected token"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<CompileError>();
+    }
+}

@@ -1,0 +1,265 @@
+//! Signal dependency graph and cone-of-influence analysis.
+//!
+//! The fault localiser in `assertsolver-core` ranks source lines by their
+//! structural distance from the signals a failing assertion observes. That
+//! ranking is computed here: a directed graph with an edge `a → b` whenever
+//! signal `a` appears in an expression that (transitively) drives `b`.
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Signal-level dependency graph of one module.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DepGraph {
+    /// `deps[sig]` = set of signals that `sig`'s value depends on.
+    deps: BTreeMap<String, BTreeSet<String>>,
+    /// `rdeps[sig]` = set of signals whose value depends on `sig`.
+    rdeps: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of a module.
+    ///
+    /// Control dependencies count: in `if (c) y <= a;`, `y` depends on both
+    /// `c` and `a`. Case scrutinees and sensitivity-list signals likewise
+    /// flow into every target assigned under them.
+    pub fn build(module: &Module) -> Self {
+        let mut g = DepGraph::default();
+        for item in &module.items {
+            match item {
+                Item::Assign(a) => {
+                    let sources = a.rhs.idents();
+                    for t in a.lhs.target_names() {
+                        g.add_deps(t, &sources);
+                        // Bit/part-select indices are also dependencies.
+                        g.add_deps(t, &lvalue_index_idents(&a.lhs));
+                    }
+                }
+                Item::Always(al) => {
+                    let mut ambient: Vec<String> = Vec::new();
+                    if let Sensitivity::List(list) = &al.sensitivity {
+                        // Edge signals (clock/reset) gate every write.
+                        for s in list {
+                            if !matches!(s, SensItem::Level(_)) {
+                                ambient.push(s.signal().to_string());
+                            }
+                        }
+                    }
+                    g.walk_stmt(&al.body, &ambient);
+                }
+                Item::Initial(i) => g.walk_stmt(&i.body, &[]),
+                _ => {}
+            }
+        }
+        g
+    }
+
+    fn add_deps(&mut self, target: &str, sources: &[String]) {
+        let entry = self.deps.entry(target.to_string()).or_default();
+        for s in sources {
+            entry.insert(s.clone());
+            self.rdeps
+                .entry(s.clone())
+                .or_default()
+                .insert(target.to_string());
+        }
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt, controls: &[String]) {
+        match s {
+            Stmt::Block { stmts, .. } => {
+                for st in stmts {
+                    self.walk_stmt(st, controls);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let mut ctl = controls.to_vec();
+                ctl.extend(cond.idents());
+                self.walk_stmt(then_branch, &ctl);
+                if let Some(e) = else_branch {
+                    self.walk_stmt(e, &ctl);
+                }
+            }
+            Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                ..
+            } => {
+                let mut ctl = controls.to_vec();
+                ctl.extend(scrutinee.idents());
+                for arm in arms {
+                    let mut actl = ctl.clone();
+                    for l in &arm.labels {
+                        actl.extend(l.idents());
+                    }
+                    self.walk_stmt(&arm.body, &actl);
+                }
+                if let Some(d) = default {
+                    self.walk_stmt(d, &ctl);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                let mut sources = rhs.idents();
+                sources.extend_from_slice(controls);
+                sources.extend(lvalue_index_idents(lhs));
+                for t in lhs.target_names() {
+                    self.add_deps(t, &sources);
+                }
+            }
+            Stmt::Empty { .. } => {}
+        }
+    }
+
+    /// Direct dependencies of `signal` (empty set if unknown).
+    pub fn deps_of(&self, signal: &str) -> BTreeSet<String> {
+        self.deps.get(signal).cloned().unwrap_or_default()
+    }
+
+    /// Signals that directly depend on `signal`.
+    pub fn dependents_of(&self, signal: &str) -> BTreeSet<String> {
+        self.rdeps.get(signal).cloned().unwrap_or_default()
+    }
+
+    /// Transitive closure of dependencies: the *cone of influence* of the
+    /// given seed signals (the seeds themselves are included).
+    pub fn cone_of_influence<'a, I>(&self, seeds: I) -> BTreeSet<String>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut cone: BTreeSet<String> = BTreeSet::new();
+        let mut queue: VecDeque<String> = seeds.into_iter().map(str::to_string).collect();
+        while let Some(sig) = queue.pop_front() {
+            if !cone.insert(sig.clone()) {
+                continue;
+            }
+            for d in self.deps_of(&sig) {
+                if !cone.contains(&d) {
+                    queue.push_back(d);
+                }
+            }
+        }
+        cone
+    }
+
+    /// Breadth-first distance (in dependency edges) from any seed to each
+    /// signal in the cone. Seeds map to 0.
+    pub fn distances<'a, I>(&self, seeds: I) -> BTreeMap<String, u32>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut dist: BTreeMap<String, u32> = BTreeMap::new();
+        let mut queue: VecDeque<(String, u32)> =
+            seeds.into_iter().map(|s| (s.to_string(), 0)).collect();
+        while let Some((sig, d)) = queue.pop_front() {
+            if dist.contains_key(&sig) {
+                continue;
+            }
+            dist.insert(sig.clone(), d);
+            for dep in self.deps_of(&sig) {
+                if !dist.contains_key(&dep) {
+                    queue.push_back((dep, d + 1));
+                }
+            }
+        }
+        dist
+    }
+
+    /// All signals known to the graph (drivers or dependencies).
+    pub fn signals(&self) -> BTreeSet<String> {
+        let mut all: BTreeSet<String> = self.deps.keys().cloned().collect();
+        all.extend(self.rdeps.keys().cloned());
+        all
+    }
+}
+
+fn lvalue_index_idents(lv: &LValue) -> Vec<String> {
+    match lv {
+        LValue::Bit { index, .. } => index.idents(),
+        LValue::Concat { parts, .. } => {
+            parts.iter().flat_map(lvalue_index_idents).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn graph(src: &str) -> DepGraph {
+        let unit = parse(src).expect("parse ok");
+        DepGraph::build(&unit.modules[0])
+    }
+
+    const PIPE: &str = "module p(input clk, input [3:0] a, input [3:0] b, input sel,\n\
+        output reg [3:0] y);\n\
+        reg [3:0] t;\n\
+        always @(posedge clk) begin\n\
+          if (sel) t <= a; else t <= b;\n\
+          y <= t;\n\
+        end\nendmodule";
+
+    #[test]
+    fn control_deps_are_tracked() {
+        let g = graph(PIPE);
+        let t_deps = g.deps_of("t");
+        assert!(t_deps.contains("a"));
+        assert!(t_deps.contains("b"));
+        assert!(t_deps.contains("sel"), "control dependency missing");
+        assert!(t_deps.contains("clk"), "clock dependency missing");
+    }
+
+    #[test]
+    fn cone_of_influence_is_transitive() {
+        let g = graph(PIPE);
+        let cone = g.cone_of_influence(["y"]);
+        for s in ["y", "t", "a", "b", "sel", "clk"] {
+            assert!(cone.contains(s), "missing {s}");
+        }
+    }
+
+    #[test]
+    fn distances_increase_with_depth() {
+        let g = graph(PIPE);
+        let d = g.distances(["y"]);
+        assert_eq!(d["y"], 0);
+        assert_eq!(d["t"], 1);
+        assert_eq!(d["a"], 2);
+    }
+
+    #[test]
+    fn unrelated_signals_stay_outside_cone() {
+        let g = graph(
+            "module m(input a, input b, output x, output z);\n\
+             assign x = a;\n assign z = b;\nendmodule",
+        );
+        let cone = g.cone_of_influence(["x"]);
+        assert!(cone.contains("a"));
+        assert!(!cone.contains("b"));
+        assert!(!cone.contains("z"));
+    }
+
+    #[test]
+    fn dependents_is_reverse_of_deps() {
+        let g = graph(PIPE);
+        assert!(g.dependents_of("t").contains("y"));
+        assert!(g.dependents_of("a").contains("t"));
+    }
+
+    #[test]
+    fn case_scrutinee_is_dependency() {
+        let g = graph(
+            "module m(input [1:0] s, input [3:0] a, output reg [3:0] y);\n\
+             always @(*) begin case (s) 2'd0: y = a; default: y = 4'd0; endcase end\nendmodule",
+        );
+        assert!(g.deps_of("y").contains("s"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Token kinds produced by the [`crate::lexer`].
+
+use crate::source::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lexed token: a [`TokenKind`] plus the [`Span`] it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// Keywords of the supported Verilog-2005 + SVA subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Wire,
+    Reg,
+    Logic,
+    Integer,
+    Parameter,
+    Localparam,
+    Assign,
+    Always,
+    AlwaysFf,
+    AlwaysComb,
+    Initial,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Casex,
+    Endcase,
+    Default,
+    Posedge,
+    Negedge,
+    Or,
+    Property,
+    Endproperty,
+    Assert,
+    Disable,
+    Iff,
+    Signed,
+    Genvar,
+    For,
+    Function,
+    Endfunction,
+}
+
+impl Keyword {
+    /// The keyword's source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Module => "module",
+            Keyword::Endmodule => "endmodule",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::Wire => "wire",
+            Keyword::Reg => "reg",
+            Keyword::Logic => "logic",
+            Keyword::Integer => "integer",
+            Keyword::Parameter => "parameter",
+            Keyword::Localparam => "localparam",
+            Keyword::Assign => "assign",
+            Keyword::Always => "always",
+            Keyword::AlwaysFf => "always_ff",
+            Keyword::AlwaysComb => "always_comb",
+            Keyword::Initial => "initial",
+            Keyword::Begin => "begin",
+            Keyword::End => "end",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Case => "case",
+            Keyword::Casez => "casez",
+            Keyword::Casex => "casex",
+            Keyword::Endcase => "endcase",
+            Keyword::Default => "default",
+            Keyword::Posedge => "posedge",
+            Keyword::Negedge => "negedge",
+            Keyword::Or => "or",
+            Keyword::Property => "property",
+            Keyword::Endproperty => "endproperty",
+            Keyword::Assert => "assert",
+            Keyword::Disable => "disable",
+            Keyword::Iff => "iff",
+            Keyword::Signed => "signed",
+            Keyword::Genvar => "genvar",
+            Keyword::For => "for",
+            Keyword::Function => "function",
+            Keyword::Endfunction => "endfunction",
+        }
+    }
+
+    /// Parses an identifier-shaped word as a keyword, if it is one.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        Some(match word {
+            "module" => Keyword::Module,
+            "endmodule" => Keyword::Endmodule,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "wire" => Keyword::Wire,
+            "reg" => Keyword::Reg,
+            "logic" => Keyword::Logic,
+            "integer" => Keyword::Integer,
+            "parameter" => Keyword::Parameter,
+            "localparam" => Keyword::Localparam,
+            "assign" => Keyword::Assign,
+            "always" => Keyword::Always,
+            "always_ff" => Keyword::AlwaysFf,
+            "always_comb" => Keyword::AlwaysComb,
+            "initial" => Keyword::Initial,
+            "begin" => Keyword::Begin,
+            "end" => Keyword::End,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "case" => Keyword::Case,
+            "casez" => Keyword::Casez,
+            "casex" => Keyword::Casex,
+            "endcase" => Keyword::Endcase,
+            "default" => Keyword::Default,
+            "posedge" => Keyword::Posedge,
+            "negedge" => Keyword::Negedge,
+            "or" => Keyword::Or,
+            "property" => Keyword::Property,
+            "endproperty" => Keyword::Endproperty,
+            "assert" => Keyword::Assert,
+            "disable" => Keyword::Disable,
+            "iff" => Keyword::Iff,
+            "signed" => Keyword::Signed,
+            "genvar" => Keyword::Genvar,
+            "for" => Keyword::For,
+            "function" => Keyword::Function,
+            "endfunction" => Keyword::Endfunction,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A reserved word.
+    Keyword(Keyword),
+    /// An identifier (also covers escaped identifiers with the backslash
+    /// stripped).
+    Ident(String),
+    /// A system identifier such as `$past` or `$error` (without the `$`).
+    SysIdent(String),
+    /// An integer literal: value, optional explicit width, and whether a
+    /// base was given (e.g. `4'b1010`).
+    Number {
+        /// Numeric value (masked to 64 bits).
+        value: u64,
+        /// Bit width if the literal was sized (`4'b...`).
+        width: Option<u32>,
+        /// Base character if given: `b`, `o`, `d`, `h`.
+        base: Option<char>,
+    },
+    /// A string literal, without the surrounding quotes.
+    Str(String),
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Colon,
+    Dot,
+    At,
+    Hash,
+    /// `##` (SVA cycle delay).
+    HashHash,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    /// `**`
+    StarStar,
+    Amp,
+    /// `&&`
+    AmpAmp,
+    Pipe,
+    /// `||`
+    PipePipe,
+    Caret,
+    /// `~^` or `^~` (xnor)
+    TildeCaret,
+    Tilde,
+    /// `~&` (nand reduction)
+    TildeAmp,
+    /// `~|` (nor reduction)
+    TildePipe,
+    Bang,
+    /// `=`
+    Assign,
+    /// `<=` in statement context is nonblocking assign; also less-equal.
+    LtEq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `===`
+    EqEqEq,
+    /// `!==`
+    BangEqEq,
+    Lt,
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<<<`
+    AShl,
+    /// `>>>`
+    AShr,
+    /// `|->` (overlapping implication)
+    ImplOverlap,
+    /// `|=>` (non-overlapping implication)
+    ImplNonOverlap,
+    /// `+:` (indexed part select, ascending)
+    PlusColon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Keyword(k) => format!("keyword `{k}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::SysIdent(s) => format!("system identifier `${s}`"),
+            TokenKind::Number { value, .. } => format!("number `{value}`"),
+            TokenKind::Str(_) => "string literal".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.punct_str()),
+        }
+    }
+
+    fn punct_str(&self) -> &'static str {
+        match self {
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::Dot => ".",
+            TokenKind::At => "@",
+            TokenKind::Hash => "#",
+            TokenKind::HashHash => "##",
+            TokenKind::Question => "?",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::StarStar => "**",
+            TokenKind::Amp => "&",
+            TokenKind::AmpAmp => "&&",
+            TokenKind::Pipe => "|",
+            TokenKind::PipePipe => "||",
+            TokenKind::Caret => "^",
+            TokenKind::TildeCaret => "~^",
+            TokenKind::Tilde => "~",
+            TokenKind::TildeAmp => "~&",
+            TokenKind::TildePipe => "~|",
+            TokenKind::Bang => "!",
+            TokenKind::Assign => "=",
+            TokenKind::LtEq => "<=",
+            TokenKind::EqEq => "==",
+            TokenKind::BangEq => "!=",
+            TokenKind::EqEqEq => "===",
+            TokenKind::BangEqEq => "!==",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::GtEq => ">=",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::AShl => "<<<",
+            TokenKind::AShr => ">>>",
+            TokenKind::ImplOverlap => "|->",
+            TokenKind::ImplNonOverlap => "|=>",
+            TokenKind::PlusColon => "+:",
+            _ => unreachable!("non-punctuation token"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Module,
+            Keyword::Endmodule,
+            Keyword::Always,
+            Keyword::Property,
+            Keyword::Iff,
+        ] {
+            assert_eq!(Keyword::from_word(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_word("not_a_keyword"), None);
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        assert!(TokenKind::ImplOverlap.describe().contains("|->"));
+        assert!(TokenKind::Keyword(Keyword::Module).describe().contains("module"));
+        assert!(TokenKind::Ident("clk".into()).describe().contains("clk"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Domain scenario 2: nightly-regression triage on a FIFO controller.
+//!
+//! A verification engineer's workflow when a regression turns red:
+//! replay the counterexample, inspect the waveform around the failure,
+//! rank suspect signals by cone-of-influence distance, and list the
+//! highest-ranked candidate repairs — without any trained model, using the
+//! self-verifying o1-style engine as the triage assistant.
+//!
+//! Run with: `cargo run --release --example triage_regression`
+
+use assertsolver_core::baselines::SelfVerifyEngine;
+use assertsolver_core::lm::NgramLm;
+use assertsolver_core::localize::localize;
+use assertsolver_core::{RepairEngine, RepairTask};
+use asv_sva::bmc::{Verdict, Verifier};
+
+/// FIFO credit controller with a seeded increment bug: an accepted push
+/// bumps the occupancy by 2 instead of 1, so the very first push breaks
+/// the `p_push` bookkeeping property (and eventually the depth bound).
+const BUGGY_FIFO: &str = r#"
+module fifo_ctrl(input clk, input rst_n, input push, input pop,
+                 output full, output empty, output reg [3:0] count);
+  wire do_push;
+  wire do_pop;
+  assign full = count == 4'd8;
+  assign empty = count == 4'd0;
+  assign do_push = push && !full;
+  assign do_pop = pop && !empty;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) count <= 4'd0;
+    else if (do_push && !do_pop) count <= count + 4'd2;
+    else if (do_pop && !do_push) count <= count - 4'd1;
+  end
+  property p_bound;
+    @(posedge clk) disable iff (!rst_n) 1'b1 |-> count <= 4'd8;
+  endproperty
+  a_bound: assert property (p_bound) else $error("occupancy above depth 8");
+  property p_push;
+    @(posedge clk) disable iff (!rst_n)
+    do_push && !do_pop |-> ##1 count == $past(count) + 4'd1;
+  endproperty
+  a_push: assert property (p_push) else $error("push must raise occupancy");
+endmodule
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = asv_verilog::compile(BUGGY_FIFO)?;
+    let verifier = Verifier::new();
+
+    // 1. The regression fails; replay the counterexample.
+    let Verdict::Fails(cex) = verifier.check(&design)? else {
+        panic!("regression should be red");
+    };
+    println!("regression logs:");
+    for log in &cex.logs {
+        println!("  {log}");
+    }
+
+    // 2. Look at the waveform around the failure.
+    let trace = verifier.replay(&design, &cex)?;
+    println!("\nwaveform (sampled values per cycle):");
+    print!(
+        "{}",
+        trace.format_signals(&["push", "pop", "count", "full", "empty"])
+    );
+
+    // 3. Rank suspects by cone-of-influence distance from the assertion.
+    let loc = localize(&design.module);
+    let mut suspects: Vec<_> = loc.suspiciousness.iter().collect();
+    suspects.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap_or(std::cmp::Ordering::Equal));
+    println!("\nsuspect ranking (cone-of-influence):");
+    for (sig, score) in suspects.iter().take(5) {
+        println!("  {sig:<10} {score:.2}");
+    }
+
+    // 4. Ask the self-verifying triage engine for candidate repairs.
+    let engine = SelfVerifyEngine::o1(NgramLm::new());
+    let task = RepairTask {
+        spec: "Depth-8 FIFO credit controller: count rises on accepted push, \
+               falls on accepted pop, and never exceeds 8."
+            .into(),
+        buggy_source: BUGGY_FIFO.into(),
+        logs: cex.logs.clone(),
+    };
+    let responses = engine.respond(&task, 5, 7);
+    println!("\ntriage suggestions:");
+    let mut seen = std::collections::BTreeSet::new();
+    for r in &responses {
+        if seen.insert(r.fix.clone()) {
+            println!("  line {}: `{}` -> `{}`", r.line_no, r.buggy_line, r.fix);
+        }
+    }
+    Ok(())
+}
