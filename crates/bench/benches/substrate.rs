@@ -1,22 +1,31 @@
 //! Criterion micro-benchmarks for every substrate stage: parser front end,
 //! simulator, bounded verifier, candidate enumeration and policy scoring.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use asv_datagen::corpus::{Archetype, CorpusGen, SizeHint};
-use asv_mutation::repairspace::candidates;
-use asv_sim::Simulator;
-use asv_sva::bmc::Verifier;
 use assertsolver_core::features::{extract, CaseContext};
 use assertsolver_core::lm::NgramLm;
 use assertsolver_core::policy::Policy;
+use asv_datagen::corpus::{Archetype, CorpusGen, SizeHint};
+use asv_mutation::repairspace::candidates;
+use asv_sim::{AstSimulator, CompiledDesign, Simulator};
+use asv_sva::bmc::Verifier;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn fixture() -> String {
     let gen = CorpusGen::new(7);
     let mut rng = StdRng::seed_from_u64(3);
-    gen.instantiate(Archetype::FifoCtrl, 0, SizeHint { stages: 3, width: 4 }, &mut rng)
-        .source
+    gen.instantiate(
+        Archetype::FifoCtrl,
+        0,
+        SizeHint {
+            stages: 3,
+            width: 4,
+        },
+        &mut rng,
+    )
+    .source
 }
 
 fn bench_frontend(c: &mut Criterion) {
@@ -35,12 +44,30 @@ fn bench_frontend(c: &mut Criterion) {
 
 fn bench_simulator(c: &mut Criterion) {
     let design = asv_verilog::compile(&fixture()).expect("compile");
+    // Interpreted reference backend: per-node AST walking, name-keyed
+    // state, fixpoint settling.
     c.bench_function("simulate_64_cycles", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(black_box(&design));
+            let mut sim = AstSimulator::new(black_box(&design));
             sim.step(&[("rst_n", 0)]).expect("reset");
             for _ in 0..63 {
-                sim.step(&[("rst_n", 1), ("push0", 1), ("pop0", 0)]).expect("step");
+                sim.step(&[("rst_n", 1), ("push0", 1), ("pop0", 0)])
+                    .expect("step");
+            }
+            sim.into_trace().len()
+        })
+    });
+    // Compiled backend, amortised: the design is lowered once and each
+    // iteration restarts from the shared CompiledDesign — the shape of the
+    // bounded verifier's per-stimulus loop.
+    let compiled = Arc::new(CompiledDesign::compile(&design));
+    c.bench_function("simulate_64_cycles_compiled", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::from_compiled(Arc::clone(black_box(&compiled)));
+            sim.step(&[("rst_n", 0)]).expect("reset");
+            for _ in 0..63 {
+                sim.step(&[("rst_n", 1), ("push0", 1), ("pop0", 0)])
+                    .expect("step");
             }
             sim.into_trace().len()
         })
@@ -56,7 +83,10 @@ fn bench_verifier(c: &mut Criterion) {
         random_runs: 8,
         seed: 1,
     };
-    c.bench_function("bmc_check", |b| {
+    // `Verifier::check` compiles once then resets per stimulus; the seed's
+    // `bmc_check` number (full Design clone + AST walk per stimulus) is
+    // the baseline this is measured against.
+    c.bench_function("verify_compiled", |b| {
         b.iter(|| verifier.check(black_box(&design)).expect("check"))
     });
 }

@@ -4,9 +4,9 @@
 //! textbook DPO pathology — chosen-likelihood collapse — when the NLL and
 //! replay stabilisers are disabled.
 
-use asv_bench::{Experiment, Scale};
 use assertsolver_core::prelude::*;
 use assertsolver_core::train::dpo;
+use asv_bench::{Experiment, Scale};
 
 fn main() {
     let exp = Experiment::prepare(Scale::from_env());
@@ -20,9 +20,21 @@ fn main() {
         sft_run.pass_at(5) * 100.0
     );
     let variants = [
-        ("beta=0.01", DpoConfig { beta: 0.01, ..DpoConfig::default() }),
+        (
+            "beta=0.01",
+            DpoConfig {
+                beta: 0.01,
+                ..DpoConfig::default()
+            },
+        ),
         ("beta=0.1 (paper)", DpoConfig::default()),
-        ("beta=1.0", DpoConfig { beta: 1.0, ..DpoConfig::default() }),
+        (
+            "beta=1.0",
+            DpoConfig {
+                beta: 1.0,
+                ..DpoConfig::default()
+            },
+        ),
         (
             "no stabilisers (raw DPO)",
             DpoConfig {

@@ -1,9 +1,9 @@
 //! Ablation: zeroing one policy feature at a time after full training
 //! (DESIGN.md §6.2) — how much each evidence source contributes.
 
-use asv_bench::{Experiment, Scale};
 use assertsolver_core::features::FEATURE_NAMES;
 use assertsolver_core::prelude::*;
+use asv_bench::{Experiment, Scale};
 
 fn main() {
     let exp = Experiment::prepare(Scale::from_env());

@@ -1,14 +1,17 @@
 //! Regenerates **Fig. 3**: histogram of correct answers c across the 20
 //! responses, SFT model vs AssertSolver (RQ1 uncertainty analysis).
 
+use assertsolver_core::prelude::*;
 use asv_bench::{Experiment, Scale};
 use asv_eval::EvalRun;
-use assertsolver_core::prelude::*;
 
 fn main() {
     let exp = Experiment::prepare(Scale::from_env());
     let sft_run = exp.evaluate(&Solver::with_name(exp.sft_model.clone(), "SFT Model"));
-    let dpo_run = exp.evaluate(&Solver::with_name(exp.assert_solver.clone(), "AssertSolver"));
+    let dpo_run = exp.evaluate(&Solver::with_name(
+        exp.assert_solver.clone(),
+        "AssertSolver",
+    ));
     let refs: Vec<&EvalRun> = vec![&sft_run, &dpo_run];
     println!(
         "{}",

@@ -1,11 +1,11 @@
 //! Regenerates **Fig. 4**: AssertSolver vs the closed-source proxies per
 //! bug type (a) and per code-length interval (b), pass@1 and pass@5 (RQ4).
 
-use asv_bench::{Experiment, Scale};
-use asv_eval::EvalRun;
 use assertsolver_core::baselines::{HeuristicEngine, SelfVerifyEngine};
 use assertsolver_core::prelude::*;
 use assertsolver_core::RepairEngine;
+use asv_bench::{Experiment, Scale};
+use asv_eval::EvalRun;
 
 fn main() {
     let exp = Experiment::prepare(Scale::from_env());

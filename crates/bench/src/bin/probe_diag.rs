@@ -1,18 +1,29 @@
 //! Development probe: per-subset and per-category diagnosis of the SFT
 //! model, with concrete c=0 failure cases printed for inspection.
-use asv_bench::{Experiment, Scale};
-use asv_eval::{evaluate, EvalConfig, Judge};
 use assertsolver_core::prelude::*;
 use assertsolver_core::RepairTask;
+use asv_bench::{Experiment, Scale};
+use asv_eval::{evaluate, EvalConfig, Judge};
 
 fn main() {
     let exp = Experiment::prepare(Scale::from_env());
     let engine = Solver::with_name(exp.sft_model.clone(), "SFT");
-    let run = evaluate(&engine, &exp.bench, &EvalConfig::default(), &mut Judge::fast());
-    println!("machine pass@1={:.2}% human pass@1={:.2}%",
-        run.pass_at_subset(1,false)*100.0, run.pass_at_subset(1,true)*100.0);
+    let run = evaluate(
+        &engine,
+        &exp.bench,
+        &EvalConfig::default(),
+        &mut Judge::fast(),
+    );
+    println!(
+        "machine pass@1={:.2}% human pass@1={:.2}%",
+        run.pass_at_subset(1, false) * 100.0,
+        run.pass_at_subset(1, true) * 100.0
+    );
     for cat in asv_mutation::BugCategory::ALL {
-        println!("  {cat}: pass@1={:.2}%", run.pass_at_category(1,cat)*100.0);
+        println!(
+            "  {cat}: pass@1={:.2}%",
+            run.pass_at_category(1, cat) * 100.0
+        );
     }
     // show a few total failures (c = 0)
     let mut shown = 0;
@@ -21,9 +32,15 @@ fn main() {
             let e = &bc.entry;
             let task = RepairTask::from(e);
             let rs = engine.respond(&task, 3, 0);
-            println!("-- c=0 {} ({:?},{:?}) bug `{}` golden `{}` model-> `{}`",
-                e.module_name, e.class.syntactic, e.length_bin, e.buggy_line, e.fixed_line,
-                rs.first().map(|r| r.fix.as_str()).unwrap_or("-"));
+            println!(
+                "-- c=0 {} ({:?},{:?}) bug `{}` golden `{}` model-> `{}`",
+                e.module_name,
+                e.class.syntactic,
+                e.length_bin,
+                e.buggy_line,
+                e.fixed_line,
+                rs.first().map(|r| r.fix.as_str()).unwrap_or("-")
+            );
             shown += 1;
         }
     }

@@ -1,8 +1,8 @@
 //! Development probe: pass@k of the SFT model across sampling
 //! temperatures — quantifies the precision/diversity head-room that the
 //! DPO phase can exploit.
-use asv_bench::{Experiment, Scale};
 use assertsolver_core::prelude::*;
+use asv_bench::{Experiment, Scale};
 
 fn main() {
     let exp = Experiment::prepare(Scale::from_env());
@@ -10,6 +10,10 @@ fn main() {
         let mut m = exp.sft_model.clone();
         m.policy.temperature = temp;
         let run = exp.evaluate(&Solver::with_name(m, format!("SFT@t={temp}")));
-        println!("temp={temp}: pass@1={:.2}% pass@5={:.2}%", run.pass_at(1)*100.0, run.pass_at(5)*100.0);
+        println!(
+            "temp={temp}: pass@1={:.2}% pass@5={:.2}%",
+            run.pass_at(1) * 100.0,
+            run.pass_at(5) * 100.0
+        );
     }
 }

@@ -38,7 +38,9 @@ fn main() {
     );
     let mut covered: Vec<BugCategory> = Vec::new();
     for m in enumerate(&design) {
-        let Ok(inj) = apply(&design, &m) else { continue };
+        let Ok(inj) = apply(&design, &m) else {
+            continue;
+        };
         let Ok(buggy) = asv_verilog::compile(&inj.buggy_source) else {
             continue;
         };

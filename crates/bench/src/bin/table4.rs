@@ -1,11 +1,11 @@
 //! Regenerates **Table IV**: AssertSolver vs the six comparator proxies on
 //! SVA-Eval-Machine, SVA-Eval-Human and the full benchmark (RQ2/RQ3).
 
-use asv_bench::{Experiment, Scale};
-use asv_eval::EvalRun;
 use assertsolver_core::baselines::{HeuristicEngine, SelfVerifyEngine};
 use assertsolver_core::prelude::*;
 use assertsolver_core::RepairEngine;
+use asv_bench::{Experiment, Scale};
+use asv_eval::EvalRun;
 
 fn main() {
     let exp = Experiment::prepare(Scale::from_env());
@@ -14,10 +14,7 @@ fn main() {
         Box::new(HeuristicEngine::claude35(lm.clone())),
         Box::new(HeuristicEngine::gpt4(lm.clone())),
         Box::new(SelfVerifyEngine::o1(lm.clone())),
-        Box::new(Solver::with_name(
-            exp.base.clone(),
-            "Deepseek-coder-proxy",
-        )),
+        Box::new(Solver::with_name(exp.base.clone(), "Deepseek-coder-proxy")),
         Box::new(HeuristicEngine::codellama(lm.clone())),
         Box::new(HeuristicEngine::llama31(lm)),
         Box::new(Solver::with_name(exp.assert_solver.clone(), "AssertSolver")),

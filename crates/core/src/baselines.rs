@@ -238,10 +238,7 @@ mod tests {
         // patch for this easy case.
         let e = SelfVerifyEngine::o1(lm());
         let rs = e.respond(&task(), 20, 5);
-        let good = rs
-            .iter()
-            .filter(|r| r.fix.contains("q <= d"))
-            .count();
+        let good = rs.iter().filter(|r| r.fix.contains("q <= d")).count();
         assert!(
             good >= 12,
             "o1 proxy anchored only {good}/20 on the verified fix"

@@ -64,7 +64,11 @@ impl CaseContext {
         let failing = crate::localize::failing_assertions(logs);
         let localization = crate::localize::localize_filtered(
             module,
-            if failing.is_empty() { None } else { Some(&failing) },
+            if failing.is_empty() {
+                None
+            } else {
+                Some(&failing)
+            },
         );
         let spec_tokens = spec
             .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
@@ -379,8 +383,12 @@ mod tests {
 
     #[test]
     fn dot_is_linear() {
-        let w: Features = [1.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 0.0];
-        let f: Features = [1.0, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.25, 0.0, 0.0, 0.0, 0.0];
+        let w: Features = [
+            1.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 0.0,
+        ];
+        let f: Features = [
+            1.0, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.25, 0.0, 0.0, 0.0, 0.0,
+        ];
         assert!((dot(&w, &f) - (1.0 + 1.0 - 0.25)).abs() < 1e-12);
     }
 }

@@ -199,8 +199,14 @@ mod tests {
     #[test]
     fn responses_are_deterministic_per_seed() {
         let solver = Solver::new(base_model(&[]));
-        assert_eq!(solver.respond(&task(), 10, 3), solver.respond(&task(), 10, 3));
-        assert_ne!(solver.respond(&task(), 10, 3), solver.respond(&task(), 10, 4));
+        assert_eq!(
+            solver.respond(&task(), 10, 3),
+            solver.respond(&task(), 10, 3)
+        );
+        assert_ne!(
+            solver.respond(&task(), 10, 3),
+            solver.respond(&task(), 10, 4)
+        );
     }
 
     #[test]
@@ -227,6 +233,9 @@ mod tests {
 
     #[test]
     fn names_follow_stage() {
-        assert_eq!(Solver::new(base_model(&[])).name(), "Deepseek-coder-proxy (base)");
+        assert_eq!(
+            Solver::new(base_model(&[])).name(),
+            "Deepseek-coder-proxy (base)"
+        );
     }
 }

@@ -71,10 +71,7 @@ impl NgramLm {
     /// back-off through bigram and unigram estimates (add-1 smoothing).
     pub fn log_prob(&self, prev2: &str, prev1: &str, token: &str) -> f64 {
         let v = (self.vocab.max(1) + 1) as f64;
-        if let Some(counts) = self
-            .trigrams
-            .get(&(prev2.to_string(), prev1.to_string()))
-        {
+        if let Some(counts) = self.trigrams.get(&(prev2.to_string(), prev1.to_string())) {
             let ctx: u32 = counts.values().sum();
             if ctx >= 2 {
                 let c = counts.get(token).copied().unwrap_or(0);
@@ -150,10 +147,7 @@ mod tests {
         let lm = trained();
         let idiom = lm.score_line("q <= q + 4'd1;");
         let noise = lm.score_line("endmodule begin <= |-> posedge q q q");
-        assert!(
-            idiom > noise,
-            "idiomatic {idiom} should beat noise {noise}"
-        );
+        assert!(idiom > noise, "idiomatic {idiom} should beat noise {noise}");
     }
 
     #[test]

@@ -31,10 +31,7 @@ impl Localization {
     /// The maximum suspiciousness over a set of signals (used to score a
     /// candidate line by the signals it assigns).
     pub fn max_over<'a, I: IntoIterator<Item = &'a str>>(&self, signals: I) -> f64 {
-        signals
-            .into_iter()
-            .map(|s| self.of(s))
-            .fold(0.0, f64::max)
+        signals.into_iter().map(|s| self.of(s)).fold(0.0, f64::max)
     }
 }
 

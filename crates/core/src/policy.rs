@@ -83,9 +83,7 @@ impl Policy {
     /// Samples `n` candidate indices with replacement (the paper's n = 20
     /// responses per case).
     pub fn sample_n(&self, features: &[Features], n: usize, rng: &mut StdRng) -> Vec<usize> {
-        (0..n)
-            .filter_map(|_| self.sample(features, rng))
-            .collect()
+        (0..n).filter_map(|_| self.sample(features, rng)).collect()
     }
 
     /// The argmax candidate.

@@ -65,8 +65,8 @@ pub fn tokenize(line: &str) -> Vec<String> {
         }
         // Multi-character operators, longest first.
         const OPS: [&str; 20] = [
-            "|->", "|=>", "<<<", ">>>", "===", "!==", "##", "&&", "||", "==", "!=", "<=",
-            ">=", "<<", ">>", "**", "~^", "~&", "~|", "+:",
+            "|->", "|=>", "<<<", ">>>", "===", "!==", "##", "&&", "||", "==", "!=", "<=", ">=",
+            "<<", ">>", "**", "~^", "~&", "~|", "+:",
         ];
         let rest = &line[i..];
         if let Some(op) = OPS.iter().find(|op| rest.starts_with(**op)) {
@@ -114,15 +114,15 @@ mod tests {
 
     #[test]
     fn sva_operators_are_single_tokens() {
-        assert_eq!(
-            tokenize("a |-> ##1 b"),
-            vec!["a", "|->", "##", "1", "b"]
-        );
+        assert_eq!(tokenize("a |-> ##1 b"), vec!["a", "|->", "##", "1", "b"]);
     }
 
     #[test]
     fn sys_idents_keep_dollar() {
-        assert_eq!(tokenize("$past(d, 1)"), vec!["$past", "(", "d", ",", "1", ")"]);
+        assert_eq!(
+            tokenize("$past(d, 1)"),
+            vec!["$past", "(", "d", ",", "1", ")"]
+        );
     }
 
     #[test]

@@ -68,10 +68,7 @@ impl PreparedCase {
 /// Extracts features for every training entry (done once; reused across
 /// epochs). Entries whose buggy source fails to compile are skipped.
 pub fn prepare_cases(entries: &[SvaBugEntry], lm: &NgramLm) -> Vec<PreparedCase> {
-    entries
-        .iter()
-        .filter_map(|e| prepare_case(e, lm))
-        .collect()
+    entries.iter().filter_map(|e| prepare_case(e, lm)).collect()
 }
 
 /// Prepares one case.
@@ -230,8 +227,7 @@ pub fn sft(
             cases.push(c);
         }
     }
-    let trainable: Vec<&PreparedCase> =
-        cases.iter().filter(|c| !c.golden.is_empty()).collect();
+    let trainable: Vec<&PreparedCase> = cases.iter().filter(|c| !c.golden.is_empty()).collect();
     let mut policy = base.policy.clone();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let total_steps = (trainable.len() * config.epochs).max(1);
@@ -298,10 +294,7 @@ pub fn mine_challenging(
             continue;
         }
         let picks = policy.sample_n(&case.features, config.samples, &mut rng);
-        let mut rejected: Vec<usize> = picks
-            .into_iter()
-            .filter(|&p| !case.is_golden(p))
-            .collect();
+        let mut rejected: Vec<usize> = picks.into_iter().filter(|&p| !case.is_golden(p)).collect();
         rejected.sort_unstable();
         rejected.dedup();
         if !rejected.is_empty() {
@@ -317,11 +310,7 @@ pub fn mine_challenging(
 
 /// Phase 3: DPO over the mined triples, with the SFT model frozen as the
 /// reference — yields the full AssertSolver.
-pub fn dpo(
-    sft_model: &Model,
-    cases: &[PreparedCase],
-    config: &DpoConfig,
-) -> Model {
+pub fn dpo(sft_model: &Model, cases: &[PreparedCase], config: &DpoConfig) -> Model {
     let triples = mine_challenging(sft_model, cases, config);
     dpo_with_triples(sft_model, cases, &triples, config)
 }
@@ -348,23 +337,23 @@ pub fn dpo_with_triples(
                 // Δf = f(p) − f(n); h = β (θ−θ_ref)·Δf (partition
                 // functions cancel for a shared candidate set).
                 let mut df = [0.0; FEATURE_DIM];
-                for k in 0..FEATURE_DIM {
-                    df[k] = fp[k] - fn_[k];
+                for (d, (p, q)) in df.iter_mut().zip(fp.iter().zip(fn_.iter())) {
+                    *d = p - q;
                 }
                 let h: f64 = (0..FEATURE_DIM)
                     .map(|k| (policy.weights[k] - theta_ref[k]) * df[k])
                     .sum::<f64>()
                     * config.beta;
                 let sig = 1.0 / (1.0 + h.exp()); // σ(−h)
-                for k in 0..FEATURE_DIM {
-                    policy.weights[k] += config.lr * sig * config.beta * df[k];
+                for (w, d) in policy.weights.iter_mut().zip(df.iter()) {
+                    *w += config.lr * sig * config.beta * d;
                 }
             }
             // Chosen-NLL stabiliser on the challenging case.
             if config.nll_weight > 0.0 {
                 let g = nll_grad(&policy, case, t.chosen);
-                for k in 0..FEATURE_DIM {
-                    policy.weights[k] += config.lr * config.nll_weight * g[k];
+                for (w, gk) in policy.weights.iter_mut().zip(g.iter()) {
+                    *w += config.lr * config.nll_weight * gk;
                 }
             }
         }
@@ -376,8 +365,8 @@ pub fn dpo_with_triples(
                     continue;
                 };
                 let g = nll_grad(&policy, case, golden);
-                for k in 0..FEATURE_DIM {
-                    policy.weights[k] += config.lr * config.replay_weight * g[k];
+                for (w, gk) in policy.weights.iter_mut().zip(g.iter()) {
+                    *w += config.lr * config.replay_weight * gk;
                 }
             }
         }

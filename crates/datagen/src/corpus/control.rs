@@ -80,7 +80,7 @@ pub fn handshake(name: &str, hint: SizeHint) -> (String, String) {
     }
     src.push_str("\n);\n");
     for k in 0..lanes {
-        let _ = write!(src, "  reg busy{k};\n");
+        let _ = writeln!(src, "  reg busy{k};");
         let _ = write!(
             src,
             "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) begin\n      ack{k} <= 1'b0;\n      busy{k} <= 1'b0;\n    end else if (req{k} && !busy{k}) begin\n      ack{k} <= 1'b1;\n      busy{k} <= 1'b1;\n    end else begin\n      ack{k} <= 1'b0;\n      if (busy{k} && !req{k}) busy{k} <= 1'b0;\n    end\n  end\n"

@@ -38,11 +38,17 @@ pub fn alu(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, String) {
         w - 1
     );
     src.push_str("  always @(posedge clk or negedge rst_n) begin\n");
-    let _ = write!(src, "    if (!rst_n) r <= {w}'d0;\n    else begin\n      case (op)\n");
+    let _ = write!(
+        src,
+        "    if (!rst_n) r <= {w}'d0;\n    else begin\n      case (op)\n"
+    );
     for (i, (expr, _)) in ops.iter().enumerate() {
-        let _ = write!(src, "        {ow}'d{i}: r <= {expr};\n");
+        let _ = writeln!(src, "        {ow}'d{i}: r <= {expr};");
     }
-    let _ = write!(src, "        default: r <= {w}'d0;\n      endcase\n    end\n  end\n");
+    let _ = write!(
+        src,
+        "        default: r <= {w}'d0;\n      endcase\n    end\n  end\n"
+    );
     // Properties for the first three ops.
     for (i, (_, past)) in ops.iter().enumerate().take(3) {
         let _ = write!(
@@ -83,7 +89,7 @@ pub fn arbiter(name: &str, hint: SizeHint) -> (String, String) {
     src.push_str("  assign gnt[0] = req[0];\n");
     for k in 1..n {
         let mask: Vec<String> = (0..k).map(|j| format!("~req[{j}]")).collect();
-        let _ = write!(src, "  assign gnt[{k}] = req[{k}] & {};\n", mask.join(" & "));
+        let _ = writeln!(src, "  assign gnt[{k}] = req[{k}] & {};", mask.join(" & "));
     }
     src.push_str(
         "  property p_grant0;\n    @(posedge clk)\n    req[0] |-> gnt[0];\n  endproperty\n  a_grant0: assert property (p_grant0) else $error(\"requester 0 has absolute priority\");\n",
@@ -120,13 +126,13 @@ pub fn pwm(name: &str, hint: SizeHint) -> (String, String) {
         let _ = write!(src, ",\n  input [{}:0] duty{k},\n  output out{k}", w - 1);
     }
     src.push_str("\n);\n");
-    let _ = write!(src, "  reg [{}:0] cnt;\n", w - 1);
+    let _ = writeln!(src, "  reg [{}:0] cnt;", w - 1);
     let _ = write!(
         src,
         "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) cnt <= {w}'d0;\n    else cnt <= cnt + {w}'d1;\n  end\n"
     );
     for k in 0..lanes {
-        let _ = write!(src, "  assign out{k} = cnt < duty{k};\n");
+        let _ = writeln!(src, "  assign out{k} = cnt < duty{k};");
         let _ = write!(
             src,
             "  property p_shape{k};\n    @(posedge clk) disable iff (!rst_n)\n    out{k} == (cnt < duty{k});\n  endproperty\n  a_shape{k}: assert property (p_shape{k}) else $error(\"PWM output shape violated\");\n"
@@ -143,7 +149,10 @@ pub fn pwm(name: &str, hint: SizeHint) -> (String, String) {
             ("clk", "clock"),
             ("rst_n", "active-low asynchronous reset"),
             ("duty*", &format!("{w}-bit duty thresholds")),
-            ("out*", "PWM outputs, high while the counter is below the duty"),
+            (
+                "out*",
+                "PWM outputs, high while the counter is below the duty",
+            ),
         ],
         &format!(
             "{lanes} PWM channels sharing one free-running {w}-bit counter; \

@@ -147,7 +147,7 @@ impl CorpusGen {
                     _ => rng.gen_range(10..16),
                 },
                 width: *[2u32, 4, 4, 8, 8, 16]
-                    .get(rng.gen_range(0..6))
+                    .get(rng.gen_range(0..6usize))
                     .unwrap_or(&4),
             };
             out.push(self.instantiate(arch, i, hint, &mut rng));
@@ -189,7 +189,21 @@ impl CorpusGen {
     /// Produces a syntactically corrupted variant of a design, used to
     /// populate the compile-failure stream of the Verilog-PT dataset.
     /// Returns the corrupted source and a human-readable corruption note.
+    ///
+    /// The corruption is guaranteed not to compile: picks that leave the
+    /// source parseable (e.g. deleting a semicolon the grammar tolerates)
+    /// fall back to dropping `endmodule`.
     pub fn corrupt(&self, design: &GeneratedDesign, rng: &mut StdRng) -> (String, String) {
+        let (src, note) = self.corrupt_inner(design, rng);
+        if asv_verilog::compile(&src).is_ok() {
+            let lines: Vec<&str> = design.source.lines().collect();
+            let src = lines[..lines.len().saturating_sub(1)].join("\n");
+            return (src, "missing `endmodule`".to_string());
+        }
+        (src, note)
+    }
+
+    fn corrupt_inner(&self, design: &GeneratedDesign, rng: &mut StdRng) -> (String, String) {
         let lines: Vec<&str> = design.source.lines().collect();
         let kind = rng.gen_range(0..4);
         match kind {
@@ -219,14 +233,26 @@ impl CorpusGen {
                 )
             }
             2 => {
-                // Misspell a keyword.
+                // Misspell a keyword; designs without one (pure
+                // combinational archetypes) lose `endmodule` instead so
+                // the corruption always bites.
                 let src = design.source.replacen("always", "alway", 1);
-                (src, "misspelled keyword `always`".to_string())
+                if src == design.source {
+                    let src = lines[..lines.len().saturating_sub(1)].join("\n");
+                    (src, "missing `endmodule`".to_string())
+                } else {
+                    (src, "misspelled keyword `always`".to_string())
+                }
             }
             _ => {
-                // Unbalance begin/end.
+                // Unbalance begin/end, falling back like case 2.
                 let src = design.source.replacen("end\n", "\n", 1);
-                (src, "unbalanced `begin`/`end`".to_string())
+                if src == design.source {
+                    let src = lines[..lines.len().saturating_sub(1)].join("\n");
+                    (src, "missing `endmodule`".to_string())
+                } else {
+                    (src, "unbalanced `begin`/`end`".to_string())
+                }
             }
         }
     }
@@ -268,12 +294,11 @@ mod tests {
                     SizeHint { stages, width: 4 },
                     &mut rng,
                 );
-                let design = compile(&d.source).unwrap_or_else(|e| {
-                    panic!("{arch} failed to compile: {e}\n{}", d.source)
-                });
-                let verdict = verifier.check(&design).unwrap_or_else(|e| {
-                    panic!("{arch} verification errored: {e}\n{}", d.source)
-                });
+                let design = compile(&d.source)
+                    .unwrap_or_else(|e| panic!("{arch} failed to compile: {e}\n{}", d.source));
+                let verdict = verifier
+                    .check(&design)
+                    .unwrap_or_else(|e| panic!("{arch} verification errored: {e}\n{}", d.source));
                 match verdict {
                     Verdict::Holds { vacuous, .. } => {
                         assert!(
@@ -337,7 +362,9 @@ mod tests {
                 broken += 1;
             }
         }
-        assert!(broken >= 10, "only {broken}/12 corruptions failed to compile");
+        // `corrupt` guarantees non-compiling output (compile-checked
+        // fallback), so every corruption must break.
+        assert_eq!(broken, 12, "only {broken}/12 corruptions failed to compile");
     }
 
     #[test]

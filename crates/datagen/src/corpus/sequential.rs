@@ -18,7 +18,11 @@ pub fn counter(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, String)
     let w = hint.width.clamp(2, 16);
     let step = rng.gen_range(1..=3u64);
     let mut src = String::new();
-    let _ = write!(src, "module {name} (\n  input clk,\n  input rst_n,\n  input [{}:0] en", lanes - 1);
+    let _ = write!(
+        src,
+        "module {name} (\n  input clk,\n  input rst_n,\n  input [{}:0] en",
+        lanes - 1
+    );
     for k in 0..lanes {
         let _ = write!(src, ",\n  output reg [{}:0] q{k}", w - 1);
     }
@@ -61,7 +65,10 @@ pub fn accumulator(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, Str
     let sw = w + 2; // sum width for 4 samples
     let _ = rng;
     let mut src = String::new();
-    let _ = write!(src, "module {name} (\n  input clk,\n  input rst_n,\n  input valid_in");
+    let _ = write!(
+        src,
+        "module {name} (\n  input clk,\n  input rst_n,\n  input valid_in"
+    );
     for k in 0..lanes {
         let _ = write!(src, ",\n  input [{}:0] in{k}", w - 1);
         let _ = write!(src, ",\n  output reg [{}:0] sum{k}", sw - 1);
@@ -119,19 +126,19 @@ pub fn shift_chain(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, Str
         w - 1
     );
     for k in 0..depth {
-        let _ = write!(src, "  reg [{}:0] s{k};\n", w - 1);
+        let _ = writeln!(src, "  reg [{}:0] s{k};", w - 1);
     }
     src.push_str("  always @(posedge clk or negedge rst_n) begin\n");
-    let _ = write!(src, "    if (!rst_n) begin\n");
+    let _ = writeln!(src, "    if (!rst_n) begin");
     for k in 0..depth {
-        let _ = write!(src, "      s{k} <= {w}'d0;\n");
+        let _ = writeln!(src, "      s{k} <= {w}'d0;");
     }
     src.push_str("    end else begin\n      s0 <= din;\n");
     for k in 1..depth {
-        let _ = write!(src, "      s{k} <= s{};\n", k - 1);
+        let _ = writeln!(src, "      s{k} <= s{};", k - 1);
     }
     src.push_str("    end\n  end\n");
-    let _ = write!(src, "  assign dout = s{};\n", depth - 1);
+    let _ = writeln!(src, "  assign dout = s{};", depth - 1);
     // Follow properties on the first tap and every third tap.
     let _ = write!(
         src,
@@ -163,18 +170,22 @@ pub fn shift_chain(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, Str
 pub fn edge_detector(name: &str, hint: SizeHint) -> (String, String) {
     let lanes = hint.stages.clamp(1, 12);
     let mut src = String::new();
-    let _ = write!(src, "module {name} (\n  input clk,\n  input rst_n,\n  input [{}:0] din", lanes - 1);
+    let _ = write!(
+        src,
+        "module {name} (\n  input clk,\n  input rst_n,\n  input [{}:0] din",
+        lanes - 1
+    );
     for k in 0..lanes {
         let _ = write!(src, ",\n  output pulse{k}");
     }
     src.push_str("\n);\n");
     for k in 0..lanes {
-        let _ = write!(src, "  reg prev{k};\n");
+        let _ = writeln!(src, "  reg prev{k};");
         let _ = write!(
             src,
             "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) prev{k} <= 1'b0;\n    else prev{k} <= din[{k}];\n  end\n"
         );
-        let _ = write!(src, "  assign pulse{k} = din[{k}] & ~prev{k};\n");
+        let _ = writeln!(src, "  assign pulse{k} = din[{k}] & ~prev{k};");
         let _ = write!(
             src,
             "  property p_edge{k};\n    @(posedge clk) disable iff (!rst_n)\n    pulse{k} |-> din[{k}] && !$past(din[{k}]);\n  endproperty\n  a_edge{k}: assert property (p_edge{k}) else $error(\"pulse{k} must mark a rising edge\");\n"
@@ -189,7 +200,9 @@ pub fn edge_detector(name: &str, hint: SizeHint) -> (String, String) {
             ("din", "monitored level inputs"),
             ("pulse*", "one-cycle pulse on each rising edge of din[k]"),
         ],
-        &format!("{lanes} rising-edge detectors; pulse k is high exactly when din[k] rose this cycle."),
+        &format!(
+            "{lanes} rising-edge detectors; pulse k is high exactly when din[k] rose this cycle."
+        ),
     );
     (src, spec)
 }
@@ -245,10 +258,10 @@ pub fn fifo_ctrl(name: &str, hint: SizeHint, rng: &mut StdRng) -> (String, Strin
     src.push_str("\n);\n");
     for k in 0..lanes {
         let _ = write!(src, "  wire do_push{k};\n  wire do_pop{k};\n");
-        let _ = write!(src, "  assign full{k} = count{k} == {cw}'d{depth};\n");
-        let _ = write!(src, "  assign empty{k} = count{k} == {cw}'d0;\n");
-        let _ = write!(src, "  assign do_push{k} = push{k} && !full{k};\n");
-        let _ = write!(src, "  assign do_pop{k} = pop{k} && !empty{k};\n");
+        let _ = writeln!(src, "  assign full{k} = count{k} == {cw}'d{depth};");
+        let _ = writeln!(src, "  assign empty{k} = count{k} == {cw}'d0;");
+        let _ = writeln!(src, "  assign do_push{k} = push{k} && !full{k};");
+        let _ = writeln!(src, "  assign do_pop{k} = pop{k} && !empty{k};");
         let _ = write!(
             src,
             "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) count{k} <= {cw}'d0;\n    else if (do_push{k} && !do_pop{k}) count{k} <= count{k} + {cw}'d1;\n    else if (do_pop{k} && !do_push{k}) count{k} <= count{k} - {cw}'d1;\n  end\n"

@@ -85,7 +85,11 @@ impl CotGen {
         let mut steps: Vec<String> = Vec::new();
         steps.push(format!(
             "The simulation log reports: {}.",
-            entry.logs.first().map(String::as_str).unwrap_or("an assertion failure")
+            entry
+                .logs
+                .first()
+                .map(String::as_str)
+                .unwrap_or("an assertion failure")
         ));
         // Cone-of-influence evidence from the real dependency graph.
         if let Ok(unit) = parse(&entry.buggy_source) {
@@ -116,7 +120,9 @@ impl CotGen {
             "Within that cone, line {line_no} (`{buggy}`) drives the checked behaviour \
              and disagrees with the specification."
         ));
-        steps.push(format!("Replacing it with `{fix}` restores the intended logic."));
+        steps.push(format!(
+            "Replacing it with `{fix}` restores the intended logic."
+        ));
         steps
             .iter()
             .enumerate()

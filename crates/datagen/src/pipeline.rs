@@ -4,9 +4,7 @@
 
 use crate::corpus::CorpusGen;
 use crate::cot::CotGen;
-use crate::dataset::{
-    split_by_module, SvaBugEntry, VerilogBugEntry, VerilogPtEntry,
-};
+use crate::dataset::{split_by_module, SvaBugEntry, VerilogBugEntry, VerilogPtEntry};
 use crate::human;
 use crate::stage1::{self, RawItem};
 use crate::stage2::Stage2;

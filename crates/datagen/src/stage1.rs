@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn failures_get_analysis_successes_do_not() {
         let good = item("g", "module m(input a, output y); assign y = ~a; endmodule");
-        let bad = item("b", "module m(input a, output y); assign y = ~ghost; endmodule");
+        let bad = item(
+            "b",
+            "module m(input a, output y); assign y = ~ghost; endmodule",
+        );
         let out = run(vec![good, bad]);
         assert_eq!(out.compiled.len(), 1);
         assert_eq!(out.verilog_pt.len(), 2);

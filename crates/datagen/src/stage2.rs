@@ -97,9 +97,7 @@ impl Stage2 {
                     out.sva_bug.push(SvaBugEntry {
                         module_name: gd.name.clone(),
                         spec: gd.spec.clone(),
-                        length_bin: LengthBin::of_lines(
-                            injection.buggy_source.lines().count(),
-                        ),
+                        length_bin: LengthBin::of_lines(injection.buggy_source.lines().count()),
                         buggy_source: injection.buggy_source.clone(),
                         golden_source: injection.golden_source.clone(),
                         logs: cex.logs,
@@ -155,7 +153,11 @@ mod tests {
             verifier: small_verifier(),
         };
         let out = stage2.run(&designs);
-        assert!(out.rejected_designs.is_empty(), "{:?}", out.rejected_designs);
+        assert!(
+            out.rejected_designs.is_empty(),
+            "{:?}",
+            out.rejected_designs
+        );
         assert!(
             out.sva_bug.len() >= 10,
             "too few SVA-Bug instances: {}",

@@ -8,9 +8,9 @@
 //! Results are memoised by patched-source hash, since the 20 samples per
 //! case repeat candidates heavily.
 
+use assertsolver_core::Response;
 use asv_datagen::SvaBugEntry;
 use asv_sva::bmc::Verifier;
-use assertsolver_core::Response;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -43,7 +43,7 @@ impl Judge {
             reset_cycles: 2,
             exhaustive_limit: 256,
             random_runs: 16,
-            seed: 0x7E57_ED,
+            seed: 0x007E_57ED,
         })
     }
 
@@ -78,11 +78,7 @@ impl Judge {
     }
 
     /// Counts effective responses among `responses` (the `c` of pass@k).
-    pub fn count_effective(
-        &mut self,
-        entry: &SvaBugEntry,
-        responses: &[Response],
-    ) -> usize {
+    pub fn count_effective(&mut self, entry: &SvaBugEntry, responses: &[Response]) -> usize {
         responses
             .iter()
             .filter(|r| self.effective(entry, r))

@@ -93,10 +93,10 @@ mod tests {
             let k = k.min(n);
             let p = pass_at_k(n, c, k);
             prop_assert!((0.0..=1.0).contains(&p));
-            if c + 1 <= n {
+            if c < n {
                 prop_assert!(pass_at_k(n, c + 1, k) >= p);
             }
-            if k + 1 <= n {
+            if k < n {
                 prop_assert!(pass_at_k(n, c, k + 1) >= p);
             }
         }

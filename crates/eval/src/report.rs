@@ -6,13 +6,12 @@ use asv_datagen::dataset::LengthBin;
 use asv_mutation::BugCategory;
 use std::fmt::Write;
 
+/// One table column: header plus the metric extracted per run.
+pub type Column<'a> = (&'a str, &'a dyn Fn(&EvalRun) -> f64);
+
 /// Renders a generic percentage table: one row per run, the given column
 /// extractors applied to each.
-pub fn pass_table(
-    title: &str,
-    columns: &[(&str, &dyn Fn(&EvalRun) -> f64)],
-    runs: &[&EvalRun],
-) -> String {
+pub fn pass_table(title: &str, columns: &[Column], runs: &[&EvalRun]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
     let name_w = runs
@@ -29,11 +28,7 @@ pub fn pass_table(
     // Column-wise best for the paper's grey shading.
     let best: Vec<f64> = columns
         .iter()
-        .map(|(_, f)| {
-            runs.iter()
-                .map(|r| f(r))
-                .fold(f64::NEG_INFINITY, f64::max)
-        })
+        .map(|(_, f)| runs.iter().map(|r| f(r)).fold(f64::NEG_INFINITY, f64::max))
         .collect();
     for r in runs {
         let _ = write!(out, "{:<name_w$}", r.engine);

@@ -3,9 +3,9 @@
 
 use crate::judge::Judge;
 use crate::passk::mean_pass_at_k;
+use assertsolver_core::{RepairEngine, RepairTask};
 use asv_datagen::dataset::{LengthBin, SvaBugEntry};
 use asv_mutation::BugCategory;
-use assertsolver_core::{RepairEngine, RepairTask};
 use serde::{Deserialize, Serialize};
 
 /// Evaluation protocol parameters (paper: n = 20, k ∈ {1, 5}, temp 0.2).
@@ -45,10 +45,12 @@ pub fn benchmark(machine: &[SvaBugEntry], human: &[SvaBugEntry]) -> Vec<BenchCas
             human: false,
         })
         .collect();
-    out.extend(human.iter().cloned().map(|entry| BenchCase {
-        entry,
-        human: true,
-    }));
+    out.extend(
+        human
+            .iter()
+            .cloned()
+            .map(|entry| BenchCase { entry, human: true }),
+    );
     out
 }
 
@@ -86,10 +88,7 @@ impl EvalRun {
 
     /// pass@k over cases matching a predicate.
     pub fn pass_at_where<F: Fn(&CaseResult) -> bool>(&self, k: usize, pred: F) -> f64 {
-        mean_pass_at_k(
-            self.cases.iter().filter(|c| pred(c)).map(|c| (c.n, c.c)),
-            k,
-        )
+        mean_pass_at_k(self.cases.iter().filter(|c| pred(c)).map(|c| (c.n, c.c)), k)
     }
 
     /// pass@k restricted to a bug category.
@@ -152,8 +151,8 @@ pub fn evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asv_datagen::pipeline::{run as run_pipeline, PipelineConfig};
     use assertsolver_core::prelude::*;
+    use asv_datagen::pipeline::{run as run_pipeline, PipelineConfig};
 
     fn small_eval() -> (Vec<BenchCase>, EvalConfig) {
         let ds = run_pipeline(&PipelineConfig::quick());

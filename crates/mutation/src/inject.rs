@@ -441,7 +441,9 @@ mod tests {
         let neg_g = muts
             .iter()
             .find(|m| {
-                matches!(m.edit, Edit::Negate) && m.class.cond && m.assigned.contains(&"y".to_string())
+                matches!(m.edit, Edit::Negate)
+                    && m.class.cond
+                    && m.assigned.contains(&"y".to_string())
             })
             .expect("condition negation on g");
         let inj = apply(&d, neg_g).expect("apply");

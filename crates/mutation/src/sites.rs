@@ -341,7 +341,15 @@ mod tests {
         let sites = collect_sites(&m);
         let target = sites
             .iter()
-            .find(|s| matches!(&s.expr, Expr::Binary { op: BinaryOp::Add, .. }))
+            .find(|s| {
+                matches!(
+                    &s.expr,
+                    Expr::Binary {
+                        op: BinaryOp::Add,
+                        ..
+                    }
+                )
+            })
             .expect("a + b site");
         let mutated = transform_site(&m, target.id, |e| {
             let Expr::Binary { lhs, rhs, span, .. } = e else {

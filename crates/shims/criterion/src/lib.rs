@@ -1,0 +1,90 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses
+//! (rationale in `crates/shims/README.md`).
+//!
+//! `bench_function` auto-calibrates the iteration count to roughly
+//! [`TARGET_MEASURE_NANOS`] of wall time and reports mean ns/iteration on
+//! stdout in a `name ... time: X ns/iter` format, so relative speedups
+//! (e.g. interpreted vs compiled simulation) remain directly readable even
+//! without the real statistical machinery.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Rough wall-clock budget per benchmark, nanoseconds.
+const TARGET_MEASURE_NANOS: u128 = 400_000_000;
+
+/// Measurement driver handed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: double the batch until it takes long enough to time.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos().max(1);
+            if elapsed >= 10_000_000 || batch >= 1 << 20 {
+                let per_iter = elapsed / u128::from(batch);
+                let iters = (TARGET_MEASURE_NANOS / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.nanos = start.elapsed().as_nanos();
+                self.iters = iters;
+                return;
+            }
+            batch *= 2;
+        }
+    }
+}
+
+/// Benchmark registry/driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        let per_iter = b.nanos / u128::from(b.iters.max(1));
+        println!(
+            "{name:<32} time: {per_iter:>12} ns/iter  ({} iters)",
+            b.iters
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

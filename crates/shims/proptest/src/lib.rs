@@ -1,0 +1,286 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses
+//! (rationale in `crates/shims/README.md`).
+//!
+//! The [`proptest!`] macro runs each property over `cases` deterministic
+//! samples drawn from the argument ranges with a per-case seeded RNG — no
+//! shrinking, no persistence. Failures report the sampled arguments so a
+//! reproduction is one `cargo test` away (sampling is fully deterministic).
+
+use std::fmt;
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (carried by `prop_assert!`-style macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// RNG for the `case`-th sample of a property.
+    pub fn for_case(case: u64) -> Self {
+        TestRng(case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED_5EED_5EED_5EED)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Value sources usable on the left of `in` inside [`proptest!`] and the
+/// combinator surface the workspace uses (`prop_map`, `prop_recursive`,
+/// [`prop_oneof!`], [`sample::select`]).
+pub trait Strategy: Clone {
+    /// Sampled value type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+    }
+
+    /// Maps sampled values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        U: fmt::Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| f(self.sample(rng))))
+    }
+
+    /// Builds recursive values: `recurse` wraps an inner strategy into one
+    /// more level, applied up to `depth` times with leaves mixed in at
+    /// every level (`_desired_size`/`_expected_branch` are accepted for
+    /// API compatibility and ignored).
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let inner = one_of(vec![leaf.clone(), cur]);
+            cur = recurse(inner);
+        }
+        one_of(vec![leaf, cur])
+    }
+}
+
+use std::rc::Rc;
+
+/// A type-erased strategy (cheap to clone).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// Uniform choice among strategies (the engine behind [`prop_oneof!`]).
+pub fn one_of<T: fmt::Debug + 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    BoxedStrategy(Rc::new(move |rng| {
+        let i = (rng.next_u64() % options.len() as u64) as usize;
+        options[i].sample(rng)
+    }))
+}
+
+/// Uniform choice among strategies, mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// The used subset of `proptest::sample`.
+pub mod sample {
+    use super::{BoxedStrategy, Strategy};
+    use std::fmt;
+
+    /// Uniformly selects one of the given values.
+    pub fn select<T: Clone + fmt::Debug + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        super::BoxedStrategy(super::Rc::new(move |rng| {
+            let i = (rng.next_u64() % options.len() as u64) as usize;
+            options[i].clone()
+        }))
+        .boxed()
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Property-test entry point, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $range:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..u64::from(cfg.cases) {
+                    let mut rng = $crate::TestRng::for_case(case);
+                    $( let $arg = $crate::Strategy::sample(&($range), &mut rng); )*
+                    let run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    if let Err(e) = run() {
+                        panic!(
+                            "property failed at case {case}: {e}\n  args: {}",
+                            [$( format!(concat!(stringify!($arg), " = {:?}"), $arg) ),*]
+                                .join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}

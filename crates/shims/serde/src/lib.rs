@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde` (rationale in `crates/shims/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serialises at runtime (no `serde_json` or similar consumer), so
+//! the traits here are empty markers with blanket impls and the derives
+//! (re-exported from the sibling `serde_derive` shim) expand to nothing.
+//! Swapping the real crates.io `serde` back in is a Cargo.toml-only change.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! build (rationale in `crates/shims/README.md`). The repository never
+//! serialises at runtime — `#[derive(Serialize, Deserialize)]` markers on
+//! data types only need to compile, so both derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` has a blanket impl instead.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` has a blanket impl instead.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,1341 @@
+//! Compile-once/run-many execution backend.
+//!
+//! [`CompiledDesign::compile`] lowers an elaborated [`Design`] into a form
+//! the simulator can execute without touching the AST again:
+//!
+//! * **Signal interning** — every signal name becomes a dense [`SigId`]
+//!   index into a flat `Vec<Value>` state store (no `String` hashing on
+//!   the simulation hot path). Interning follows the name-sorted order of
+//!   `Design::signals`, so state index *i* is also trace column *i*.
+//! * **Bytecode expressions** — every expression is flattened into postfix
+//!   [`Op`] programs run by a non-recursive stack machine ([`run`]).
+//!   Parameters are folded to constants at compile time. Ternaries compile
+//!   to jumps so only the taken branch is evaluated — matching the lazy
+//!   error semantics of the AST interpreter in [`crate::eval`], which
+//!   remains the reference oracle.
+//! * **Levelized scheduling** — continuous assigns and combinational
+//!   always blocks are topologically sorted by their signal dependencies,
+//!   so settling combinational logic is a single ordered pass. Designs the
+//!   sort cannot prove order-independent (dependency cycles, latch-style
+//!   incomplete blocks, dynamically indexed bit writes) keep the
+//!   interpreter's declaration-order fixpoint loop, preserving its
+//!   semantics — including [`SimError::CombDivergence`] — exactly.
+//!
+//! The stack machine is generic over an [`ExecEnv`], so the same bytecode
+//! infrastructure evaluates design expressions against live simulator
+//! state and (via `asv-sva`) property expressions against sampled traces,
+//! where `$past`/`$rose`/`$fell`/`$stable` are resolved by the
+//! environment through [`Op::History`] sub-programs.
+
+use crate::eval::{default_sys_call, EvalError};
+use crate::exec::SimError;
+use crate::value::Value;
+use asv_verilog::ast::*;
+use asv_verilog::sema::Design;
+use std::collections::HashMap;
+
+/// Maximum delta iterations of the fallback fixpoint loop (mirrors the
+/// AST interpreter).
+const MAX_SETTLE_ITERS: usize = 64;
+
+/// Dense index of an interned signal: position in the compiled state
+/// vector and, equivalently, the trace column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SigId(pub u32);
+
+impl SigId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The width a parameter value evaluates at: 32 bits (the numeric-literal
+/// default) unless the value needs more.
+///
+/// The seed interpreter returned parameters as 64-bit values, skewing
+/// width-sensitive operators (`~`, reductions, comparisons) against
+/// declared widths; both backends now share this rule.
+pub fn param_value(v: u64) -> Value {
+    Value::new(v, if v >> 32 != 0 { 64 } else { 32 })
+}
+
+/// How a name resolves during expression compilation.
+#[derive(Debug, Clone)]
+pub enum NameRef {
+    /// A live signal, read from the environment at execution time.
+    Sig(SigId),
+    /// A compile-time constant (parameter).
+    Const(Value),
+    /// Not resolvable; evaluating the reference raises
+    /// [`EvalError::UnknownSignal`] *at execution time*, preserving the
+    /// interpreter's lazy error behaviour (an unknown name in an untaken
+    /// ternary branch never errors).
+    Unknown,
+}
+
+/// History system function kinds resolved by the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryKind {
+    /// `$past(e [, n])`
+    Past,
+    /// `$rose(e)`
+    Rose,
+    /// `$fell(e)`
+    Fell,
+    /// `$stable(e)`
+    Stable,
+}
+
+/// One postfix instruction of an expression program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Push a constant.
+    Const(Value),
+    /// Push the environment's value of a signal.
+    Load(SigId),
+    /// Apply a unary operator to the top of stack.
+    Unary(UnaryOp),
+    /// Apply a binary operator to the top two values.
+    Binary(BinaryOp),
+    /// Pop the condition; jump to the absolute op index when it is falsy.
+    JumpIfFalse(u32),
+    /// Unconditional jump to the absolute op index.
+    Jump(u32),
+    /// Fold the top `n` values into one concatenation (deepest = msb
+    /// part, matching source order).
+    ConcatN(u16),
+    /// Validate the replication count on top of stack (kept there).
+    RepeatGuard,
+    /// Pop the value, pop the count, push the replication.
+    Repeat,
+    /// Pop the index, pop the base, push the selected bit.
+    BitIndex,
+    /// Replace the top of stack with its `[msb:lsb]` slice.
+    Slice(u32, u32),
+    /// Pop `argc` arguments and apply a system function.
+    SysCall {
+        /// Function name without the `$`.
+        name: Box<str>,
+        /// Argument count.
+        argc: u8,
+    },
+    /// Resolve a history call via [`ExecEnv::history`]. `arg` and `n`
+    /// index [`ExprProg::subs`].
+    History {
+        /// Which history function.
+        kind: HistoryKind,
+        /// Sub-program for the sampled expression.
+        arg: u32,
+        /// Sub-program for `$past`'s cycle count (evaluated at the current
+        /// tick), if present.
+        n: Option<u32>,
+    },
+    /// Raise a compile-time-known error lazily, when (and only when) this
+    /// operand would actually be evaluated.
+    Fail(EvalError),
+}
+
+/// A compiled expression: a postfix program plus nested sub-programs for
+/// history calls.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExprProg {
+    /// Postfix instruction stream.
+    pub ops: Vec<Op>,
+    /// Sub-programs referenced by [`Op::History`].
+    pub subs: Vec<ExprProg>,
+}
+
+impl ExprProg {
+    /// True when the program is a lone constant (used to classify static
+    /// bit-select indices during levelization).
+    fn is_const(&self) -> bool {
+        matches!(self.ops.as_slice(), [Op::Const(_)])
+    }
+}
+
+/// Value environment of the stack machine.
+pub trait ExecEnv {
+    /// Current value of an interned signal.
+    fn load(&self, sig: SigId) -> Value;
+
+    /// Resolves a non-history system call (same default as
+    /// [`crate::eval::Env::sys_call`]).
+    fn sys_call(&self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+        default_sys_call(name, args)
+    }
+
+    /// Resolves a history call (`$past` and friends). Environments without
+    /// sampled history reject it, matching the interpreter reaching
+    /// [`crate::eval::Env::sys_call`] with an unsupported name.
+    fn history(&self, kind: HistoryKind, _arg: &ExprProg, _n: usize) -> Result<Value, EvalError> {
+        let name = match kind {
+            HistoryKind::Past => "past",
+            HistoryKind::Rose => "rose",
+            HistoryKind::Fell => "fell",
+            HistoryKind::Stable => "stable",
+        };
+        Err(EvalError::UnsupportedSysCall(name.to_string()))
+    }
+}
+
+/// Executes a compiled expression program.
+///
+/// `stack` is caller-provided scratch so hot loops don't allocate; it may
+/// be non-empty (nested evaluation) and is restored to its entry length on
+/// both success and error.
+///
+/// # Errors
+///
+/// Returns the same [`EvalError`]s the AST interpreter raises for the
+/// source expression.
+pub fn run<E: ExecEnv + ?Sized>(
+    prog: &ExprProg,
+    env: &E,
+    stack: &mut Vec<Value>,
+) -> Result<Value, EvalError> {
+    let base = stack.len();
+    match run_inner(prog, env, stack, base) {
+        Ok(v) => {
+            stack.truncate(base);
+            Ok(v)
+        }
+        Err(e) => {
+            stack.truncate(base);
+            Err(e)
+        }
+    }
+}
+
+fn run_inner<E: ExecEnv + ?Sized>(
+    prog: &ExprProg,
+    env: &E,
+    stack: &mut Vec<Value>,
+    base: usize,
+) -> Result<Value, EvalError> {
+    let ops = &prog.ops;
+    let mut pc = 0usize;
+    while pc < ops.len() {
+        match &ops[pc] {
+            Op::Const(v) => stack.push(*v),
+            Op::Load(sig) => stack.push(env.load(*sig)),
+            Op::Unary(op) => {
+                let v = stack.pop().expect("unary operand");
+                stack.push(crate::eval::unary(*op, v));
+            }
+            Op::Binary(op) => {
+                let b = stack.pop().expect("binary rhs");
+                let a = stack.pop().expect("binary lhs");
+                stack.push(crate::eval::binary(*op, a, b)?);
+            }
+            Op::JumpIfFalse(target) => {
+                let c = stack.pop().expect("jump condition");
+                if !c.is_truthy() {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Op::Jump(target) => {
+                pc = *target as usize;
+                continue;
+            }
+            Op::ConcatN(n) => {
+                let n = *n as usize;
+                debug_assert!(n >= 1 && stack.len() >= base + n);
+                let first = stack.len() - n;
+                let mut acc = stack[first];
+                for v in &stack[first + 1..] {
+                    acc = acc.concat(*v);
+                }
+                stack.truncate(first);
+                stack.push(acc);
+            }
+            Op::RepeatGuard => {
+                let n = stack.last().expect("repeat count").bits();
+                if n == 0 || n > 64 {
+                    return Err(EvalError::Malformed(format!(
+                        "replication count {n} outside 1..=64"
+                    )));
+                }
+            }
+            Op::Repeat => {
+                let v = stack.pop().expect("repeat value");
+                let n = stack.pop().expect("repeat count").bits();
+                let mut acc = v;
+                for _ in 1..n {
+                    acc = acc.concat(v);
+                }
+                stack.push(acc);
+            }
+            Op::BitIndex => {
+                let i = stack.pop().expect("bit index").bits();
+                let bse = stack.pop().expect("bit base");
+                stack.push(Value::bit(
+                    u32::try_from(i).map(|i| bse.get_bit(i)).unwrap_or(false),
+                ));
+            }
+            Op::Slice(msb, lsb) => {
+                let bse = stack.pop().expect("slice base");
+                stack.push(bse.slice(*msb, *lsb));
+            }
+            Op::SysCall { name, argc } => {
+                let argc = *argc as usize;
+                debug_assert!(stack.len() >= base + argc);
+                let first = stack.len() - argc;
+                let r = env.sys_call(name, &stack[first..])?;
+                stack.truncate(first);
+                stack.push(r);
+            }
+            Op::History { kind, arg, n } => {
+                let n = match n {
+                    Some(id) => {
+                        let v = run(&prog.subs[*id as usize], env, stack)?;
+                        usize::try_from(v.bits()).unwrap_or(usize::MAX)
+                    }
+                    None => 1,
+                };
+                let v = env.history(*kind, &prog.subs[*arg as usize], n)?;
+                stack.push(v);
+            }
+            Op::Fail(e) => return Err(e.clone()),
+        }
+        pc += 1;
+    }
+    Ok(stack.pop().expect("program result"))
+}
+
+// ---------------------------------------------------------------------------
+// Expression compilation
+// ---------------------------------------------------------------------------
+
+/// Compiles `expr` into a postfix program.
+///
+/// `resolve` maps identifiers to signals/constants; `history` enables
+/// [`Op::History`] lowering of `$past`/`$rose`/`$fell`/`$stable` (trace
+/// environments). With `history` disabled those calls compile to plain
+/// [`Op::SysCall`]s, which the default environment rejects at execution
+/// time exactly like the interpreter.
+pub fn compile_expr<R>(expr: &Expr, resolve: &R, history: bool) -> ExprProg
+where
+    R: Fn(&str) -> NameRef,
+{
+    let mut prog = ExprProg::default();
+    emit(expr, resolve, history, &mut prog);
+    prog
+}
+
+fn emit<R>(expr: &Expr, resolve: &R, history: bool, prog: &mut ExprProg)
+where
+    R: Fn(&str) -> NameRef,
+{
+    match expr {
+        Expr::Number { value, width, .. } => {
+            prog.ops
+                .push(Op::Const(Value::new(*value, width.unwrap_or(32).min(64))));
+        }
+        Expr::Ident { name, .. } => emit_name(name, resolve, prog),
+        Expr::Unary { op, operand, .. } => {
+            emit(operand, resolve, history, prog);
+            prog.ops.push(Op::Unary(*op));
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            emit(lhs, resolve, history, prog);
+            emit(rhs, resolve, history, prog);
+            prog.ops.push(Op::Binary(*op));
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
+            emit(cond, resolve, history, prog);
+            let jif = prog.ops.len();
+            prog.ops.push(Op::JumpIfFalse(0));
+            emit(then_expr, resolve, history, prog);
+            let jend = prog.ops.len();
+            prog.ops.push(Op::Jump(0));
+            let else_start = prog.ops.len() as u32;
+            emit(else_expr, resolve, history, prog);
+            let end = prog.ops.len() as u32;
+            prog.ops[jif] = Op::JumpIfFalse(else_start);
+            prog.ops[jend] = Op::Jump(end);
+        }
+        Expr::Concat { parts, .. } => {
+            if parts.is_empty() {
+                prog.ops
+                    .push(Op::Fail(EvalError::Malformed("empty concatenation".into())));
+                return;
+            }
+            for p in parts {
+                emit(p, resolve, history, prog);
+            }
+            prog.ops
+                .push(Op::ConcatN(u16::try_from(parts.len()).unwrap_or(u16::MAX)));
+        }
+        Expr::Repeat { count, value, .. } => {
+            emit(count, resolve, history, prog);
+            prog.ops.push(Op::RepeatGuard);
+            emit(value, resolve, history, prog);
+            prog.ops.push(Op::Repeat);
+        }
+        Expr::Bit { name, index, .. } => {
+            emit_name(name, resolve, prog);
+            emit(index, resolve, history, prog);
+            prog.ops.push(Op::BitIndex);
+        }
+        Expr::Part { name, range, .. } => {
+            emit_name(name, resolve, prog);
+            prog.ops.push(Op::Slice(range.msb, range.lsb));
+        }
+        Expr::SysCall { name, args, .. } => {
+            let kind = match name.as_str() {
+                "past" => Some(HistoryKind::Past),
+                "rose" => Some(HistoryKind::Rose),
+                "fell" => Some(HistoryKind::Fell),
+                "stable" => Some(HistoryKind::Stable),
+                _ => None,
+            };
+            match kind {
+                Some(kind) if history => {
+                    let Some(arg0) = args.first() else {
+                        prog.ops.push(Op::Fail(EvalError::Malformed(format!(
+                            "${name} requires an argument"
+                        ))));
+                        return;
+                    };
+                    let mut sub = ExprProg::default();
+                    emit(arg0, resolve, history, &mut sub);
+                    let arg = prog.subs.len() as u32;
+                    prog.subs.push(sub);
+                    let n = (kind == HistoryKind::Past)
+                        .then(|| args.get(1))
+                        .flatten()
+                        .map(|e| {
+                            let mut sub = ExprProg::default();
+                            emit(e, resolve, history, &mut sub);
+                            let id = prog.subs.len() as u32;
+                            prog.subs.push(sub);
+                            id
+                        });
+                    prog.ops.push(Op::History { kind, arg, n });
+                }
+                _ => {
+                    for a in args {
+                        emit(a, resolve, history, prog);
+                    }
+                    prog.ops.push(Op::SysCall {
+                        name: name.as_str().into(),
+                        argc: u8::try_from(args.len()).unwrap_or(u8::MAX),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn emit_name<R>(name: &str, resolve: &R, prog: &mut ExprProg)
+where
+    R: Fn(&str) -> NameRef,
+{
+    match resolve(name) {
+        NameRef::Sig(s) => prog.ops.push(Op::Load(s)),
+        NameRef::Const(v) => prog.ops.push(Op::Const(v)),
+        NameRef::Unknown => prog
+            .ops
+            .push(Op::Fail(EvalError::UnknownSignal(name.to_string()))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowered statements and lvalues
+// ---------------------------------------------------------------------------
+
+/// A compiled assignment target.
+#[derive(Debug, Clone)]
+pub enum CLValue {
+    /// Whole signal (write masked to declared width).
+    Whole(SigId),
+    /// Single bit with a (possibly dynamic) index program.
+    Bit {
+        /// Target signal.
+        sig: SigId,
+        /// Index program, evaluated at write time.
+        index: ExprProg,
+    },
+    /// Constant part select.
+    Part {
+        /// Target signal.
+        sig: SigId,
+        /// Most significant bit.
+        msb: u32,
+        /// Least significant bit.
+        lsb: u32,
+    },
+    /// Concatenated target, assigned from the high part downward.
+    Concat(Vec<CLValue>),
+    /// Target that elaboration never resolved; writing raises
+    /// [`EvalError::UnknownSignal`] like the interpreter.
+    Unknown(String),
+}
+
+/// A compiled procedural statement.
+#[derive(Debug, Clone)]
+pub enum CStmt {
+    /// `begin ... end`
+    Block(Vec<CStmt>),
+    /// `if (cond) ... else ...`
+    If {
+        /// Condition program.
+        cond: ExprProg,
+        /// Taken branch.
+        then_branch: Box<CStmt>,
+        /// Else branch.
+        else_branch: Option<Box<CStmt>>,
+    },
+    /// `case (scrutinee) ... endcase`
+    Case {
+        /// Scrutinee program.
+        scrutinee: ExprProg,
+        /// Arms in source order.
+        arms: Vec<CCaseArm>,
+        /// Default arm.
+        default: Option<Box<CStmt>>,
+    },
+    /// Blocking or nonblocking assignment.
+    Assign {
+        /// Target.
+        lhs: CLValue,
+        /// Value program.
+        rhs: ExprProg,
+        /// `<=` if true.
+        nonblocking: bool,
+    },
+    /// `;`
+    Empty,
+}
+
+/// One compiled case arm.
+#[derive(Debug, Clone)]
+pub struct CCaseArm {
+    /// Label programs.
+    pub labels: Vec<ExprProg>,
+    /// Arm body.
+    pub body: CStmt,
+}
+
+/// One combinational process in source order.
+#[derive(Debug, Clone)]
+enum CombStep {
+    /// Continuous assignment.
+    Assign { lhs: CLValue, rhs: ExprProg },
+    /// Combinational always block (nonblocking writes inside commit at
+    /// block end — delta-cycle collapse, as in the interpreter).
+    Block(CStmt),
+}
+
+/// A design lowered for execution. Cheap to share (`Arc`) across many
+/// simulator instances; restarting a simulation is an O(#signals) state
+/// reset instead of a `Design` clone.
+#[derive(Debug, Clone)]
+pub struct CompiledDesign {
+    design: Design,
+    names: Vec<String>,
+    index: HashMap<String, SigId>,
+    widths: Vec<u32>,
+    init: Vec<Value>,
+    comb: Vec<CombStep>,
+    /// Execution order over `comb` (levelized when `levelized`, identity
+    /// declaration order otherwise).
+    order: Vec<usize>,
+    /// True when a single ordered pass settles combinational logic.
+    levelized: bool,
+    seq: Vec<CStmt>,
+}
+
+impl CompiledDesign {
+    /// Lowers an elaborated design. Never fails: unresolvable constructs
+    /// compile to instructions that raise the interpreter's runtime error
+    /// when (and only when) they execute.
+    pub fn compile(design: &Design) -> Self {
+        let names: Vec<String> = design.signals.keys().cloned().collect();
+        let index: HashMap<String, SigId> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), SigId(i as u32)))
+            .collect();
+        let widths: Vec<u32> = design.signals.values().map(|s| s.width).collect();
+        let init: Vec<Value> = widths.iter().map(|&w| Value::zero(w)).collect();
+
+        let resolve = |name: &str| -> NameRef {
+            if let Some(&sig) = index.get(name) {
+                NameRef::Sig(sig)
+            } else if let Some(&v) = design.params.get(name) {
+                NameRef::Const(param_value(v))
+            } else {
+                NameRef::Unknown
+            }
+        };
+        let lower_lv = |lv: &LValue| lower_lvalue(lv, &index, &resolve);
+
+        let mut comb = Vec::new();
+        let mut seq = Vec::new();
+        for item in &design.module.items {
+            match item {
+                Item::Assign(a) => comb.push(CombStep::Assign {
+                    lhs: lower_lv(&a.lhs),
+                    rhs: compile_expr(&a.rhs, &resolve, false),
+                }),
+                Item::Always(al) => {
+                    let body = lower_stmt(&al.body, &index, &resolve);
+                    if al.sensitivity.is_combinational() {
+                        comb.push(CombStep::Block(body));
+                    } else {
+                        seq.push(body);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let (order, levelized) = levelize(&comb, names.len());
+        CompiledDesign {
+            design: design.clone(),
+            names,
+            index,
+            widths,
+            init,
+            comb,
+            order,
+            levelized,
+            seq,
+        }
+    }
+
+    /// The elaborated design this was compiled from.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Interned signal names, in state/trace column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Looks up the interned id of a signal.
+    pub fn sig(&self, name: &str) -> Option<SigId> {
+        self.index.get(name).copied()
+    }
+
+    /// Declared width of an interned signal.
+    pub fn width(&self, sig: SigId) -> u32 {
+        self.widths[sig.idx()]
+    }
+
+    /// A fresh all-zero state vector.
+    pub fn init_state(&self) -> Vec<Value> {
+        self.init.clone()
+    }
+
+    /// True when combinational logic settles in one levelized pass (the
+    /// fallback is the declaration-order fixpoint loop).
+    pub fn is_levelized(&self) -> bool {
+        self.levelized
+    }
+
+    /// Settles combinational logic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CombDivergence`] when the (cyclic) fallback
+    /// fixpoint fails to stabilise, and propagates evaluation errors.
+    pub fn settle(&self, state: &mut Vec<Value>, stack: &mut Vec<Value>) -> Result<(), SimError> {
+        if self.levelized {
+            for &i in &self.order {
+                self.run_comb_step(&self.comb[i], state, stack)?;
+            }
+            return Ok(());
+        }
+        for _ in 0..MAX_SETTLE_ITERS {
+            let before = state.clone();
+            for step in &self.comb {
+                self.run_comb_step(step, state, stack)?;
+            }
+            if *state == before {
+                return Ok(());
+            }
+        }
+        Err(SimError::CombDivergence)
+    }
+
+    fn run_comb_step(
+        &self,
+        step: &CombStep,
+        state: &mut Vec<Value>,
+        stack: &mut Vec<Value>,
+    ) -> Result<(), SimError> {
+        match step {
+            CombStep::Assign { lhs, rhs } => {
+                let v = run(rhs, &StateEnv { state }, stack)?;
+                self.write_lvalue(lhs, v, state, stack)?;
+            }
+            CombStep::Block(body) => {
+                let mut nba = Vec::new();
+                self.exec_stmt(body, state, stack, &mut nba)?;
+                for (lv, v) in nba {
+                    self.write_lvalue(lv, v, state, stack)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes every clocked block against the pre-edge state and commits
+    /// nonblocking updates atomically, mirroring the interpreter's commit
+    /// order (per block: blocking diffs in signal order, then NBAs in
+    /// execution order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn clock_edge(
+        &self,
+        state: &mut Vec<Value>,
+        stack: &mut Vec<Value>,
+    ) -> Result<(), SimError> {
+        let pre_edge = state.clone();
+        let mut scratch = Vec::new();
+        let mut nba_all: Vec<NbaUpdate<'_>> = Vec::new();
+        for block in &self.seq {
+            scratch.clone_from(&pre_edge);
+            let mut nba = Vec::new();
+            self.exec_stmt(block, &mut scratch, stack, &mut nba)?;
+            for (i, v) in scratch.iter().enumerate() {
+                if pre_edge[i] != *v {
+                    nba_all.push(NbaUpdate::Whole(SigId(i as u32), *v));
+                }
+            }
+            nba_all.extend(nba.into_iter().map(|(lv, v)| NbaUpdate::Lv(lv, v)));
+        }
+        for up in nba_all {
+            match up {
+                NbaUpdate::Whole(sig, v) => {
+                    state[sig.idx()] = v.resize(self.widths[sig.idx()]);
+                }
+                NbaUpdate::Lv(lv, v) => self.write_lvalue(lv, v, state, stack)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_stmt<'a>(
+        &'a self,
+        s: &'a CStmt,
+        state: &mut Vec<Value>,
+        stack: &mut Vec<Value>,
+        nba: &mut Vec<(&'a CLValue, Value)>,
+    ) -> Result<(), SimError> {
+        match s {
+            CStmt::Block(stmts) => {
+                for st in stmts {
+                    self.exec_stmt(st, state, stack, nba)?;
+                }
+                Ok(())
+            }
+            CStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if run(cond, &StateEnv { state }, stack)?.is_truthy() {
+                    self.exec_stmt(then_branch, state, stack, nba)
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e, state, stack, nba)
+                } else {
+                    Ok(())
+                }
+            }
+            CStmt::Case {
+                scrutinee,
+                arms,
+                default,
+            } => {
+                let sv = run(scrutinee, &StateEnv { state }, stack)?;
+                for arm in arms {
+                    for label in &arm.labels {
+                        let lv = run(label, &StateEnv { state }, stack)?;
+                        if lv.bits() == sv.bits() {
+                            return self.exec_stmt(&arm.body, state, stack, nba);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec_stmt(d, state, stack, nba)
+                } else {
+                    Ok(())
+                }
+            }
+            CStmt::Assign {
+                lhs,
+                rhs,
+                nonblocking,
+            } => {
+                let v = run(rhs, &StateEnv { state }, stack)?;
+                if *nonblocking {
+                    nba.push((lhs, v));
+                } else {
+                    self.write_lvalue(lhs, v, state, stack)?;
+                }
+                Ok(())
+            }
+            CStmt::Empty => Ok(()),
+        }
+    }
+
+    fn write_lvalue(
+        &self,
+        lv: &CLValue,
+        value: Value,
+        state: &mut Vec<Value>,
+        stack: &mut Vec<Value>,
+    ) -> Result<(), SimError> {
+        match lv {
+            CLValue::Whole(sig) => {
+                state[sig.idx()] = value.resize(self.widths[sig.idx()]);
+                Ok(())
+            }
+            CLValue::Bit { sig, index } => {
+                let i = run(index, &StateEnv { state }, stack)?.bits();
+                let i = u32::try_from(i).unwrap_or(u32::MAX);
+                let cur = state[sig.idx()];
+                state[sig.idx()] = cur.set_bit(i, value.is_truthy() && value.get_bit(0));
+                Ok(())
+            }
+            CLValue::Part { sig, msb, lsb } => {
+                let cur = state[sig.idx()];
+                state[sig.idx()] = cur.set_slice(*msb, *lsb, value);
+                Ok(())
+            }
+            CLValue::Concat(_) => {
+                // The interpreter snapshots the store on entry: nested
+                // reads (including index evaluation) observe pre-write
+                // values throughout the concat.
+                let snapshot = state.clone();
+                self.write_concat_part(lv, value, &snapshot, state, stack)
+            }
+            CLValue::Unknown(name) => Err(SimError::Eval(EvalError::UnknownSignal(name.clone()))),
+        }
+    }
+
+    fn write_concat_part(
+        &self,
+        lv: &CLValue,
+        value: Value,
+        snapshot: &[Value],
+        state: &mut Vec<Value>,
+        stack: &mut Vec<Value>,
+    ) -> Result<(), SimError> {
+        match lv {
+            CLValue::Whole(sig) => {
+                state[sig.idx()] = value.resize(self.widths[sig.idx()]);
+                Ok(())
+            }
+            CLValue::Bit { sig, index } => {
+                let i = run(index, &StateEnv { state: snapshot }, stack)?.bits();
+                let i = u32::try_from(i).unwrap_or(u32::MAX);
+                let cur = snapshot[sig.idx()];
+                state[sig.idx()] = cur.set_bit(i, value.is_truthy() && value.get_bit(0));
+                Ok(())
+            }
+            CLValue::Part { sig, msb, lsb } => {
+                let cur = snapshot[sig.idx()];
+                state[sig.idx()] = cur.set_slice(*msb, *lsb, value);
+                Ok(())
+            }
+            CLValue::Concat(parts) => {
+                let total: u32 = parts
+                    .iter()
+                    .map(|p| self.lvalue_width(p))
+                    .sum::<Result<u32, EvalError>>()?;
+                let mut consumed = 0u32;
+                for p in parts {
+                    let w = self.lvalue_width(p)?;
+                    let hi = total - consumed - 1;
+                    let lo = total - consumed - w;
+                    let field = value.resize(total.min(64)).slice(hi.min(63), lo.min(63));
+                    self.write_concat_part(p, field, snapshot, state, stack)?;
+                    consumed += w;
+                }
+                Ok(())
+            }
+            CLValue::Unknown(name) => Err(SimError::Eval(EvalError::UnknownSignal(name.clone()))),
+        }
+    }
+
+    fn lvalue_width(&self, lv: &CLValue) -> Result<u32, EvalError> {
+        match lv {
+            CLValue::Whole(sig) => Ok(self.widths[sig.idx()]),
+            CLValue::Bit { .. } => Ok(1),
+            CLValue::Part { msb, lsb, .. } => Ok(msb - lsb + 1),
+            CLValue::Concat(parts) => parts.iter().map(|p| self.lvalue_width(p)).sum(),
+            CLValue::Unknown(name) => Err(EvalError::UnknownSignal(name.clone())),
+        }
+    }
+}
+
+/// Pending nonblocking update during a clock edge.
+enum NbaUpdate<'a> {
+    /// Whole-signal commit of a blocking-write diff.
+    Whole(SigId, Value),
+    /// Deferred `<=` write through a compiled lvalue.
+    Lv(&'a CLValue, Value),
+}
+
+/// State environment over the flat value store.
+struct StateEnv<'a> {
+    state: &'a [Value],
+}
+
+impl ExecEnv for StateEnv<'_> {
+    #[inline]
+    fn load(&self, sig: SigId) -> Value {
+        self.state[sig.idx()]
+    }
+}
+
+fn lower_lvalue<R>(lv: &LValue, index: &HashMap<String, SigId>, resolve: &R) -> CLValue
+where
+    R: Fn(&str) -> NameRef,
+{
+    let sig_of = |name: &str| index.get(name).copied();
+    match lv {
+        LValue::Ident { name, .. } => match sig_of(name) {
+            Some(sig) => CLValue::Whole(sig),
+            None => CLValue::Unknown(name.clone()),
+        },
+        LValue::Bit {
+            name, index: ix, ..
+        } => match sig_of(name) {
+            Some(sig) => CLValue::Bit {
+                sig,
+                index: compile_expr(ix, resolve, false),
+            },
+            None => CLValue::Unknown(name.clone()),
+        },
+        LValue::Part { name, range, .. } => match sig_of(name) {
+            Some(sig) => CLValue::Part {
+                sig,
+                msb: range.msb,
+                lsb: range.lsb,
+            },
+            None => CLValue::Unknown(name.clone()),
+        },
+        LValue::Concat { parts, .. } => CLValue::Concat(
+            parts
+                .iter()
+                .map(|p| lower_lvalue(p, index, resolve))
+                .collect(),
+        ),
+    }
+}
+
+fn lower_stmt<R>(s: &Stmt, index: &HashMap<String, SigId>, resolve: &R) -> CStmt
+where
+    R: Fn(&str) -> NameRef,
+{
+    match s {
+        Stmt::Block { stmts, .. } => CStmt::Block(
+            stmts
+                .iter()
+                .map(|st| lower_stmt(st, index, resolve))
+                .collect(),
+        ),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => CStmt::If {
+            cond: compile_expr(cond, resolve, false),
+            then_branch: Box::new(lower_stmt(then_branch, index, resolve)),
+            else_branch: else_branch
+                .as_ref()
+                .map(|e| Box::new(lower_stmt(e, index, resolve))),
+        },
+        Stmt::Case {
+            scrutinee,
+            arms,
+            default,
+            ..
+        } => CStmt::Case {
+            scrutinee: compile_expr(scrutinee, resolve, false),
+            arms: arms
+                .iter()
+                .map(|arm| CCaseArm {
+                    labels: arm
+                        .labels
+                        .iter()
+                        .map(|l| compile_expr(l, resolve, false))
+                        .collect(),
+                    body: lower_stmt(&arm.body, index, resolve),
+                })
+                .collect(),
+            default: default
+                .as_ref()
+                .map(|d| Box::new(lower_stmt(d, index, resolve))),
+        },
+        Stmt::Assign {
+            lhs,
+            rhs,
+            nonblocking,
+            ..
+        } => CStmt::Assign {
+            lhs: lower_lvalue(lhs, index, resolve),
+            rhs: compile_expr(rhs, resolve, false),
+            nonblocking: *nonblocking,
+        },
+        Stmt::Empty { .. } => CStmt::Empty,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Levelization
+// ---------------------------------------------------------------------------
+
+/// Topologically orders combinational steps so one pass settles the logic.
+///
+/// Returns declaration order with `levelized = false` when exact
+/// interpreter equivalence cannot be guaranteed by a single pass:
+/// dependency cycles, latch-style blocks whose targets are not assigned on
+/// every path, or dynamically indexed bit writes (whose stale-index
+/// residues are iteration artefacts the fixpoint loop reproduces).
+fn levelize(comb: &[CombStep], n_signals: usize) -> (Vec<usize>, bool) {
+    let decl_order: Vec<usize> = (0..comb.len()).collect();
+    let mut reads: Vec<Vec<SigId>> = Vec::with_capacity(comb.len());
+    let mut writes: Vec<Vec<SigId>> = Vec::with_capacity(comb.len());
+    for step in comb {
+        let mut fx = StepFx::default();
+        match step {
+            CombStep::Assign { lhs, rhs } => {
+                fx.read_prog(rhs);
+                if !fx.write_lvalue(lhs) {
+                    return (decl_order, false);
+                }
+            }
+            CombStep::Block(body) => {
+                if !fx.walk(body) {
+                    return (decl_order, false);
+                }
+                // For branching blocks every written signal must be fully
+                // assigned (whole-signal write) on every path — otherwise
+                // the block is a latch, whose settled value depends on the
+                // fixpoint iteration the interpreter performs.
+                let latch_free = !fx.branching
+                    || fx.writes.iter().all(|sig| {
+                        fx.whole_targets.contains(sig) && assigns_on_all_paths(body, *sig)
+                    });
+                if !latch_free {
+                    return (decl_order, false);
+                }
+            }
+        }
+        reads.push(fx.reads);
+        writes.push(fx.writes);
+    }
+
+    // writer → reader and (declaration-ordered) writer → writer edges.
+    let n = comb.len();
+    let mut writers_of: Vec<Vec<usize>> = vec![Vec::new(); n_signals];
+    for (i, ws) in writes.iter().enumerate() {
+        for w in ws {
+            writers_of[w.idx()].push(i);
+        }
+    }
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    let add_edge = |succs: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>, a: usize, b: usize| {
+        if a != b && !succs[a].contains(&b) {
+            succs[a].push(b);
+            indeg[b] += 1;
+        }
+    };
+    for (j, rs) in reads.iter().enumerate() {
+        for r in rs {
+            for &i in &writers_of[r.idx()] {
+                if i == j {
+                    // A step reading its own output is a combinational
+                    // cycle; keep the fixpoint loop.
+                    return (decl_order, false);
+                }
+                add_edge(&mut succs, &mut indeg, i, j);
+            }
+        }
+    }
+    for writers in &writers_of {
+        for pair in writers.windows(2) {
+            add_edge(&mut succs, &mut indeg, pair[0], pair[1]);
+        }
+    }
+
+    // Kahn's algorithm, smallest declaration index first for determinism.
+    let mut ready: std::collections::BTreeSet<usize> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&i) = ready.iter().next() {
+        ready.remove(&i);
+        order.push(i);
+        for &j in &succs[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                ready.insert(j);
+            }
+        }
+    }
+    if order.len() == n {
+        (order, true)
+    } else {
+        (decl_order, false)
+    }
+}
+
+/// Read/write effects of one combinational step, plus the structural
+/// properties levelization depends on.
+#[derive(Default)]
+struct StepFx {
+    reads: Vec<SigId>,
+    writes: Vec<SigId>,
+    /// True when the step contains `if`/`case` control flow.
+    branching: bool,
+    /// Signals assigned via whole-signal writes (for the latch check).
+    whole_targets: Vec<SigId>,
+}
+
+impl StepFx {
+    fn read_prog(&mut self, prog: &ExprProg) {
+        for op in &prog.ops {
+            if let Op::Load(s) = op {
+                if !self.reads.contains(s) {
+                    self.reads.push(*s);
+                }
+            }
+        }
+        for sub in &prog.subs {
+            self.read_prog(sub);
+        }
+    }
+
+    /// Records a write; returns `false` when the target shape rules out
+    /// levelization (dynamic bit index).
+    fn write_lvalue(&mut self, lv: &CLValue) -> bool {
+        match lv {
+            CLValue::Whole(s) => {
+                if !self.writes.contains(s) {
+                    self.writes.push(*s);
+                }
+                if !self.whole_targets.contains(s) {
+                    self.whole_targets.push(*s);
+                }
+                true
+            }
+            CLValue::Bit { sig, index } => {
+                if !self.writes.contains(sig) {
+                    self.writes.push(*sig);
+                }
+                self.read_prog(index);
+                index.is_const()
+            }
+            CLValue::Part { sig, .. } => {
+                if !self.writes.contains(sig) {
+                    self.writes.push(*sig);
+                }
+                true
+            }
+            CLValue::Concat(parts) => parts.iter().all(|p| self.write_lvalue(p)),
+            CLValue::Unknown(_) => true,
+        }
+    }
+
+    /// Walks a block body collecting effects; returns `false` on shapes
+    /// that rule out levelization.
+    fn walk(&mut self, s: &CStmt) -> bool {
+        match s {
+            CStmt::Block(stmts) => stmts.iter().all(|st| self.walk(st)),
+            CStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.branching = true;
+                self.read_prog(cond);
+                self.walk(then_branch) && else_branch.as_ref().is_none_or(|e| self.walk(e))
+            }
+            CStmt::Case {
+                scrutinee,
+                arms,
+                default,
+            } => {
+                self.branching = true;
+                self.read_prog(scrutinee);
+                for arm in arms {
+                    for l in &arm.labels {
+                        self.read_prog(l);
+                    }
+                }
+                arms.iter().all(|a| self.walk(&a.body))
+                    && default.as_ref().is_none_or(|d| self.walk(d))
+            }
+            CStmt::Assign { lhs, rhs, .. } => {
+                self.read_prog(rhs);
+                self.write_lvalue(lhs)
+            }
+            CStmt::Empty => true,
+        }
+    }
+}
+
+/// True when every control path through `s` performs a whole-signal
+/// assignment to `sig`.
+fn assigns_on_all_paths(s: &CStmt, sig: SigId) -> bool {
+    match s {
+        CStmt::Block(stmts) => stmts.iter().any(|st| assigns_on_all_paths(st, sig)),
+        CStmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => else_branch.as_ref().is_some_and(|e| {
+            assigns_on_all_paths(then_branch, sig) && assigns_on_all_paths(e, sig)
+        }),
+        CStmt::Case { arms, default, .. } => default.as_ref().is_some_and(|d| {
+            arms.iter().all(|a| assigns_on_all_paths(&a.body, sig)) && assigns_on_all_paths(d, sig)
+        }),
+        CStmt::Assign { lhs, .. } => matches!(lhs, CLValue::Whole(s) if *s == sig),
+        CStmt::Empty => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_verilog::compile as velab;
+
+    fn compiled(src: &str) -> CompiledDesign {
+        CompiledDesign::compile(&velab(src).expect("compile"))
+    }
+
+    #[test]
+    fn interns_signals_in_sorted_order() {
+        let c = compiled("module m(input b, input a, output y);\nassign y = a & b;\nendmodule");
+        assert_eq!(c.names(), &["a", "b", "y"]);
+        assert_eq!(c.sig("a"), Some(SigId(0)));
+        assert_eq!(c.sig("y"), Some(SigId(2)));
+        assert_eq!(c.sig("ghost"), None);
+    }
+
+    #[test]
+    fn acyclic_designs_levelize() {
+        let c = compiled(
+            "module m(input a, output y);\nwire t;\nassign y = t;\nassign t = ~a;\nendmodule",
+        );
+        assert!(c.is_levelized());
+        // `t`'s driver must be scheduled before `y`'s reader.
+        assert_eq!(c.order, vec![1, 0]);
+    }
+
+    #[test]
+    fn cyclic_designs_fall_back() {
+        let c = compiled(
+            "module osc(input a, output y);\nwire n;\nassign n = ~n | a;\nassign y = n;\nendmodule",
+        );
+        assert!(!c.is_levelized());
+    }
+
+    #[test]
+    fn latch_style_blocks_fall_back() {
+        let c = compiled(
+            "module l(input en, input d, output reg q);\n\
+             always @(*) begin if (en) q = d; end\nendmodule",
+        );
+        assert!(!c.is_levelized());
+    }
+
+    #[test]
+    fn complete_mux_blocks_levelize() {
+        let c = compiled(
+            "module m(input [1:0] s, input [3:0] a, input [3:0] b, output reg [3:0] y);\n\
+             always @(*) begin\n\
+               case (s) 2'd0: y = a; 2'd1: y = b; default: y = 4'd0; endcase\n\
+             end\nendmodule",
+        );
+        assert!(c.is_levelized());
+    }
+
+    #[test]
+    fn dynamic_bit_writes_fall_back() {
+        let c = compiled(
+            "module d(input [1:0] i, input v, output [3:0] y);\n\
+             assign y[i] = v;\nendmodule",
+        );
+        assert!(!c.is_levelized());
+    }
+
+    #[test]
+    fn ternary_only_evaluates_taken_branch() {
+        // Division by zero in the untaken branch must not error.
+        let c = compiled(
+            "module t(input s, input [3:0] a, input [3:0] b, output [3:0] y);\n\
+             assign y = s ? a / b : a;\nendmodule",
+        );
+        let mut state = c.init_state();
+        let mut stack = Vec::new();
+        state[c.sig("s").unwrap().idx()] = Value::bit(false);
+        state[c.sig("b").unwrap().idx()] = Value::zero(4);
+        state[c.sig("a").unwrap().idx()] = Value::new(5, 4);
+        c.settle(&mut state, &mut stack).expect("no div-by-zero");
+        assert_eq!(state[c.sig("y").unwrap().idx()].bits(), 5);
+        state[c.sig("s").unwrap().idx()] = Value::bit(true);
+        assert_eq!(
+            c.settle(&mut state, &mut stack),
+            Err(SimError::Eval(EvalError::DivideByZero))
+        );
+    }
+
+    #[test]
+    fn params_fold_to_32_bit_constants() {
+        let c = compiled(
+            "module p #(parameter W = 5)(input [7:0] a, output [7:0] y);\n\
+             assign y = a + W;\nendmodule",
+        );
+        let mut state = c.init_state();
+        let mut stack = Vec::new();
+        state[c.sig("a").unwrap().idx()] = Value::new(2, 8);
+        c.settle(&mut state, &mut stack).expect("settle");
+        assert_eq!(state[c.sig("y").unwrap().idx()].bits(), 7);
+        assert_eq!(param_value(5).width(), 32);
+        assert_eq!(param_value(u64::MAX).width(), 64);
+    }
+
+    #[test]
+    fn stack_is_restored_after_errors() {
+        let prog = ExprProg {
+            ops: vec![
+                Op::Const(Value::new(1, 4)),
+                Op::Fail(EvalError::DivideByZero),
+            ],
+            subs: Vec::new(),
+        };
+        struct NoEnv;
+        impl ExecEnv for NoEnv {
+            fn load(&self, _: SigId) -> Value {
+                unreachable!()
+            }
+        }
+        let mut stack = vec![Value::bit(true)];
+        assert!(run(&prog, &NoEnv, &mut stack).is_err());
+        assert_eq!(stack.len(), 1, "scratch stack must be restored");
+    }
+}

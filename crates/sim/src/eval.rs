@@ -43,12 +43,23 @@ pub trait Env {
     /// Resolves a system call. The default rejects everything except
     /// `$countones`/`$onehot`/`$onehot0`, which are purely combinational.
     fn sys_call(&self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
-        match (name, args) {
-            ("countones", [v]) => Ok(Value::new(u64::from(v.count_ones()), 32)),
-            ("onehot", [v]) => Ok(Value::bit(v.count_ones() == 1)),
-            ("onehot0", [v]) => Ok(Value::bit(v.count_ones() <= 1)),
-            _ => Err(EvalError::UnsupportedSysCall(name.to_string())),
-        }
+        default_sys_call(name, args)
+    }
+}
+
+/// The default system-call semantics shared by the AST interpreter and
+/// the compiled backend ([`crate::compile::ExecEnv`]).
+///
+/// # Errors
+///
+/// Returns [`EvalError::UnsupportedSysCall`] for anything but the purely
+/// combinational `$countones`/`$onehot`/`$onehot0`.
+pub fn default_sys_call(name: &str, args: &[Value]) -> Result<Value, EvalError> {
+    match (name, args) {
+        ("countones", [v]) => Ok(Value::new(u64::from(v.count_ones()), 32)),
+        ("onehot", [v]) => Ok(Value::bit(v.count_ones() == 1)),
+        ("onehot0", [v]) => Ok(Value::bit(v.count_ones() <= 1)),
+        _ => Err(EvalError::UnsupportedSysCall(name.to_string())),
     }
 }
 
@@ -67,21 +78,7 @@ pub fn eval<E: Env + ?Sized>(expr: &Expr, env: &E) -> Result<Value, EvalError> {
         Expr::Ident { name, .. } => env
             .value_of(name)
             .ok_or_else(|| EvalError::UnknownSignal(name.clone())),
-        Expr::Unary { op, operand, .. } => {
-            let v = eval(operand, env)?;
-            Ok(match op {
-                UnaryOp::Neg => Value::new(v.bits().wrapping_neg(), v.width()),
-                UnaryOp::LogicNot => Value::bit(!v.is_truthy()),
-                UnaryOp::BitNot => Value::new(!v.bits(), v.width()),
-                UnaryOp::RedAnd => Value::bit(v.reduce_and()),
-                UnaryOp::RedOr => Value::bit(v.reduce_or()),
-                UnaryOp::RedXor => Value::bit(v.reduce_xor()),
-                UnaryOp::RedNand => Value::bit(!v.reduce_and()),
-                UnaryOp::RedNor => Value::bit(!v.reduce_or()),
-                UnaryOp::RedXnor => Value::bit(!v.reduce_xor()),
-                UnaryOp::Plus => v,
-            })
-        }
+        Expr::Unary { op, operand, .. } => Ok(unary(*op, eval(operand, env)?)),
         Expr::Binary { op, lhs, rhs, .. } => {
             let a = eval(lhs, env)?;
             let b = eval(rhs, env)?;
@@ -152,7 +149,32 @@ pub fn eval<E: Env + ?Sized>(expr: &Expr, env: &E) -> Result<Value, EvalError> {
     }
 }
 
-fn binary(op: BinaryOp, a: Value, b: Value) -> Result<Value, EvalError> {
+/// Applies a unary operator (2-state semantics shared by both backends).
+pub fn unary(op: UnaryOp, v: Value) -> Value {
+    match op {
+        UnaryOp::Neg => Value::new(v.bits().wrapping_neg(), v.width()),
+        UnaryOp::LogicNot => Value::bit(!v.is_truthy()),
+        UnaryOp::BitNot => Value::new(!v.bits(), v.width()),
+        UnaryOp::RedAnd => Value::bit(v.reduce_and()),
+        UnaryOp::RedOr => Value::bit(v.reduce_or()),
+        UnaryOp::RedXor => Value::bit(v.reduce_xor()),
+        UnaryOp::RedNand => Value::bit(!v.reduce_and()),
+        UnaryOp::RedNor => Value::bit(!v.reduce_or()),
+        UnaryOp::RedXnor => Value::bit(!v.reduce_xor()),
+        UnaryOp::Plus => v,
+    }
+}
+
+/// Applies a binary operator (2-state semantics shared by both backends).
+///
+/// Both operands are always evaluated — `&&`/`||` are *not* short-circuit
+/// in this subset, matching event-driven simulators that evaluate whole
+/// expressions.
+///
+/// # Errors
+///
+/// Returns [`EvalError::DivideByZero`] for `/`/`%` with a zero divisor.
+pub fn binary(op: BinaryOp, a: Value, b: Value) -> Result<Value, EvalError> {
     use BinaryOp as B;
     let w = a.width().max(b.width());
     let (x, y) = (a.bits(), b.bits());
@@ -162,10 +184,7 @@ fn binary(op: BinaryOp, a: Value, b: Value) -> Result<Value, EvalError> {
         B::Mul => Value::new(x.wrapping_mul(y), w),
         B::Div => Value::new(x.checked_div(y).ok_or(EvalError::DivideByZero)?, w),
         B::Mod => Value::new(x.checked_rem(y).ok_or(EvalError::DivideByZero)?, w),
-        B::Pow => Value::new(
-            x.wrapping_pow(u32::try_from(y).unwrap_or(u32::MAX)),
-            w,
-        ),
+        B::Pow => Value::new(x.wrapping_pow(u32::try_from(y).unwrap_or(u32::MAX)), w),
         B::BitAnd => Value::new(x & y, w),
         B::BitOr => Value::new(x | y, w),
         B::BitXor => Value::new(x ^ y, w),
@@ -189,7 +208,11 @@ fn binary(op: BinaryOp, a: Value, b: Value) -> Result<Value, EvalError> {
             let mut bits = x.checked_shr(sh).unwrap_or(0);
             if sign && sh > 0 {
                 let fill = if sh >= aw {
-                    if aw >= 64 { u64::MAX } else { (1u64 << aw) - 1 }
+                    if aw >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << aw) - 1
+                    }
                 } else {
                     let ones = (1u64 << sh.min(63)) - 1;
                     ones << (aw - sh.min(aw))
@@ -306,8 +329,7 @@ mod tests {
             .iter()
             .map(|(n, _, w)| format!("input [{}:0] {n}, ", w - 1))
             .collect();
-        let src =
-            format!("module t({decls}output [63:0] y);\nassign y = {expr_src};\nendmodule");
+        let src = format!("module t({decls}output [63:0] y);\nassign y = {expr_src};\nendmodule");
         let unit = parse(&src).expect("parse ok");
         let Item::Assign(ca) = unit.modules[0]
             .items
@@ -357,18 +379,14 @@ mod tests {
 
     #[test]
     fn reduction_and_logical_ops() {
+        assert_eq!(eval_src("&a", &[("a", 0xF, 4)]).expect("eval").bits(), 1);
         assert_eq!(
-            eval_src("&a", &[("a", 0xF, 4)]).expect("eval").bits(),
-            1
-        );
-        assert_eq!(
-            eval_src("a && b", &[("a", 2, 4), ("b", 0, 4)]).expect("eval").bits(),
+            eval_src("a && b", &[("a", 2, 4), ("b", 0, 4)])
+                .expect("eval")
+                .bits(),
             0
         );
-        assert_eq!(
-            eval_src("!a", &[("a", 0, 4)]).expect("eval").bits(),
-            1
-        );
+        assert_eq!(eval_src("!a", &[("a", 0, 4)]).expect("eval").bits(), 1);
     }
 
     #[test]
@@ -386,7 +404,9 @@ mod tests {
             1
         );
         assert_eq!(
-            eval_src("a[3:2]", &[("a", 0b1100, 4)]).expect("eval").bits(),
+            eval_src("a[3:2]", &[("a", 0b1100, 4)])
+                .expect("eval")
+                .bits(),
             0b11
         );
     }
@@ -431,8 +451,7 @@ mod tests {
 
     #[test]
     fn assign_lvalue_bit_select() {
-        let store: BTreeMap<String, Value> =
-            BTreeMap::from([("y".to_string(), Value::new(0, 4))]);
+        let store: BTreeMap<String, Value> = BTreeMap::from([("y".to_string(), Value::new(0, 4))]);
         let mut written: BTreeMap<String, Value> = BTreeMap::new();
         let env = MapEnv(store.clone());
         let unit = parse(

@@ -1,9 +1,11 @@
-//! Cycle-accurate executor for elaborated designs.
+//! Cycle-accurate executor for elaborated designs, running on the
+//! compiled backend ([`crate::compile`]).
 //!
 //! The simulator advances in clock ticks. Each [`Simulator::step`]:
 //!
 //! 1. applies the caller's input assignments,
-//! 2. settles combinational logic to a fixpoint,
+//! 2. settles combinational logic (one levelized pass for acyclic
+//!    designs; the interpreter's declaration-order fixpoint otherwise),
 //! 3. samples all signals into the [`Trace`] (the SVA *preponed* sample),
 //! 4. executes every clocked `always` block against the sampled state,
 //!    collecting nonblocking updates, then commits them atomically,
@@ -13,14 +15,21 @@
 //! reset across whole cycles, so the reset branch executes at the next tick
 //! — the documented 2-state/cycle-level substitution for event-driven
 //! simulation.
+//!
+//! `Simulator::new` compiles the design once; [`Simulator::from_compiled`]
+//! shares an existing [`CompiledDesign`] so restarting a simulation (the
+//! bounded verifier does this once per stimulus) is an O(#signals) state
+//! reset instead of a `Design` clone. The original tree-walking executor
+//! survives as [`crate::interp::AstSimulator`], the reference oracle the
+//! differential tests compare against.
 
-use crate::eval::{assign_lvalue, eval, Env, EvalError};
+use crate::compile::CompiledDesign;
+use crate::eval::EvalError;
 use crate::trace::Trace;
 use crate::value::Value;
-use asv_verilog::ast::*;
 use asv_verilog::sema::Design;
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised while running a design.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,81 +61,49 @@ impl From<EvalError> for SimError {
     }
 }
 
-/// Maximum delta iterations while settling combinational logic.
-const MAX_SETTLE_ITERS: usize = 64;
-
 /// A running simulation of one elaborated [`Design`].
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    design: Design,
-    state: BTreeMap<String, Value>,
-    comb: Vec<CombProc>,
-    seq: Vec<AlwaysBlock>,
-    trace_names: Vec<String>,
+    compiled: Arc<CompiledDesign>,
+    state: Vec<Value>,
+    stack: Vec<Value>,
     trace: Trace,
 }
 
-#[derive(Debug, Clone)]
-enum CombProc {
-    Assign(ContAssign),
-    Block(AlwaysBlock),
-}
-
-struct StateEnv<'a> {
-    state: &'a BTreeMap<String, Value>,
-    params: &'a BTreeMap<String, u64>,
-}
-
-impl Env for StateEnv<'_> {
-    fn value_of(&self, name: &str) -> Option<Value> {
-        self.state
-            .get(name)
-            .copied()
-            .or_else(|| self.params.get(name).map(|&v| Value::new(v, 64)))
-    }
-}
-
 impl Simulator {
-    /// Creates a simulator with all signals initialised to zero.
+    /// Creates a simulator with all signals initialised to zero,
+    /// compiling the design first. To run many simulations of one design,
+    /// compile once and use [`Simulator::from_compiled`].
     pub fn new(design: &Design) -> Self {
-        let mut state = BTreeMap::new();
-        for (name, info) in &design.signals {
-            state.insert(name.clone(), Value::zero(info.width));
-        }
-        let mut comb = Vec::new();
-        let mut seq = Vec::new();
-        for item in &design.module.items {
-            match item {
-                Item::Assign(a) => comb.push(CombProc::Assign(a.clone())),
-                Item::Always(al) => {
-                    if al.sensitivity.is_combinational() {
-                        comb.push(CombProc::Block(al.clone()));
-                    } else {
-                        seq.push(al.clone());
-                    }
-                }
-                _ => {}
-            }
-        }
-        let trace_names: Vec<String> = design.signals.keys().cloned().collect();
+        Simulator::from_compiled(Arc::new(CompiledDesign::compile(design)))
+    }
+
+    /// Creates a simulator over an already-compiled design. This is the
+    /// cheap restart path: O(#signals) state initialisation, no AST work.
+    pub fn from_compiled(compiled: Arc<CompiledDesign>) -> Self {
+        let state = compiled.init_state();
+        let trace = Trace::new(compiled.names().to_vec());
         Simulator {
-            design: design.clone(),
+            compiled,
             state,
-            comb,
-            seq,
-            trace: Trace::new(trace_names.clone()),
-            trace_names,
+            stack: Vec::with_capacity(16),
+            trace,
         }
     }
 
     /// The design under simulation.
     pub fn design(&self) -> &Design {
-        &self.design
+        self.compiled.design()
+    }
+
+    /// The shared compiled form of the design.
+    pub fn compiled(&self) -> &Arc<CompiledDesign> {
+        &self.compiled
     }
 
     /// Current (post-settle) value of a signal.
     pub fn value(&self, name: &str) -> Option<Value> {
-        self.state.get(name).copied()
+        self.compiled.sig(name).map(|s| self.state[s.idx()])
     }
 
     /// Drives an input port for subsequent ticks.
@@ -136,12 +113,11 @@ impl Simulator {
     /// Panics if `name` is not a known signal (programming error in the
     /// harness, not recoverable data).
     pub fn set_input(&mut self, name: &str, value: u64) {
-        let width = self
-            .state
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown signal `{name}`"))
-            .width();
-        self.state.insert(name.to_string(), Value::new(value, width));
+        let sig = self
+            .compiled
+            .sig(name)
+            .unwrap_or_else(|| panic!("unknown signal `{name}`"));
+        self.state[sig.idx()] = Value::new(value, self.compiled.width(sig));
     }
 
     /// The recorded waveform so far.
@@ -164,10 +140,11 @@ impl Simulator {
         for (name, v) in inputs {
             self.set_input(name, *v);
         }
-        self.settle()?;
-        self.sample();
-        self.clock_edge()?;
-        self.settle()?;
+        let cd = Arc::clone(&self.compiled);
+        cd.settle(&mut self.state, &mut self.stack)?;
+        self.trace.push(self.state.clone());
+        cd.clock_edge(&mut self.state, &mut self.stack)?;
+        cd.settle(&mut self.state, &mut self.stack)?;
         Ok(())
     }
 
@@ -180,180 +157,6 @@ impl Simulator {
         for _ in 0..n {
             self.step(inputs)?;
         }
-        Ok(())
-    }
-
-    /// Settles combinational logic to a fixpoint.
-    fn settle(&mut self) -> Result<(), SimError> {
-        for _ in 0..MAX_SETTLE_ITERS {
-            let before = self.state.clone();
-            let comb = self.comb.clone();
-            for proc in &comb {
-                match proc {
-                    CombProc::Assign(a) => {
-                        let env = StateEnv {
-                            state: &self.state,
-                            params: &self.design.params,
-                        };
-                        let v = eval(&a.rhs, &env)?;
-                        self.write_lvalue(&a.lhs, v)?;
-                    }
-                    CombProc::Block(b) => {
-                        // Combinational always blocks use blocking assigns:
-                        // effects are visible immediately within the block.
-                        let mut nba = Vec::new();
-                        self.exec_stmt(&b.body, &mut nba)?;
-                        // NBAs in comb blocks are committed immediately too
-                        // (delta-cycle collapse).
-                        for (lv, v) in nba {
-                            self.write_lvalue(&lv, v)?;
-                        }
-                    }
-                }
-            }
-            if self.state == before {
-                return Ok(());
-            }
-        }
-        Err(SimError::CombDivergence)
-    }
-
-    fn sample(&mut self) {
-        let row: Vec<Value> = self
-            .trace_names
-            .iter()
-            .map(|n| self.state[n])
-            .collect();
-        self.trace.push(row);
-    }
-
-    fn clock_edge(&mut self) -> Result<(), SimError> {
-        // Evaluate every clocked block against the pre-edge state; commit
-        // nonblocking updates atomically afterwards.
-        let pre_edge = self.state.clone();
-        let mut nba_all: Vec<(LValue, Value)> = Vec::new();
-        let seq = self.seq.clone();
-        for block in &seq {
-            // Blocking assigns inside a clocked block take effect within
-            // that block only; start each block from the pre-edge state.
-            self.state = pre_edge.clone();
-            let mut nba = Vec::new();
-            self.exec_stmt(&block.body, &mut nba)?;
-            // Blocking writes performed by this block also persist: record
-            // them as updates relative to pre-edge.
-            for (name, v) in &self.state {
-                if pre_edge.get(name) != Some(v) {
-                    nba_all.push((
-                        LValue::Ident {
-                            name: name.clone(),
-                            span: asv_verilog::Span::default(),
-                        },
-                        *v,
-                    ));
-                }
-            }
-            nba_all.extend(nba);
-        }
-        self.state = pre_edge;
-        for (lv, v) in nba_all {
-            self.write_lvalue(&lv, v)?;
-        }
-        Ok(())
-    }
-
-    fn exec_stmt(
-        &mut self,
-        s: &Stmt,
-        nba: &mut Vec<(LValue, Value)>,
-    ) -> Result<(), SimError> {
-        match s {
-            Stmt::Block { stmts, .. } => {
-                for st in stmts {
-                    self.exec_stmt(st, nba)?;
-                }
-                Ok(())
-            }
-            Stmt::If {
-                cond,
-                then_branch,
-                else_branch,
-                ..
-            } => {
-                let env = StateEnv {
-                    state: &self.state,
-                    params: &self.design.params,
-                };
-                if eval(cond, &env)?.is_truthy() {
-                    self.exec_stmt(then_branch, nba)
-                } else if let Some(e) = else_branch {
-                    self.exec_stmt(e, nba)
-                } else {
-                    Ok(())
-                }
-            }
-            Stmt::Case {
-                scrutinee,
-                arms,
-                default,
-                ..
-            } => {
-                let env = StateEnv {
-                    state: &self.state,
-                    params: &self.design.params,
-                };
-                let sv = eval(scrutinee, &env)?;
-                for arm in arms {
-                    for label in &arm.labels {
-                        let lv = eval(label, &env)?;
-                        if lv.bits() == sv.bits() {
-                            return self.exec_stmt(&arm.body, nba);
-                        }
-                    }
-                }
-                if let Some(d) = default {
-                    self.exec_stmt(d, nba)
-                } else {
-                    Ok(())
-                }
-            }
-            Stmt::Assign {
-                lhs,
-                rhs,
-                nonblocking,
-                ..
-            } => {
-                let env = StateEnv {
-                    state: &self.state,
-                    params: &self.design.params,
-                };
-                let v = eval(rhs, &env)?;
-                if *nonblocking {
-                    nba.push((lhs.clone(), v));
-                } else {
-                    self.write_lvalue(lhs, v)?;
-                }
-                Ok(())
-            }
-            Stmt::Empty { .. } => Ok(()),
-        }
-    }
-
-    fn write_lvalue(&mut self, lv: &LValue, v: Value) -> Result<(), SimError> {
-        let env_state = self.state.clone();
-        let env = StateEnv {
-            state: &env_state,
-            params: &self.design.params,
-        };
-        let state = &mut self.state;
-        assign_lvalue(
-            lv,
-            v,
-            &env,
-            &mut |n| env_state.get(n).copied(),
-            &mut |n, val| {
-                state.insert(n.to_string(), val);
-            },
-        )?;
         Ok(())
     }
 }
@@ -381,10 +184,8 @@ mod tests {
     fn chained_assign_settles_in_order_independent_way() {
         // y depends on t which depends on a: must settle regardless of
         // declaration order.
-        let mut s = sim(
-            "module g(input a, output y);\n\
-             wire t;\n assign y = t;\n assign t = ~a;\nendmodule",
-        );
+        let mut s = sim("module g(input a, output y);\n\
+             wire t;\n assign y = t;\n assign t = ~a;\nendmodule");
         s.step(&[("a", 0)]).expect("step");
         assert_eq!(s.value("y").map(Value::bits), Some(1));
     }
@@ -466,21 +267,21 @@ mod tests {
 
     #[test]
     fn blocking_assign_in_seq_block_is_sequential() {
-        let mut s = sim(
-            "module m(input clk, input [3:0] a, output reg [3:0] y);\n\
+        let mut s = sim("module m(input clk, input [3:0] a, output reg [3:0] y);\n\
              reg [3:0] t;\n\
              always @(posedge clk) begin\n\
                t = a + 4'd1;\n\
                y <= t;\n\
-             end\nendmodule",
-        );
+             end\nendmodule");
         s.step(&[("a", 4)]).expect("step");
         assert_eq!(s.value("y").map(Value::bits), Some(5));
     }
 
     #[test]
     fn divergent_comb_loop_is_reported() {
-        let mut s = sim("module osc(input a, output y);\nwire n;\nassign n = ~n | a;\nassign y = n;\nendmodule");
+        let mut s = sim(
+            "module osc(input a, output y);\nwire n;\nassign n = ~n | a;\nassign y = n;\nendmodule",
+        );
         // `n = ~n | a` with a=0 oscillates.
         let r = s.step(&[("a", 0)]);
         assert_eq!(r, Err(SimError::CombDivergence));
@@ -491,5 +292,20 @@ mod tests {
         let mut s = sim(COUNTER);
         s.set_input("en", 0xFF);
         assert_eq!(s.value("en").map(Value::bits), Some(1));
+    }
+
+    #[test]
+    fn restart_from_compiled_resets_state() {
+        let d = compile(COUNTER).expect("compile");
+        let compiled = Arc::new(CompiledDesign::compile(&d));
+        let mut s = Simulator::from_compiled(Arc::clone(&compiled));
+        s.step(&[("rst_n", 0), ("en", 0)]).expect("reset");
+        s.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+        assert_eq!(s.value("q").map(Value::bits), Some(1));
+        // A fresh simulator over the same compiled design starts at zero
+        // with an empty trace.
+        let s2 = Simulator::from_compiled(compiled);
+        assert_eq!(s2.value("q").map(Value::bits), Some(0));
+        assert!(s2.trace().is_empty());
     }
 }

@@ -1,0 +1,372 @@
+//! Reference AST-interpreting simulator (the oracle backend).
+//!
+//! [`AstSimulator`] is the original tree-walking executor: per-node
+//! expression evaluation through [`crate::eval`], a `BTreeMap` state store
+//! keyed by signal name, and blind fixpoint iteration for combinational
+//! settling. It is deliberately simple and is kept as the *reference
+//! oracle* for the compiled backend in [`crate::compile`]: the
+//! differential test suite asserts both backends produce bit-identical
+//! traces on randomly generated designs and stimulus.
+//!
+//! Production code paths (the bounded verifier, datagen, the evaluation
+//! judge) use the compiled [`crate::exec::Simulator`]; reach for this type
+//! only to cross-check semantics or to debug a miscompare.
+
+use crate::compile::param_value;
+use crate::eval::{assign_lvalue, eval, Env};
+use crate::exec::SimError;
+use crate::trace::Trace;
+use crate::value::Value;
+use asv_verilog::ast::*;
+use asv_verilog::sema::Design;
+use std::collections::BTreeMap;
+
+/// Maximum delta iterations while settling combinational logic.
+const MAX_SETTLE_ITERS: usize = 64;
+
+/// A running AST-interpreted simulation of one elaborated [`Design`].
+#[derive(Debug, Clone)]
+pub struct AstSimulator {
+    design: Design,
+    state: BTreeMap<String, Value>,
+    comb: Vec<CombProc>,
+    seq: Vec<AlwaysBlock>,
+    trace_names: Vec<String>,
+    trace: Trace,
+}
+
+#[derive(Debug, Clone)]
+enum CombProc {
+    Assign(ContAssign),
+    Block(AlwaysBlock),
+}
+
+struct StateEnv<'a> {
+    state: &'a BTreeMap<String, Value>,
+    params: &'a BTreeMap<String, u64>,
+}
+
+impl Env for StateEnv<'_> {
+    fn value_of(&self, name: &str) -> Option<Value> {
+        // Parameters evaluate at 32 bits (the numeric-literal default)
+        // unless the value needs more — shared with the compiled backend
+        // via `param_value`.
+        self.state
+            .get(name)
+            .copied()
+            .or_else(|| self.params.get(name).map(|&v| param_value(v)))
+    }
+}
+
+impl AstSimulator {
+    /// Creates a simulator with all signals initialised to zero.
+    pub fn new(design: &Design) -> Self {
+        let mut state = BTreeMap::new();
+        for (name, info) in &design.signals {
+            state.insert(name.clone(), Value::zero(info.width));
+        }
+        let mut comb = Vec::new();
+        let mut seq = Vec::new();
+        for item in &design.module.items {
+            match item {
+                Item::Assign(a) => comb.push(CombProc::Assign(a.clone())),
+                Item::Always(al) => {
+                    if al.sensitivity.is_combinational() {
+                        comb.push(CombProc::Block(al.clone()));
+                    } else {
+                        seq.push(al.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        let trace_names: Vec<String> = design.signals.keys().cloned().collect();
+        AstSimulator {
+            design: design.clone(),
+            state,
+            comb,
+            seq,
+            trace: Trace::new(trace_names.clone()),
+            trace_names,
+        }
+    }
+
+    /// The design under simulation.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Current (post-settle) value of a signal.
+    pub fn value(&self, name: &str) -> Option<Value> {
+        self.state.get(name).copied()
+    }
+
+    /// Drives an input port for subsequent ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a known signal.
+    pub fn set_input(&mut self, name: &str, value: u64) {
+        let width = self
+            .state
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown signal `{name}`"))
+            .width();
+        self.state
+            .insert(name.to_string(), Value::new(value, width));
+    }
+
+    /// The recorded waveform so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the simulator, returning the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Runs one clock tick with the given input assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on evaluation failure or non-settling
+    /// combinational logic.
+    pub fn step(&mut self, inputs: &[(&str, u64)]) -> Result<(), SimError> {
+        for (name, v) in inputs {
+            self.set_input(name, *v);
+        }
+        self.settle()?;
+        self.sample();
+        self.clock_edge()?;
+        self.settle()?;
+        Ok(())
+    }
+
+    /// Runs `n` ticks with constant inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn run(&mut self, n: usize, inputs: &[(&str, u64)]) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step(inputs)?;
+        }
+        Ok(())
+    }
+
+    /// Settles combinational logic to a fixpoint.
+    fn settle(&mut self) -> Result<(), SimError> {
+        for _ in 0..MAX_SETTLE_ITERS {
+            let before = self.state.clone();
+            let comb = self.comb.clone();
+            for proc in &comb {
+                match proc {
+                    CombProc::Assign(a) => {
+                        let env = StateEnv {
+                            state: &self.state,
+                            params: &self.design.params,
+                        };
+                        let v = eval(&a.rhs, &env)?;
+                        self.write_lvalue(&a.lhs, v)?;
+                    }
+                    CombProc::Block(b) => {
+                        // Combinational always blocks use blocking assigns:
+                        // effects are visible immediately within the block.
+                        let mut nba = Vec::new();
+                        self.exec_stmt(&b.body, &mut nba)?;
+                        // NBAs in comb blocks are committed immediately too
+                        // (delta-cycle collapse).
+                        for (lv, v) in nba {
+                            self.write_lvalue(&lv, v)?;
+                        }
+                    }
+                }
+            }
+            if self.state == before {
+                return Ok(());
+            }
+        }
+        Err(SimError::CombDivergence)
+    }
+
+    fn sample(&mut self) {
+        let row: Vec<Value> = self.trace_names.iter().map(|n| self.state[n]).collect();
+        self.trace.push(row);
+    }
+
+    fn clock_edge(&mut self) -> Result<(), SimError> {
+        // Evaluate every clocked block against the pre-edge state; commit
+        // nonblocking updates atomically afterwards.
+        let pre_edge = self.state.clone();
+        let mut nba_all: Vec<(LValue, Value)> = Vec::new();
+        let seq = self.seq.clone();
+        for block in &seq {
+            // Blocking assigns inside a clocked block take effect within
+            // that block only; start each block from the pre-edge state.
+            self.state = pre_edge.clone();
+            let mut nba = Vec::new();
+            self.exec_stmt(&block.body, &mut nba)?;
+            // Blocking writes performed by this block also persist: record
+            // them as updates relative to pre-edge.
+            for (name, v) in &self.state {
+                if pre_edge.get(name) != Some(v) {
+                    nba_all.push((
+                        LValue::Ident {
+                            name: name.clone(),
+                            span: asv_verilog::Span::default(),
+                        },
+                        *v,
+                    ));
+                }
+            }
+            nba_all.extend(nba);
+        }
+        self.state = pre_edge;
+        for (lv, v) in nba_all {
+            self.write_lvalue(&lv, v)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, nba: &mut Vec<(LValue, Value)>) -> Result<(), SimError> {
+        match s {
+            Stmt::Block { stmts, .. } => {
+                for st in stmts {
+                    self.exec_stmt(st, nba)?;
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let env = StateEnv {
+                    state: &self.state,
+                    params: &self.design.params,
+                };
+                if eval(cond, &env)?.is_truthy() {
+                    self.exec_stmt(then_branch, nba)
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e, nba)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                ..
+            } => {
+                let env = StateEnv {
+                    state: &self.state,
+                    params: &self.design.params,
+                };
+                let sv = eval(scrutinee, &env)?;
+                for arm in arms {
+                    for label in &arm.labels {
+                        let lv = eval(label, &env)?;
+                        if lv.bits() == sv.bits() {
+                            return self.exec_stmt(&arm.body, nba);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec_stmt(d, nba)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Assign {
+                lhs,
+                rhs,
+                nonblocking,
+                ..
+            } => {
+                let env = StateEnv {
+                    state: &self.state,
+                    params: &self.design.params,
+                };
+                let v = eval(rhs, &env)?;
+                if *nonblocking {
+                    nba.push((lhs.clone(), v));
+                } else {
+                    self.write_lvalue(lhs, v)?;
+                }
+                Ok(())
+            }
+            Stmt::Empty { .. } => Ok(()),
+        }
+    }
+
+    fn write_lvalue(&mut self, lv: &LValue, v: Value) -> Result<(), SimError> {
+        let env_state = self.state.clone();
+        let env = StateEnv {
+            state: &env_state,
+            params: &self.design.params,
+        };
+        let state = &mut self.state;
+        assign_lvalue(
+            lv,
+            v,
+            &env,
+            &mut |n| env_state.get(n).copied(),
+            &mut |n, val| {
+                state.insert(n.to_string(), val);
+            },
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_verilog::compile;
+
+    fn sim(src: &str) -> AstSimulator {
+        let d = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
+        AstSimulator::new(&d)
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut s = sim(
+            "module c(input clk, input rst_n, input en, output reg [3:0] q);\n\
+             always @(posedge clk or negedge rst_n) begin\n\
+               if (!rst_n) q <= 4'd0;\n\
+               else if (en) q <= q + 4'd1;\n\
+             end\nendmodule",
+        );
+        s.step(&[("rst_n", 0), ("en", 0)]).expect("reset");
+        for i in 1..=5u64 {
+            s.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+            assert_eq!(s.value("q").map(Value::bits), Some(i));
+        }
+    }
+
+    #[test]
+    fn divergent_comb_loop_is_reported() {
+        let mut s = sim(
+            "module osc(input a, output y);\nwire n;\nassign n = ~n | a;\nassign y = n;\nendmodule",
+        );
+        assert_eq!(s.step(&[("a", 0)]), Err(SimError::CombDivergence));
+    }
+
+    #[test]
+    fn parameters_evaluate_at_declared_literal_width() {
+        // ~P over a 32-bit parameter must wrap at 32 bits, not 64: the
+        // width bug this fix addresses skewed `~`, reductions and
+        // comparisons.
+        let mut s = sim(
+            "module p #(parameter MASK = 5)(input [7:0] a, output [7:0] y);\n\
+             assign y = a + (~MASK);\nendmodule",
+        );
+        s.step(&[("a", 1)]).expect("step");
+        // ~5 at 32 bits = 0xFFFF_FFFA; + 1 masked to 8 bits = 0xFB.
+        assert_eq!(s.value("y").map(Value::bits), Some(0xFB));
+    }
+}

@@ -5,6 +5,13 @@
 //! event-driven simulation step the AssertSolver paper performs with
 //! Icarus Verilog (substitution rationale in DESIGN.md).
 //!
+//! Two backends share identical semantics (see README "Simulation
+//! backends"): the default [`Simulator`] runs on the compiled core in
+//! [`compile`] (interned signals, bytecode expressions, levelized
+//! combinational scheduling), while [`interp::AstSimulator`] keeps the
+//! original tree-walking executor as the reference oracle for
+//! differential testing.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -24,14 +31,18 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod compile;
 pub mod eval;
 pub mod exec;
+pub mod interp;
 pub mod stimulus;
 pub mod trace;
 pub mod value;
 
+pub use compile::{CompiledDesign, SigId};
 pub use eval::{Env, EvalError};
 pub use exec::{SimError, Simulator};
+pub use interp::AstSimulator;
 pub use stimulus::{Stimulus, StimulusGen};
 pub use trace::Trace;
 pub use value::Value;

@@ -63,6 +63,24 @@ impl Trace {
         self.steps.get(t).map(|row| row[col])
     }
 
+    /// Column index of a signal (for the compiled evaluation path, which
+    /// resolves names once and then indexes rows directly).
+    pub fn col(&self, signal: &str) -> Option<usize> {
+        self.index.get(signal).copied()
+    }
+
+    /// Sampled value at tick `t`, column `col` — the hot-path lookup of
+    /// compiled property evaluation (no name hashing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` or `col` is out of range; compiled property
+    /// checkers only evaluate in-range ticks over their own column map.
+    #[inline]
+    pub fn get(&self, t: usize, col: usize) -> Value {
+        self.steps[t][col]
+    }
+
     /// Sampled value `n` ticks before `t` (`$past` semantics). For
     /// `t < n` returns the value at tick 0, matching simulators that
     /// return the initial sampled value before enough history exists.

@@ -7,13 +7,15 @@
 //! the complete input space up to a bounded depth when the space is small
 //! (a genuine bounded proof), and with seeded random stimulus otherwise.
 
-use crate::monitor::{check_module, AssertionFailure, CheckOutcome, MonitorError};
+use crate::monitor::{AssertionFailure, CheckOutcome, CompiledChecker, MonitorError};
+use asv_sim::compile::CompiledDesign;
 use asv_sim::exec::{SimError, Simulator};
 use asv_sim::stimulus::{Stimulus, StimulusGen};
 use asv_sim::trace::Trace;
 use asv_verilog::sema::Design;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Result of verifying a design's assertions.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -133,6 +135,11 @@ impl Verifier {
 
     /// Checks all assertions of `design`.
     ///
+    /// The design is compiled once ([`CompiledDesign`]) and its assertions
+    /// are compiled once ([`CompiledChecker`]); each stimulus then restarts
+    /// the simulator with an O(#signals) state reset and evaluates
+    /// properties as bytecode over the trace.
+    ///
     /// # Errors
     ///
     /// Returns [`VerifyError::NoAssertions`] when the design has no
@@ -141,30 +148,36 @@ impl Verifier {
         if design.module.assertions().count() == 0 {
             return Err(VerifyError::NoAssertions);
         }
+        let compiled = Arc::new(CompiledDesign::compile(design));
+        // State index == trace column: the checker can be built from the
+        // compiled design's interner before any trace exists.
+        let col = |name: &str| compiled.sig(name).map(|s| s.idx());
+        let checker = CompiledChecker::new(&design.module, col)?;
         let gen = StimulusGen::new(design);
-        let (stimuli, exhaustive) = match gen.exhaustive(
-            self.depth,
-            self.reset_cycles,
-            self.exhaustive_limit,
-        ) {
-            Some(all) => (all, true),
-            None => {
-                let mut runs = Vec::with_capacity(self.random_runs);
-                for i in 0..self.random_runs {
-                    runs.push(gen.random_seeded(
-                        self.depth,
-                        self.reset_cycles,
-                        self.seed.wrapping_add(i as u64),
-                    ));
+        let (stimuli, exhaustive) =
+            match gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
+                Some(all) => (all, true),
+                None => {
+                    let mut runs = Vec::with_capacity(self.random_runs);
+                    for i in 0..self.random_runs {
+                        runs.push(gen.random_seeded(
+                            self.depth,
+                            self.reset_cycles,
+                            self.seed.wrapping_add(i as u64),
+                        ));
+                    }
+                    (runs, false)
                 }
-                (runs, false)
-            }
-        };
+            };
         let count = stimuli.len();
         let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         for stim in stimuli {
-            let trace = self.simulate(design, &stim)?;
-            let results = check_module(&design.module, &trace)?;
+            let mut sim = Simulator::from_compiled(Arc::clone(&compiled));
+            for t in 0..stim.len() {
+                sim.step(&stim.cycle(t))?;
+            }
+            let trace = sim.into_trace();
+            let results = checker.outcomes(&trace)?;
             let mut failures = Vec::new();
             for (dir, outcome) in &results {
                 match outcome {
@@ -293,10 +306,7 @@ endmodule
     #[test]
     fn no_assertions_is_an_error() {
         let d = compile("module m(input a, output y); assign y = a; endmodule").expect("compile");
-        assert_eq!(
-            Verifier::new().check(&d),
-            Err(VerifyError::NoAssertions)
-        );
+        assert_eq!(Verifier::new().check(&d), Err(VerifyError::NoAssertions));
     }
 
     #[test]
@@ -305,7 +315,7 @@ endmodule
 module add1(input clk, input rst_n, input [7:0] a, output reg [8:0] s);
   always @(posedge clk or negedge rst_n) begin
     if (!rst_n) s <= 9'd0;
-    else s <= a + 8'd1;
+    else s <= a + 9'd1;
   end
   p_inc: assert property (@(posedge clk) disable iff (!rst_n)
     1'b1 |-> ##1 s == $past(a, 1) + 9'd1) else $error("bad sum");

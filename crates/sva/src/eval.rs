@@ -1,11 +1,19 @@
 //! Sampled-value expression evaluation over traces.
 //!
 //! Property expressions may contain history system functions (`$past`,
-//! `$rose`, `$fell`, `$stable`). Those are resolved against the [`Trace`]
-//! by rewriting each history call into a literal before delegating to the
-//! shared interpreter in [`asv_sim::eval`], so arbitrary nesting
-//! (`q == $past(d + 1, 2)`) works.
+//! `$rose`, `$fell`, `$stable`). Two evaluation paths exist:
+//!
+//! * the **compiled path** ([`CompiledExpr`]): the expression is lowered
+//!   once into `asv_sim` bytecode with trace columns interned as
+//!   [`SigId`]s, and history calls become [`ExecEnv::history`]
+//!   sub-programs the [`TraceExecEnv`] resolves by re-running them at
+//!   shifted ticks. The monitor and the bounded verifier use this path —
+//!   compile once, evaluate at every tick of every trace.
+//! * the **interpreter path** ([`eval_at`]/[`holds_at`]): each history
+//!   call is rewritten into a literal and the AST is tree-walked via
+//!   [`asv_sim::eval`]. Kept as the reference oracle.
 
+use asv_sim::compile::{compile_expr, run, ExecEnv, ExprProg, HistoryKind, NameRef, SigId};
 use asv_sim::eval::{eval, Env, EvalError};
 use asv_sim::trace::Trace;
 use asv_sim::value::Value;
@@ -29,6 +37,129 @@ impl<'a> TraceEnv<'a> {
 impl Env for TraceEnv<'_> {
     fn value_of(&self, name: &str) -> Option<Value> {
         self.trace.value(self.t, name)
+    }
+}
+
+/// A property expression compiled against a trace column layout.
+///
+/// Construction interns every referenced signal to its trace column; the
+/// per-tick evaluation that dominates monitoring cost then runs without
+/// any name lookups or AST rewriting.
+#[derive(Debug, Clone)]
+pub struct CompiledExpr {
+    prog: ExprProg,
+}
+
+impl CompiledExpr {
+    /// Compiles `expr` against the column layout given by `col` (signal
+    /// name → trace column). Unknown names compile to instructions that
+    /// raise [`EvalError::UnknownSignal`] only if actually evaluated,
+    /// matching the interpreter path.
+    pub fn new<C: Fn(&str) -> Option<usize>>(expr: &Expr, col: C) -> Self {
+        let resolve = |name: &str| match col(name) {
+            Some(c) => NameRef::Sig(SigId(c as u32)),
+            None => NameRef::Unknown,
+        };
+        CompiledExpr {
+            prog: compile_expr(expr, &resolve, true),
+        }
+    }
+
+    /// Compiles `expr` against `trace`'s own column layout.
+    pub fn for_trace(expr: &Expr, trace: &Trace) -> Self {
+        Self::new(expr, |name| trace.col(name))
+    }
+
+    /// Evaluates at tick `t` of `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`EvalError`]s as the interpreter path.
+    pub fn eval_at(&self, trace: &Trace, t: usize) -> Result<Value, EvalError> {
+        self.eval_at_with(trace, t, &mut Vec::with_capacity(8))
+    }
+
+    /// Evaluates at tick `t`, reusing a caller-provided scratch stack —
+    /// the allocation-free form the per-tick monitoring loop uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`EvalError`]s as the interpreter path.
+    pub fn eval_at_with(
+        &self,
+        trace: &Trace,
+        t: usize,
+        stack: &mut Vec<Value>,
+    ) -> Result<Value, EvalError> {
+        run(&self.prog, &TraceExecEnv { trace, t }, stack)
+    }
+
+    /// Evaluates at tick `t` and reports truthiness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from evaluation.
+    pub fn holds_at(&self, trace: &Trace, t: usize) -> Result<bool, EvalError> {
+        Ok(self.eval_at(trace, t)?.is_truthy())
+    }
+
+    /// Truthiness at tick `t` with a caller-provided scratch stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from evaluation.
+    pub fn holds_at_with(
+        &self,
+        trace: &Trace,
+        t: usize,
+        stack: &mut Vec<Value>,
+    ) -> Result<bool, EvalError> {
+        Ok(self.eval_at_with(trace, t, stack)?.is_truthy())
+    }
+}
+
+/// Bytecode environment sampling a trace at a fixed tick: signal loads
+/// index the trace row directly, history calls re-run their sub-program at
+/// shifted ticks.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceExecEnv<'a> {
+    trace: &'a Trace,
+    t: usize,
+}
+
+impl ExecEnv for TraceExecEnv<'_> {
+    #[inline]
+    fn load(&self, sig: SigId) -> Value {
+        self.trace.get(self.t, sig.idx())
+    }
+
+    fn history(&self, kind: HistoryKind, arg: &ExprProg, n: usize) -> Result<Value, EvalError> {
+        let mut stack = Vec::with_capacity(8);
+        let at = |t: usize| TraceExecEnv {
+            trace: self.trace,
+            t,
+        };
+        match kind {
+            HistoryKind::Past => run(arg, &at(self.t.saturating_sub(n)), &mut stack),
+            HistoryKind::Rose | HistoryKind::Fell | HistoryKind::Stable => {
+                let now = run(arg, self, &mut stack)?;
+                let before = if self.t == 0 {
+                    // Before the first sample: $rose/$fell see 0 history,
+                    // $stable is true (matches the interpreter path).
+                    match kind {
+                        HistoryKind::Stable => now,
+                        _ => Value::zero(now.width()),
+                    }
+                } else {
+                    run(arg, &at(self.t - 1), &mut stack)?
+                };
+                Ok(Value::bit(match kind {
+                    HistoryKind::Rose => now.get_bit(0) && !before.get_bit(0),
+                    HistoryKind::Fell => !now.get_bit(0) && before.get_bit(0),
+                    _ => now == before,
+                }))
+            }
+        }
     }
 }
 
@@ -65,17 +196,17 @@ fn resolve_history(expr: &Expr, trace: &Trace, t: usize) -> Result<Expr, EvalErr
                         usize::try_from(v.bits()).unwrap_or(usize::MAX)
                     }
                 };
-                let arg = args.first().ok_or_else(|| {
-                    EvalError::Malformed("$past requires an argument".into())
-                })?;
+                let arg = args
+                    .first()
+                    .ok_or_else(|| EvalError::Malformed("$past requires an argument".into()))?;
                 let at = t.saturating_sub(n);
                 let v = eval_at(arg, trace, at)?;
                 literal(v, *span)
             }
             "rose" | "fell" | "stable" => {
-                let arg = args.first().ok_or_else(|| {
-                    EvalError::Malformed(format!("${name} requires an argument"))
-                })?;
+                let arg = args
+                    .first()
+                    .ok_or_else(|| EvalError::Malformed(format!("${name} requires an argument")))?;
                 let now = eval_at(arg, trace, t)?;
                 let before = if t == 0 {
                     // Before the first sample: $rose/$fell see 0 history,
@@ -223,7 +354,10 @@ mod tests {
         let tr = trace();
         assert!(!holds_at(&expr("$stable(d)"), &tr, 1).expect("eval"));
         assert!(holds_at(&expr("$stable(d) || d == $past(d) + 4'd1"), &tr, 1).expect("eval"));
-        assert!(holds_at(&expr("$stable(d)"), &tr, 0).expect("eval"), "stable at t=0");
+        assert!(
+            holds_at(&expr("$stable(d)"), &tr, 0).expect("eval"),
+            "stable at t=0"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!    one-hot style checks are covered by template 1 on decoded bits.
 
 use crate::bmc::Verifier;
-use crate::monitor::{check_module, CheckOutcome};
+use crate::monitor::{CheckOutcome, CompiledChecker};
 use asv_sim::stimulus::StimulusGen;
 use asv_sim::trace::Trace;
 use asv_verilog::ast::*;
@@ -91,10 +91,11 @@ impl Miner {
 
     fn collect_traces(&self, design: &Design) -> Result<Vec<Trace>, asv_sim::SimError> {
         let gen = StimulusGen::new(design);
+        let compiled = std::sync::Arc::new(asv_sim::CompiledDesign::compile(design));
         let mut traces = Vec::with_capacity(self.mining_runs);
         for i in 0..self.mining_runs {
             let stim = gen.random_seeded(self.depth, 2, self.seed.wrapping_add(i as u64));
-            let mut sim = asv_sim::Simulator::new(design);
+            let mut sim = asv_sim::Simulator::from_compiled(std::sync::Arc::clone(&compiled));
             for t in 0..stim.len() {
                 sim.step(&stim.cycle(t))?;
             }
@@ -238,16 +239,19 @@ impl Miner {
     }
 
     /// Checks a candidate passes (non-vacuously somewhere) on all traces.
-    fn survives_traces(
-        &self,
-        design: &Design,
-        prop: &PropertyDecl,
-        traces: &[Trace],
-    ) -> bool {
+    fn survives_traces(&self, design: &Design, prop: &PropertyDecl, traces: &[Trace]) -> bool {
         let module = attach_property(design, prop).module;
+        // All mining traces come from one design and share a column
+        // layout: compile the candidate's assertions once.
+        let Some(first) = traces.first() else {
+            return false;
+        };
+        let Ok(checker) = CompiledChecker::new(&module, |name| first.col(name)) else {
+            return false;
+        };
         let mut fired = false;
         for tr in traces {
-            match check_module(&module, tr) {
+            match checker.outcomes(tr) {
                 Ok(results) => {
                     for (_, outcome) in results {
                         match outcome {
@@ -375,7 +379,10 @@ endmodule
         .mine(&d, &verifier)
         .expect("mine");
         let has_bound = props.iter().any(|p| p.name.contains("bound"));
-        assert!(has_bound, "saturating counter should yield a bound: {props:?}");
+        assert!(
+            has_bound,
+            "saturating counter should yield a bound: {props:?}"
+        );
     }
 
     #[test]

@@ -15,12 +15,11 @@
 //! * Attempts whose window extends past the end of the trace are *pending*
 //!   and never reported as failures (bounded semantics).
 
-use crate::eval::holds_at;
+use crate::eval::CompiledExpr;
 use asv_sim::eval::EvalError;
 use asv_sim::trace::Trace;
-use asv_verilog::ast::{
-    AssertDirective, AssertTarget, Module, PropExpr, PropertyDecl, SeqExpr,
-};
+use asv_sim::value::Value;
+use asv_verilog::ast::{AssertDirective, AssertTarget, Module, PropExpr, PropertyDecl, SeqExpr};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -102,7 +101,10 @@ impl From<EvalError> for MonitorError {
 
 /// Checks every assertion directive of `module` against `trace`.
 ///
-/// Returns outcomes in directive order.
+/// Returns outcomes in directive order. One-shot convenience over
+/// [`CompiledChecker`]; callers that monitor many traces of one design
+/// (the bounded verifier, the invariant miner) should build the checker
+/// once and reuse it.
 ///
 /// # Errors
 ///
@@ -113,13 +115,131 @@ pub fn check_module(
     module: &Module,
     trace: &Trace,
 ) -> Result<Vec<(AssertDirective, CheckOutcome)>, MonitorError> {
-    let mut out = Vec::new();
-    for dir in module.assertions() {
-        let prop = resolve(module, dir)?;
-        let outcome = check_property(&module.name, dir, prop, trace)?;
-        out.push((dir.clone(), outcome));
+    let checker = CompiledChecker::new(module, |name| trace.col(name))?;
+    Ok(checker
+        .outcomes(trace)?
+        .into_iter()
+        .map(|(dir, outcome)| (dir.clone(), outcome))
+        .collect())
+}
+
+/// A module's assertions compiled against a trace column layout.
+///
+/// Property expressions are lowered once to `asv_sim` bytecode (signal
+/// names interned to trace columns); checking a trace then evaluates pure
+/// programs at each tick with no AST walking or name hashing. All traces
+/// produced by simulating one design share a column layout, so one
+/// checker serves every stimulus of a verification run.
+#[derive(Debug, Clone)]
+pub struct CompiledChecker {
+    module_name: String,
+    directives: Vec<(AssertDirective, CompiledProp)>,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledProp {
+    disable: Option<CompiledExpr>,
+    body: CompiledPropExpr,
+    window: u32,
+}
+
+#[derive(Debug, Clone)]
+enum CompiledPropExpr {
+    Seq(CompiledSeq),
+    Implication {
+        antecedent: CompiledSeq,
+        overlapping: bool,
+        consequent: CompiledSeq,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum CompiledSeq {
+    Expr(CompiledExpr),
+    Delay {
+        lhs: Box<CompiledSeq>,
+        cycles: u32,
+        rhs: Box<CompiledSeq>,
+    },
+}
+
+impl CompiledChecker {
+    /// Compiles every assertion of `module` against the column layout
+    /// given by `col` (signal name → trace column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::UnknownProperty`] for dangling property
+    /// references.
+    pub fn new<C: Fn(&str) -> Option<usize> + Copy>(
+        module: &Module,
+        col: C,
+    ) -> Result<Self, MonitorError> {
+        let mut directives = Vec::new();
+        for dir in module.assertions() {
+            let prop = resolve(module, dir)?;
+            directives.push((dir.clone(), compile_property(prop, col)));
+        }
+        Ok(CompiledChecker {
+            module_name: module.name.clone(),
+            directives,
+        })
     }
-    Ok(out)
+
+    /// Checks all compiled assertions against one trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures as [`MonitorError::Eval`].
+    pub fn outcomes(
+        &self,
+        trace: &Trace,
+    ) -> Result<Vec<(&AssertDirective, CheckOutcome)>, MonitorError> {
+        let mut out = Vec::with_capacity(self.directives.len());
+        // One scratch stack serves every bytecode evaluation of the run.
+        let mut stack = Vec::with_capacity(8);
+        for (dir, prop) in &self.directives {
+            let outcome = check_property(&self.module_name, dir, prop, trace, &mut stack)?;
+            out.push((dir, outcome));
+        }
+        Ok(out)
+    }
+}
+
+fn compile_property<C: Fn(&str) -> Option<usize> + Copy>(
+    prop: &PropertyDecl,
+    col: C,
+) -> CompiledProp {
+    CompiledProp {
+        disable: prop.disable.as_ref().map(|d| CompiledExpr::new(d, col)),
+        body: match &prop.body {
+            PropExpr::Seq(s) => CompiledPropExpr::Seq(compile_seq(s, col)),
+            PropExpr::Implication {
+                antecedent,
+                overlapping,
+                consequent,
+                ..
+            } => CompiledPropExpr::Implication {
+                antecedent: compile_seq(antecedent, col),
+                overlapping: *overlapping,
+                consequent: compile_seq(consequent, col),
+            },
+        },
+        window: property_window(prop),
+    }
+}
+
+fn compile_seq<C: Fn(&str) -> Option<usize> + Copy>(seq: &SeqExpr, col: C) -> CompiledSeq {
+    match seq {
+        SeqExpr::Expr(e) => CompiledSeq::Expr(CompiledExpr::new(e, col)),
+        SeqExpr::Delay {
+            lhs, cycles, rhs, ..
+        } => CompiledSeq::Delay {
+            lhs: Box::new(compile_seq(lhs, col)),
+            cycles: *cycles,
+            rhs: Box::new(compile_seq(rhs, col)),
+        },
+    }
 }
 
 /// Collects the rendered failure-log lines for a whole module (the `Logs`
@@ -153,19 +273,21 @@ fn resolve<'m>(
     }
 }
 
-/// Checks a single property for a directive, reporting all failures (capped
-/// at 16 to bound log size, as real simulators do with `-assert-limit`).
+/// Checks a single compiled property for a directive, reporting all
+/// failures (capped at 16 to bound log size, as real simulators do with
+/// `-assert-limit`).
 fn check_property(
     module_name: &str,
     dir: &AssertDirective,
-    prop: &PropertyDecl,
+    prop: &CompiledProp,
     trace: &Trace,
+    stack: &mut Vec<Value>,
 ) -> Result<CheckOutcome, MonitorError> {
     const MAX_REPORTED: usize = 16;
     let mut failures = Vec::new();
     let mut completed = 0usize;
     for start in 0..trace.len() {
-        match attempt(prop, trace, start)? {
+        match attempt(prop, trace, start, stack)? {
             AttemptOutcome::Pass => completed += 1,
             AttemptOutcome::Vacuous | AttemptOutcome::Disabled | AttemptOutcome::Pending => {}
             AttemptOutcome::Fail { fail_tick } => {
@@ -203,47 +325,42 @@ enum AttemptOutcome {
 
 /// Evaluates one property attempt starting at `start`.
 fn attempt(
-    prop: &PropertyDecl,
+    prop: &CompiledProp,
     trace: &Trace,
     start: usize,
+    stack: &mut Vec<Value>,
 ) -> Result<AttemptOutcome, MonitorError> {
-    let window = property_window(prop);
     // Disable check across the whole observation window (clamped to trace).
     if let Some(dis) = &prop.disable {
-        let end = (start + window as usize).min(trace.len().saturating_sub(1));
+        let end = (start + prop.window as usize).min(trace.len().saturating_sub(1));
         for t in start..=end {
-            if holds_at(dis, trace, t)? {
+            if dis.holds_at_with(trace, t, stack)? {
                 return Ok(AttemptOutcome::Disabled);
             }
         }
     }
     match &prop.body {
-        PropExpr::Seq(seq) => match match_seq(seq, trace, start)? {
+        CompiledPropExpr::Seq(seq) => match match_seq(seq, trace, start, stack)? {
             SeqOutcome::Match { .. } => Ok(AttemptOutcome::Pass),
             SeqOutcome::NoMatch { fail_tick } => Ok(AttemptOutcome::Fail { fail_tick }),
             SeqOutcome::Pending => Ok(AttemptOutcome::Pending),
         },
-        PropExpr::Implication {
+        CompiledPropExpr::Implication {
             antecedent,
             overlapping,
             consequent,
-            ..
-        } => {
-            match match_seq(antecedent, trace, start)? {
-                SeqOutcome::NoMatch { .. } => Ok(AttemptOutcome::Vacuous),
-                SeqOutcome::Pending => Ok(AttemptOutcome::Pending),
-                SeqOutcome::Match { end } => {
-                    let cstart = if *overlapping { end } else { end + 1 };
-                    match match_seq(consequent, trace, cstart)? {
-                        SeqOutcome::Match { .. } => Ok(AttemptOutcome::Pass),
-                        SeqOutcome::NoMatch { fail_tick } => {
-                            Ok(AttemptOutcome::Fail { fail_tick })
-                        }
-                        SeqOutcome::Pending => Ok(AttemptOutcome::Pending),
-                    }
+        } => match match_seq(antecedent, trace, start, stack)? {
+            SeqOutcome::NoMatch { .. } => Ok(AttemptOutcome::Vacuous),
+            SeqOutcome::Pending => Ok(AttemptOutcome::Pending),
+            SeqOutcome::Match { end } => {
+                let cstart = if *overlapping { end } else { end + 1 };
+                match match_seq(consequent, trace, cstart, stack)? {
+                    SeqOutcome::Match { .. } => Ok(AttemptOutcome::Pass),
+                    SeqOutcome::NoMatch { fail_tick } => Ok(AttemptOutcome::Fail { fail_tick }),
+                    SeqOutcome::Pending => Ok(AttemptOutcome::Pending),
                 }
             }
-        }
+        },
     }
 }
 
@@ -255,22 +372,25 @@ enum SeqOutcome {
 }
 
 /// Matches a linear sequence starting at tick `start`.
-fn match_seq(seq: &SeqExpr, trace: &Trace, start: usize) -> Result<SeqOutcome, MonitorError> {
+fn match_seq(
+    seq: &CompiledSeq,
+    trace: &Trace,
+    start: usize,
+    stack: &mut Vec<Value>,
+) -> Result<SeqOutcome, MonitorError> {
     match seq {
-        SeqExpr::Expr(e) => {
+        CompiledSeq::Expr(e) => {
             if start >= trace.len() {
                 return Ok(SeqOutcome::Pending);
             }
-            if holds_at(e, trace, start)? {
+            if e.holds_at_with(trace, start, stack)? {
                 Ok(SeqOutcome::Match { end: start })
             } else {
                 Ok(SeqOutcome::NoMatch { fail_tick: start })
             }
         }
-        SeqExpr::Delay {
-            lhs, cycles, rhs, ..
-        } => match match_seq(lhs, trace, start)? {
-            SeqOutcome::Match { end } => match_seq(rhs, trace, end + *cycles as usize),
+        CompiledSeq::Delay { lhs, cycles, rhs } => match match_seq(lhs, trace, start, stack)? {
+            SeqOutcome::Match { end } => match_seq(rhs, trace, end + *cycles as usize, stack),
             other => Ok(other),
         },
     }

@@ -284,9 +284,7 @@ impl Sensitivity {
     pub fn is_combinational(&self) -> bool {
         match self {
             Sensitivity::Star => true,
-            Sensitivity::List(items) => {
-                items.iter().all(|i| matches!(i, SensItem::Level(_)))
-            }
+            Sensitivity::List(items) => items.iter().all(|i| matches!(i, SensItem::Level(_))),
         }
     }
 }
@@ -348,12 +346,10 @@ impl LValue {
     /// Names of all signals written by this target.
     pub fn target_names(&self) -> Vec<&str> {
         match self {
-            LValue::Ident { name, .. }
-            | LValue::Bit { name, .. }
-            | LValue::Part { name, .. } => vec![name.as_str()],
-            LValue::Concat { parts, .. } => {
-                parts.iter().flat_map(|p| p.target_names()).collect()
+            LValue::Ident { name, .. } | LValue::Bit { name, .. } | LValue::Part { name, .. } => {
+                vec![name.as_str()]
             }
+            LValue::Concat { parts, .. } => parts.iter().flat_map(|p| p.target_names()).collect(),
         }
     }
 }

@@ -182,9 +182,7 @@ impl DepGraph {
 fn lvalue_index_idents(lv: &LValue) -> Vec<String> {
     match lv {
         LValue::Bit { index, .. } => index.idents(),
-        LValue::Concat { parts, .. } => {
-            parts.iter().flat_map(lvalue_index_idents).collect()
-        }
+        LValue::Concat { parts, .. } => parts.iter().flat_map(lvalue_index_idents).collect(),
         _ => Vec::new(),
     }
 }

@@ -239,7 +239,7 @@ impl<'s> Lexer<'s> {
         }
         // Based literal: 'b / 'o / 'd / 'h with optional preceding width.
         self.pos += 1; // apostrophe
-        // Optional signedness marker 's' is accepted and ignored.
+                       // Optional signedness marker 's' is accepted and ignored.
         if matches!(self.peek(), Some(b's') | Some(b'S')) {
             self.pos += 1;
         }
@@ -282,7 +282,13 @@ impl<'s> Lexer<'s> {
         // in DESIGN.md.
         let cleaned: String = digits
             .chars()
-            .map(|c| if matches!(c, 'x' | 'X' | 'z' | 'Z' | '?') { '0' } else { c })
+            .map(|c| {
+                if matches!(c, 'x' | 'X' | 'z' | 'Z' | '?') {
+                    '0'
+                } else {
+                    c
+                }
+            })
             .collect();
         let value = u64::from_str_radix(&cleaned, radix)
             .map_err(|_| self.err("based literal out of range", start))?;
@@ -443,10 +449,7 @@ impl<'s> Lexer<'s> {
                 _ => T::Gt,
             },
             other => {
-                return Err(self.err(
-                    format!("unexpected character `{}`", other as char),
-                    start,
-                ))
+                return Err(self.err(format!("unexpected character `{}`", other as char), start))
             }
         };
         self.push(kind, start);
@@ -460,7 +463,11 @@ mod tests {
     use crate::token::TokenKind as T;
 
     fn kinds(src: &str) -> Vec<T> {
-        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

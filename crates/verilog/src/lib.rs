@@ -48,10 +48,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_ident() -> impl Strategy<Value = String> {
-        prop::sample::select(vec![
-            "a", "b", "c", "sel", "data", "q", "count", "enable",
-        ])
-        .prop_map(str::to_string)
+        prop::sample::select(vec!["a", "b", "c", "sel", "data", "q", "count", "enable"])
+            .prop_map(str::to_string)
     }
 
     fn arb_expr() -> impl Strategy<Value = Expr> {
@@ -69,27 +67,30 @@ mod proptests {
         ];
         leaf.prop_recursive(3, 24, 4, |inner| {
             prop_oneof![
-                (inner.clone(), inner.clone(), prop::sample::select(vec![
-                    BinaryOp::Add,
-                    BinaryOp::Sub,
-                    BinaryOp::BitAnd,
-                    BinaryOp::BitOr,
-                    BinaryOp::BitXor,
-                    BinaryOp::Eq,
-                    BinaryOp::Lt,
-                    BinaryOp::LogicAnd,
-                ]))
+                (
+                    inner.clone(),
+                    inner.clone(),
+                    prop::sample::select(vec![
+                        BinaryOp::Add,
+                        BinaryOp::Sub,
+                        BinaryOp::BitAnd,
+                        BinaryOp::BitOr,
+                        BinaryOp::BitXor,
+                        BinaryOp::Eq,
+                        BinaryOp::Lt,
+                        BinaryOp::LogicAnd,
+                    ])
+                )
                     .prop_map(|(l, r, op)| Expr::Binary {
                         op,
                         lhs: Box::new(l),
                         rhs: Box::new(r),
                         span: Span::default(),
                     }),
-                (inner.clone(), prop::sample::select(vec![
-                    UnaryOp::BitNot,
-                    UnaryOp::LogicNot,
-                    UnaryOp::RedOr,
-                ]))
+                (
+                    inner.clone(),
+                    prop::sample::select(vec![UnaryOp::BitNot, UnaryOp::LogicNot, UnaryOp::RedOr,])
+                )
                     .prop_map(|(e, op)| Expr::Unary {
                         op,
                         operand: Box::new(e),
@@ -109,9 +110,9 @@ mod proptests {
         let mut e = e.clone();
         fn walk(e: &mut Expr) {
             match e {
-                Expr::Number { span, .. }
-                | Expr::Ident { span, .. }
-                | Expr::Part { span, .. } => *span = Span::default(),
+                Expr::Number { span, .. } | Expr::Ident { span, .. } | Expr::Part { span, .. } => {
+                    *span = Span::default()
+                }
                 Expr::Unary { span, operand, .. } => {
                     *span = Span::default();
                     walk(operand);

@@ -270,9 +270,8 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Number { value, .. } => {
                 self.bump();
-                u32::try_from(value).map_err(|_| {
-                    CompileError::single("constant out of range", self.prev_span())
-                })
+                u32::try_from(value)
+                    .map_err(|_| CompileError::single("constant out of range", self.prev_span()))
             }
             _ => Err(self.unexpected("expected constant")),
         }
@@ -321,7 +320,9 @@ impl Parser {
                 self.expect(&TokenKind::Semi)?;
                 Ok(())
             }
-            TokenKind::Keyword(kw @ (Keyword::Wire | Keyword::Reg | Keyword::Logic | Keyword::Integer)) => {
+            TokenKind::Keyword(
+                kw @ (Keyword::Wire | Keyword::Reg | Keyword::Logic | Keyword::Integer),
+            ) => {
                 self.bump();
                 let kind = match kw {
                     Keyword::Wire => NetKind::Wire,
@@ -398,7 +399,9 @@ impl Parser {
                 }));
                 Ok(())
             }
-            TokenKind::Keyword(kw @ (Keyword::Always | Keyword::AlwaysFf | Keyword::AlwaysComb)) => {
+            TokenKind::Keyword(
+                kw @ (Keyword::Always | Keyword::AlwaysFf | Keyword::AlwaysComb),
+            ) => {
                 self.bump();
                 let kind = match kw {
                     Keyword::Always => AlwaysKind::Always,
@@ -619,9 +622,8 @@ impl Parser {
             let first = self.expr()?;
             if self.eat(&TokenKind::Colon) {
                 let msb = match first {
-                    Expr::Number { value, .. } => u32::try_from(value).map_err(|_| {
-                        CompileError::single("part-select msb out of range", nspan)
-                    })?,
+                    Expr::Number { value, .. } => u32::try_from(value)
+                        .map_err(|_| CompileError::single("part-select msb out of range", nspan))?,
                     _ => {
                         return Err(CompileError::single(
                             "part selects must use constant bounds",
@@ -673,8 +675,7 @@ impl Parser {
 
     fn binary(&mut self, min_prec: u8) -> Result<Expr> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some(op) = self.peek_binary_op() else { break };
+        while let Some(op) = self.peek_binary_op() {
             let prec = op.precedence();
             if prec < min_prec {
                 break;
@@ -776,11 +777,9 @@ impl Parser {
                     let first = self.expr()?;
                     if self.eat(&T::Colon) {
                         let msb = match first {
-                            Expr::Number { value, .. } => {
-                                u32::try_from(value).map_err(|_| {
-                                    CompileError::single("part-select out of range", nspan)
-                                })?
-                            }
+                            Expr::Number { value, .. } => u32::try_from(value).map_err(|_| {
+                                CompileError::single("part-select out of range", nspan)
+                            })?,
                             _ => {
                                 return Err(CompileError::single(
                                     "part selects must use constant bounds",
@@ -958,11 +957,7 @@ impl Parser {
         Ok(seq)
     }
 
-    fn assert_directive(
-        &mut self,
-        label: Option<String>,
-        start: Span,
-    ) -> Result<AssertDirective> {
+    fn assert_directive(&mut self, label: Option<String>, start: Span) -> Result<AssertDirective> {
         self.expect_kw(Keyword::Assert)?;
         self.expect_kw(Keyword::Property)?;
         self.expect(&TokenKind::LParen)?;
@@ -977,10 +972,9 @@ impl Parser {
                 let p = self.inline_property(&label)?;
                 AssertTarget::Inline(Box::new(p))
             }
-        } else if self.at(&TokenKind::At) {
-            let p = self.inline_property(&label)?;
-            AssertTarget::Inline(Box::new(p))
         } else {
+            // Anything else (`@(posedge ...)` clocking or a bare
+            // expression) parses as an inline property.
             let p = self.inline_property(&label)?;
             AssertTarget::Inline(Box::new(p))
         };
@@ -1204,10 +1198,9 @@ endmodule
 
     #[test]
     fn parses_concat_and_repeat() {
-        let unit = parse(
-            "module m(input [3:0] a, output [7:0] y); assign y = {2{a}} ^ {a, a}; endmodule",
-        )
-        .expect("parse ok");
+        let unit =
+            parse("module m(input [3:0] a, output [7:0] y); assign y = {2{a}} ^ {a, a}; endmodule")
+                .expect("parse ok");
         let Item::Assign(ca) = &unit.modules[0].items[0] else {
             panic!("expected assign");
         };
@@ -1273,7 +1266,7 @@ endmodule
         let kinds: Vec<_> = unit.modules[0]
             .items
             .iter()
-            .map(|i| std::mem::discriminant(i))
+            .map(std::mem::discriminant)
             .collect();
         assert_eq!(kinds.len(), 3); // net decl + implied assign + assign
     }

@@ -201,7 +201,11 @@ impl Printer {
                 write!(
                     self.out,
                     "@({} {})",
-                    if p.clock.posedge { "posedge" } else { "negedge" },
+                    if p.clock.posedge {
+                        "posedge"
+                    } else {
+                        "negedge"
+                    },
                     p.clock.signal
                 )
                 .expect("write to string");
@@ -227,7 +231,11 @@ impl Printer {
                         write!(
                             self.out,
                             "assert property (@({} {})",
-                            if p.clock.posedge { "posedge" } else { "negedge" },
+                            if p.clock.posedge {
+                                "posedge"
+                            } else {
+                                "negedge"
+                            },
                             p.clock.signal
                         )
                         .expect("write to string");
@@ -414,7 +422,12 @@ pub fn render_seq(s: &SeqExpr) -> String {
             lhs, cycles, rhs, ..
         } => {
             // `1 ##n rhs` (synthesised anchor) renders as a leading delay.
-            if let SeqExpr::Expr(Expr::Number { value: 1, width: Some(1), .. }) = **lhs {
+            if let SeqExpr::Expr(Expr::Number {
+                value: 1,
+                width: Some(1),
+                ..
+            }) = **lhs
+            {
                 format!("##{cycles} {}", render_seq(rhs))
             } else {
                 format!("{} ##{cycles} {}", render_seq(lhs), render_seq(rhs))

@@ -116,10 +116,7 @@ impl Design {
             ("reset", false),
         ] {
             if self.signals.contains_key(name) {
-                return Some((
-                    self.signals.get(name).map(|s| s.name.as_str())?,
-                    active_low,
-                ));
+                return Some((self.signals.get(name).map(|s| s.name.as_str())?, active_low));
             }
         }
         None
@@ -348,9 +345,7 @@ impl Elaborator {
             }
             (a, b) if a == b => {}
             (a, b) => self.err(
-                format!(
-                    "signal `{name}` has conflicting drivers ({a:?} and {b:?})"
-                ),
+                format!("signal `{name}` has conflicting drivers ({a:?} and {b:?})"),
                 span,
             ),
         }
@@ -452,7 +447,18 @@ impl Elaborator {
             }
         }
         if let Expr::SysCall { name, span, .. } = e {
-            if !matches!(name.as_str(), "past" | "rose" | "fell" | "stable" | "countones" | "onehot" | "onehot0" | "signed" | "unsigned") {
+            if !matches!(
+                name.as_str(),
+                "past"
+                    | "rose"
+                    | "fell"
+                    | "stable"
+                    | "countones"
+                    | "onehot"
+                    | "onehot0"
+                    | "signed"
+                    | "unsigned"
+            ) {
                 self.err(format!("unsupported system function `${name}`"), *span);
             }
         }
@@ -486,13 +492,15 @@ impl Elaborator {
 
     fn check_assertions(&mut self) {
         let module = self.module.clone();
-        let prop_names: BTreeSet<&str> =
-            module.properties().map(|p| p.name.as_str()).collect();
+        let prop_names: BTreeSet<&str> = module.properties().map(|p| p.name.as_str()).collect();
         for a in module.assertions() {
             match &a.target {
                 AssertTarget::Named(n) => {
                     if !prop_names.contains(n.as_str()) {
-                        self.err(format!("assertion references unknown property `{n}`"), a.span);
+                        self.err(
+                            format!("assertion references unknown property `{n}`"),
+                            a.span,
+                        );
                     }
                 }
                 AssertTarget::Inline(p) => self.check_property(p),
@@ -582,8 +590,12 @@ pub fn const_eval(e: &Expr, params: &BTreeMap<String, u64>) -> Option<u64> {
                 BinaryOp::Div => a.checked_div(b)?,
                 BinaryOp::Mod => a.checked_rem(b)?,
                 BinaryOp::Pow => a.checked_pow(u32::try_from(b).ok()?)?,
-                BinaryOp::Shl | BinaryOp::AShl => a.checked_shl(u32::try_from(b).ok()?).unwrap_or(0),
-                BinaryOp::Shr | BinaryOp::AShr => a.checked_shr(u32::try_from(b).ok()?).unwrap_or(0),
+                BinaryOp::Shl | BinaryOp::AShl => {
+                    a.checked_shl(u32::try_from(b).ok()?).unwrap_or(0)
+                }
+                BinaryOp::Shr | BinaryOp::AShr => {
+                    a.checked_shr(u32::try_from(b).ok()?).unwrap_or(0)
+                }
                 BinaryOp::BitAnd => a & b,
                 BinaryOp::BitOr => a | b,
                 BinaryOp::BitXor => a ^ b,
@@ -656,8 +668,9 @@ mod tests {
 
     #[test]
     fn rejects_assign_to_reg() {
-        let e = compile("module m(input a, output y); reg t; assign t = a; assign y = t; endmodule")
-            .expect_err("should fail");
+        let e =
+            compile("module m(input a, output y); reg t; assign t = a; assign y = t; endmodule")
+                .expect_err("should fail");
         assert!(e.primary().message.contains("reg"), "{e}");
     }
 

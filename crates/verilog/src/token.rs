@@ -332,7 +332,9 @@ mod tests {
     #[test]
     fn describe_is_nonempty() {
         assert!(TokenKind::ImplOverlap.describe().contains("|->"));
-        assert!(TokenKind::Keyword(Keyword::Module).describe().contains("module"));
+        assert!(TokenKind::Keyword(Keyword::Module)
+            .describe()
+            .contains("module"));
         assert!(TokenKind::Ident("clk".into()).describe().contains("clk"));
     }
 }

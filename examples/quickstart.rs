@@ -63,18 +63,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         buggy_source: BUGGY_ACCU.into(),
         logs: cex.logs.clone(),
     };
+    // Sample n = 20 responses (the paper's protocol) and verify each
+    // candidate patch; the first that makes every assertion hold
+    // non-vacuously is the accepted repair.
     let responses = solver.respond(&task, 20, 42);
     let top = &responses[0];
-    println!("\nmodel response (JSON): {}", top.to_json());
+    println!("\ntop-ranked response (JSON): {}", top.to_json());
     println!("\nreasoning:\n{}", top.cot);
 
-    // Verify the proposed patch actually solves the failure.
-    let patched = asv_verilog::compile(&top.patched_source)?;
-    match verifier.check(&patched)? {
-        v if v.holds_non_vacuously() => {
-            println!("\npatched design verified: all assertions hold non-vacuously")
+    let effective = responses.iter().enumerate().find(|(_, r)| {
+        asv_verilog::compile(&r.patched_source)
+            .ok()
+            .and_then(|d| verifier.check(&d).ok())
+            .is_some_and(|v| v.holds_non_vacuously())
+    });
+    match effective {
+        Some((i, r)) => {
+            println!("\nresponse #{} verified: {}", i + 1, r.fix.trim());
+            println!("patched design verified: all assertions hold non-vacuously");
         }
-        other => println!("\npatch did not verify: {other:?}"),
+        None => println!("\nno response among the 20 samples verified"),
     }
     Ok(())
 }
