@@ -7,7 +7,7 @@ use assertsolver_core::policy::Policy;
 use asv_datagen::corpus::{Archetype, CorpusGen, SizeHint};
 use asv_mutation::repairspace::candidates;
 use asv_sim::{AstSimulator, CompiledDesign, Simulator};
-use asv_sva::bmc::Verifier;
+use asv_sva::bmc::{Engine, Verifier};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -82,12 +82,51 @@ fn bench_verifier(c: &mut Criterion) {
         exhaustive_limit: 64,
         random_runs: 8,
         seed: 1,
+        engine: Engine::Simulation,
     };
     // `Verifier::check` compiles once then resets per stimulus; the seed's
     // `bmc_check` number (full Design clone + AST walk per stimulus) is
     // the baseline this is measured against.
     c.bench_function("verify_compiled", |b| {
         b.iter(|| verifier.check(black_box(&design)).expect("check"))
+    });
+    // Symbolic engine on the same fixture and bounds: bit-blast + unroll +
+    // CDCL, one bounded proof over the whole input space instead of
+    // sampling it.
+    let symbolic = Verifier {
+        engine: Engine::Symbolic,
+        ..verifier
+    };
+    c.bench_function("verify_symbolic", |b| {
+        b.iter(|| symbolic.check(black_box(&design)).expect("check"))
+    });
+}
+
+fn bench_sat(c: &mut Criterion) {
+    use asv_sat::{Lit, SolveResult, Solver};
+    // Pigeonhole PHP(7,6): a classic resolution-hard UNSAT instance that
+    // exercises clause learning, VSIDS and restarts rather than pure
+    // propagation.
+    c.bench_function("sat_pigeonhole_7_6", |b| {
+        b.iter(|| {
+            let (pigeons, holes) = (7usize, 6usize);
+            let mut s = Solver::new();
+            let x: Vec<Vec<Lit>> = (0..pigeons)
+                .map(|_| (0..holes).map(|_| Lit::pos(s.new_var())).collect())
+                .collect();
+            for p in &x {
+                s.add_clause(p);
+            }
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    for (&a, &b) in x[p1].iter().zip(&x[p2]) {
+                        s.add_clause(&[!a, !b]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+            s.conflicts
+        })
     });
 }
 
@@ -120,6 +159,7 @@ criterion_group!(
     bench_frontend,
     bench_simulator,
     bench_verifier,
+    bench_sat,
     bench_repair
 );
 criterion_main!(benches);

@@ -20,7 +20,7 @@ use crate::infer::{render_response, respond_with_policy, RepairEngine, RepairTas
 use crate::lm::NgramLm;
 use crate::policy::Policy;
 use asv_mutation::repairspace::candidates;
-use asv_sva::bmc::Verifier;
+use asv_sva::bmc::{Engine, Verifier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -139,6 +139,7 @@ impl SelfVerifyEngine {
                 exhaustive_limit: 64,
                 random_runs: 6,
                 seed: 0x01_5EEF,
+                engine: Engine::Auto,
             },
             shortlist: 5,
             anchor_prob: 0.82,

@@ -8,7 +8,7 @@ use crate::dataset::{split_by_module, SvaBugEntry, VerilogBugEntry, VerilogPtEnt
 use crate::human;
 use crate::stage1::{self, RawItem};
 use crate::stage2::Stage2;
-use asv_sva::bmc::Verifier;
+use asv_sva::bmc::{Engine, Verifier};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -48,6 +48,7 @@ impl Default for PipelineConfig {
                 exhaustive_limit: 512,
                 random_runs: 24,
                 seed: 0xA55E_7501,
+                engine: Engine::Auto,
             },
         }
     }
@@ -65,6 +66,7 @@ impl PipelineConfig {
                 exhaustive_limit: 128,
                 random_runs: 10,
                 seed: 0xA55E_7501,
+                engine: Engine::Auto,
             },
             ..Self::default()
         }

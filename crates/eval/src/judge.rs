@@ -10,7 +10,7 @@
 
 use assertsolver_core::Response;
 use asv_datagen::SvaBugEntry;
-use asv_sva::bmc::Verifier;
+use asv_sva::bmc::{Engine, Verifier};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -44,6 +44,7 @@ impl Judge {
             exhaustive_limit: 256,
             random_runs: 16,
             seed: 0x007E_57ED,
+            engine: Engine::Auto,
         })
     }
 

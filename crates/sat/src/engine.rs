@@ -1,0 +1,821 @@
+//! The symbolic bounded model checker.
+//!
+//! [`check`] unrolls a [`CompiledDesign`] over time frames (reset protocol
+//! and free-input symbolics exactly as [`asv_sim::StimulusGen`] drives the
+//! concrete simulator), compiles every SVA directive into the same frame
+//! logic — including `$past`/`$rose`/`$fell`/`$stable` history
+//! sub-programs evaluated at shifted frames — and asks the embedded CDCL
+//! solver, depth by depth, whether any input sequence makes any assertion
+//! attempt fail. Depth *k+1* reuses the solver state (and thus all learned
+//! clauses) of depth *k*; the first satisfiable depth yields a
+//! minimal-depth counterexample, decoded back into a concrete
+//! [`Stimulus`].
+//!
+//! When every depth up to the bound is unsatisfiable the result is a
+//! bounded *proof*: `Holds` with per-assertion vacuity decided by a second
+//! round of queries (an assertion is vacuous iff *no* input sequence
+//! completes a non-vacuous attempt — strictly stronger than the sampled
+//! notion the simulation oracle reports).
+
+use crate::aig::{Aig, NLit, Node};
+use crate::blast::{run_sym, BlastError, SymEnv, SymVec};
+use crate::solver::{Lit, SolveResult, Solver, Var};
+use crate::unroll::{clock_edge_sym, settle_sym, SymState};
+use asv_sim::compile::{compile_expr, CompiledDesign, ExprProg, HistoryKind, NameRef, SigId};
+use asv_sim::stimulus::{InputVector, Stimulus};
+use asv_sim::value::Value;
+use asv_verilog::ast::{AssertTarget, Module, PropExpr, PropertyDecl, SeqExpr};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Bounds and budgets of a symbolic check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BmcOptions {
+    /// Post-reset cycles (matches `Verifier::depth`).
+    pub depth: usize,
+    /// Reset cycles at the head of every run.
+    pub reset_cycles: usize,
+    /// Conflict budget per SAT call (`None` = unbounded).
+    pub conflict_budget: Option<u64>,
+    /// Cap on AIG nodes before the engine gives up.
+    pub node_limit: usize,
+}
+
+impl Default for BmcOptions {
+    fn default() -> Self {
+        BmcOptions {
+            depth: 12,
+            reset_cycles: 2,
+            conflict_budget: Some(1 << 20),
+            node_limit: 4_000_000,
+        }
+    }
+}
+
+/// Result of a symbolic check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BmcVerdict {
+    /// Some input sequence violates an assertion; `stimulus` is a
+    /// minimal-depth witness (replay it on the simulator for logs).
+    Fails {
+        /// The violating input sequence.
+        stimulus: Stimulus,
+    },
+    /// No input sequence up to the bound violates any assertion.
+    Holds {
+        /// Assertions that cannot fire non-vacuously on any input
+        /// sequence of the bounded length (directive order).
+        vacuous: Vec<String>,
+    },
+}
+
+/// Why a symbolic check could not produce a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BmcError {
+    /// The design or its properties fall outside the encodable subset;
+    /// callers fall back to the simulation oracle.
+    Unsupported(String),
+    /// A resource budget (conflicts, AIG nodes) was exhausted.
+    Resource(String),
+}
+
+impl fmt::Display for BmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmcError::Unsupported(m) => write!(f, "symbolic engine unsupported: {m}"),
+            BmcError::Resource(m) => write!(f, "symbolic engine budget exhausted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BmcError {}
+
+impl From<BlastError> for BmcError {
+    fn from(e: BlastError) -> Self {
+        BmcError::Unsupported(e.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property compilation
+// ---------------------------------------------------------------------------
+
+/// One boolean of a linear sequence, evaluated `tick_off` ticks after the
+/// attempt start.
+struct Atom {
+    tick_off: u32,
+    prog: ExprProg,
+}
+
+/// A flattened linear sequence: atoms in evaluation order plus the end
+/// offset (`SeqExpr::duration`).
+struct SeqProg {
+    atoms: Vec<Atom>,
+    end_off: u32,
+}
+
+enum PropBody {
+    Seq(SeqProg),
+    Implication {
+        antecedent: SeqProg,
+        overlapping: bool,
+        consequent: SeqProg,
+    },
+}
+
+/// A directive compiled against the design's signal interning.
+struct PropSym {
+    /// `AssertDirective::log_name`.
+    name: String,
+    disable: Option<ExprProg>,
+    body: PropBody,
+    /// Ticks beyond the start the attempt may observe (the monitor's
+    /// `property_window`).
+    window: u32,
+}
+
+fn flatten_seq<R>(seq: &SeqExpr, off: u32, resolve: &R, out: &mut Vec<Atom>) -> u32
+where
+    R: Fn(&str) -> NameRef,
+{
+    match seq {
+        SeqExpr::Expr(e) => {
+            out.push(Atom {
+                tick_off: off,
+                prog: compile_expr(e, resolve, true),
+            });
+            off
+        }
+        SeqExpr::Delay {
+            lhs, cycles, rhs, ..
+        } => {
+            let end_l = flatten_seq(lhs, off, resolve, out);
+            flatten_seq(rhs, end_l + cycles, resolve, out)
+        }
+    }
+}
+
+fn compile_seq<R>(seq: &SeqExpr, resolve: &R) -> SeqProg
+where
+    R: Fn(&str) -> NameRef,
+{
+    let mut atoms = Vec::new();
+    let end_off = flatten_seq(seq, 0, resolve, &mut atoms);
+    SeqProg { atoms, end_off }
+}
+
+fn resolve_property(module: &Module, dir_idx: usize) -> Option<&PropertyDecl> {
+    let dir = module.assertions().nth(dir_idx)?;
+    match &dir.target {
+        AssertTarget::Named(n) => module.properties().find(|p| &p.name == n),
+        AssertTarget::Inline(p) => Some(p),
+    }
+}
+
+fn compile_props(cd: &CompiledDesign) -> Result<Vec<PropSym>, BmcError> {
+    let module = &cd.design().module;
+    let resolve = |name: &str| match cd.sig(name) {
+        Some(sig) => NameRef::Sig(sig),
+        None => NameRef::Unknown,
+    };
+    let mut props = Vec::new();
+    for (i, dir) in module.assertions().enumerate() {
+        let Some(prop) = resolve_property(module, i) else {
+            return Err(BmcError::Unsupported(format!(
+                "directive `{}` references an unknown property",
+                dir.log_name()
+            )));
+        };
+        // Semantic twin of the monitor's `property_window` (asv-sva
+        // monitor.rs): any change there must be mirrored here — the
+        // differential suite (tests/differential_bmc.rs) enforces the
+        // agreement on enumerable designs.
+        let window = match &prop.body {
+            PropExpr::Seq(s) => s.duration(),
+            PropExpr::Implication {
+                antecedent,
+                overlapping,
+                consequent,
+                ..
+            } => antecedent.duration() + consequent.duration() + u32::from(!*overlapping),
+        };
+        let body = match &prop.body {
+            PropExpr::Seq(s) => PropBody::Seq(compile_seq(s, &resolve)),
+            PropExpr::Implication {
+                antecedent,
+                overlapping,
+                consequent,
+                ..
+            } => PropBody::Implication {
+                antecedent: compile_seq(antecedent, &resolve),
+                overlapping: *overlapping,
+                consequent: compile_seq(consequent, &resolve),
+            },
+        };
+        props.push(PropSym {
+            name: dir.log_name().to_string(),
+            disable: prop
+                .disable
+                .as_ref()
+                .map(|d| compile_expr(d, &resolve, true)),
+            body,
+            window,
+        });
+    }
+    Ok(props)
+}
+
+// ---------------------------------------------------------------------------
+// Trace environment
+// ---------------------------------------------------------------------------
+
+/// Environment evaluating property programs over sampled symbolic rows,
+/// the symbolic twin of the monitor's `TraceExecEnv`.
+struct TraceSymEnv<'a> {
+    rows: &'a [SymState],
+    t: usize,
+}
+
+impl SymEnv for TraceSymEnv<'_> {
+    fn load(&self, sig: SigId) -> SymVec {
+        self.rows[self.t].vals[sig.idx()].clone()
+    }
+
+    fn history(
+        &self,
+        g: &mut Aig,
+        kind: HistoryKind,
+        arg: &ExprProg,
+        n: usize,
+    ) -> Result<SymVec, BlastError> {
+        let at = |t: usize| TraceSymEnv { rows: self.rows, t };
+        match kind {
+            HistoryKind::Past => run_sym(g, arg, &at(self.t.saturating_sub(n))),
+            HistoryKind::Rose | HistoryKind::Fell | HistoryKind::Stable => {
+                let now = run_sym(g, arg, self)?;
+                let before = if self.t == 0 {
+                    match kind {
+                        HistoryKind::Stable => now.clone(),
+                        _ => SymVec::zeros(now.width()),
+                    }
+                } else {
+                    run_sym(g, arg, &at(self.t - 1))?
+                };
+                let bit = match kind {
+                    HistoryKind::Rose => g.and(now.get(0), !before.get(0)),
+                    HistoryKind::Fell => g.and(!now.get(0), before.get(0)),
+                    HistoryKind::Stable => {
+                        // `Value` equality compares width and bits.
+                        if now.width() == before.width() {
+                            now.eq_bits(g, &before)
+                        } else {
+                            NLit::FALSE
+                        }
+                    }
+                    HistoryKind::Past => unreachable!(),
+                };
+                Ok(SymVec::new(vec![bit]))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CNF encoding
+// ---------------------------------------------------------------------------
+
+/// Incremental Tseitin encoder: AIG nodes map to solver variables once and
+/// stay valid across depths.
+#[derive(Default)]
+struct Encoder {
+    var_of: Vec<Option<Var>>,
+}
+
+impl Encoder {
+    fn var(&mut self, g: &Aig, s: &mut Solver, node: u32) -> Var {
+        if self.var_of.len() < g.len() {
+            self.var_of.resize(g.len(), None);
+        }
+        if let Some(v) = self.var_of[node as usize] {
+            return v;
+        }
+        // Iterative post-order over the unencoded cone.
+        let mut stack = vec![node];
+        while let Some(&n) = stack.last() {
+            if self.var_of[n as usize].is_some() {
+                stack.pop();
+                continue;
+            }
+            match g.node(n) {
+                Node::Const => {
+                    // Constants are folded away during construction; a
+                    // constant root is handled by callers. Encode it as a
+                    // frozen-false variable for completeness.
+                    let v = s.new_var();
+                    s.add_clause(&[Lit::neg(v)]);
+                    self.var_of[n as usize] = Some(v);
+                    stack.pop();
+                }
+                Node::Input => {
+                    self.var_of[n as usize] = Some(s.new_var());
+                    stack.pop();
+                }
+                Node::And(a, b) => {
+                    let (na, nb) = (a.node() as usize, b.node() as usize);
+                    if self.var_of[na].is_none() {
+                        stack.push(a.node());
+                        continue;
+                    }
+                    if self.var_of[nb].is_none() {
+                        stack.push(b.node());
+                        continue;
+                    }
+                    let la = Lit::new(self.var_of[na].expect("encoded"), a.is_inverted());
+                    let lb = Lit::new(self.var_of[nb].expect("encoded"), b.is_inverted());
+                    let v = s.new_var();
+                    // v <-> la & lb
+                    s.add_clause(&[Lit::neg(v), la]);
+                    s.add_clause(&[Lit::neg(v), lb]);
+                    s.add_clause(&[Lit::pos(v), !la, !lb]);
+                    self.var_of[n as usize] = Some(v);
+                    stack.pop();
+                }
+            }
+        }
+        self.var_of[node as usize].expect("just encoded")
+    }
+
+    fn lit(&mut self, g: &Aig, s: &mut Solver, l: NLit) -> Lit {
+        let v = self.var(g, s, l.node());
+        Lit::new(v, l.is_inverted())
+    }
+
+    /// Model value of an AIG literal; unencoded nodes are unconstrained
+    /// and read as false.
+    fn model(&self, s: &Solver, l: NLit) -> bool {
+        if let Some(b) = l.as_const() {
+            return b;
+        }
+        match self.var_of.get(l.node() as usize).copied().flatten() {
+            Some(v) => s.model_value(v) != l.is_inverted(),
+            None => l.is_inverted(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+struct Engine<'a> {
+    cd: &'a CompiledDesign,
+    opts: BmcOptions,
+    g: Aig,
+    solver: Solver,
+    enc: Encoder,
+    /// Free inputs (name, width), in `StimulusGen` order.
+    free_inputs: Vec<(String, u32)>,
+    reset: Option<(String, bool)>,
+    state: SymState,
+    rows: Vec<SymState>,
+    /// Per frame, the symbolic free inputs in `free_inputs` order.
+    frame_inputs: Vec<Vec<SymVec>>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cd: &'a CompiledDesign, opts: BmcOptions) -> Result<Self, BmcError> {
+        if !cd.is_levelized() {
+            return Err(BmcError::Unsupported(
+                "combinational logic is not levelizable (cyclic, latch-style, \
+                 or dynamically indexed)"
+                    .into(),
+            ));
+        }
+        let design = cd.design();
+        if design.module.assertions().count() == 0 {
+            return Err(BmcError::Unsupported("design has no assertions".into()));
+        }
+        let gen = asv_sim::StimulusGen::new(design);
+        let free_inputs = gen.free_inputs().to_vec();
+        let reset = design.reset().map(|(n, al)| (n.to_string(), al));
+        let mut solver = Solver::new();
+        solver.conflict_budget = opts.conflict_budget;
+        Ok(Engine {
+            cd,
+            opts,
+            g: Aig::new(),
+            solver,
+            enc: Encoder::default(),
+            free_inputs,
+            reset,
+            state: SymState::init(cd),
+            rows: Vec::new(),
+            frame_inputs: Vec::new(),
+        })
+    }
+
+    /// Unrolls one more frame: drive inputs, settle, sample, clock, settle
+    /// — the exact shape of `Simulator::step`.
+    fn push_frame(&mut self) -> Result<(), BmcError> {
+        let t = self.rows.len();
+        let in_reset = t < self.opts.reset_cycles;
+        if let Some((rname, active_low)) = &self.reset {
+            let asserted = u64::from(!*active_low);
+            let deasserted = 1 - asserted;
+            let sig = self.cd.sig(rname).expect("reset is a known signal");
+            let v = if in_reset { asserted } else { deasserted };
+            self.state.vals[sig.idx()] = SymVec::from_value(Value::new(v, self.cd.width(sig)));
+        }
+        let mut frame = Vec::with_capacity(self.free_inputs.len());
+        for (name, _) in &self.free_inputs {
+            let sig = self.cd.sig(name).expect("input is a known signal");
+            let w = self.cd.width(sig);
+            let sv = if in_reset {
+                SymVec::zeros(w)
+            } else {
+                SymVec::new((0..w).map(|_| self.g.input()).collect())
+            };
+            self.state.vals[sig.idx()] = sv.clone();
+            frame.push(sv);
+        }
+        self.frame_inputs.push(frame);
+        settle_sym(&mut self.g, self.cd, &mut self.state)?;
+        self.rows.push(self.state.clone());
+        clock_edge_sym(&mut self.g, self.cd, &mut self.state)?;
+        settle_sym(&mut self.g, self.cd, &mut self.state)?;
+        if self.g.len() > self.opts.node_limit {
+            return Err(BmcError::Resource(format!(
+                "AIG exceeded {} nodes",
+                self.opts.node_limit
+            )));
+        }
+        Ok(())
+    }
+
+    /// Truthiness of a property program at tick `t`.
+    fn eval_at(&mut self, prog: &ExprProg, t: usize) -> Result<NLit, BmcError> {
+        let env = TraceSymEnv {
+            rows: &self.rows,
+            t,
+        };
+        let v = run_sym(&mut self.g, prog, &env)?;
+        Ok(v.is_truthy(&mut self.g))
+    }
+
+    /// `(match, no_match)` of a linear sequence starting at `s` over a
+    /// trace of length `len` — the symbolic form of the monitor's
+    /// `match_seq`, where out-of-range atoms are *pending* and contribute
+    /// to neither outcome.
+    fn seq_lits(&mut self, sp: &SeqProg, s: usize, len: usize) -> Result<(NLit, NLit), BmcError> {
+        let mut prefix = NLit::TRUE;
+        let mut no_match = NLit::FALSE;
+        for atom in &sp.atoms {
+            let t = s + atom.tick_off as usize;
+            if t >= len {
+                break;
+            }
+            let e = self.eval_at(&atom.prog, t)?;
+            let miss = self.g.and(prefix, !e);
+            no_match = self.g.or(no_match, miss);
+            prefix = self.g.and(prefix, e);
+        }
+        let matches = if s + (sp.end_off as usize) < len {
+            prefix
+        } else {
+            NLit::FALSE
+        };
+        Ok((matches, no_match))
+    }
+
+    /// `(fail, pass)` of one attempt of `prop` starting at `s` over a
+    /// trace of length `len` — the symbolic form of the monitor's
+    /// `attempt`.
+    fn attempt_lits(
+        &mut self,
+        prop: &PropSym,
+        s: usize,
+        len: usize,
+    ) -> Result<(NLit, NLit), BmcError> {
+        let disabled = match &prop.disable {
+            Some(dis) => {
+                let end = (s + prop.window as usize).min(len.saturating_sub(1));
+                let mut acc = NLit::FALSE;
+                for t in s..=end {
+                    let d = self.eval_at(dis, t)?;
+                    acc = self.g.or(acc, d);
+                }
+                acc
+            }
+            None => NLit::FALSE,
+        };
+        let enabled = !disabled;
+        let (fail, pass) = match &prop.body {
+            PropBody::Seq(sp) => {
+                let (m, nm) = self.seq_lits(sp, s, len)?;
+                (nm, m)
+            }
+            PropBody::Implication {
+                antecedent,
+                overlapping,
+                consequent,
+            } => {
+                let (am, _) = self.seq_lits(antecedent, s, len)?;
+                if am == NLit::FALSE {
+                    // Antecedent pending or refuted on every path:
+                    // the attempt is vacuous.
+                    (NLit::FALSE, NLit::FALSE)
+                } else {
+                    let cstart = s + antecedent.end_off as usize + usize::from(!overlapping);
+                    let (cm, cnm) = self.seq_lits(consequent, cstart, len)?;
+                    (self.g.and(am, cnm), self.g.and(am, cm))
+                }
+            }
+        };
+        Ok((self.g.and(enabled, fail), self.g.and(enabled, pass)))
+    }
+
+    /// Decodes the solver model (or the trivial all-zero assignment) into
+    /// a concrete stimulus of length `len`, shaped exactly like
+    /// `StimulusGen` output so replays drive the simulator identically.
+    fn extract_stimulus(&self, len: usize, use_model: bool) -> Stimulus {
+        let mut vectors = Vec::with_capacity(len);
+        for t in 0..len {
+            let in_reset = t < self.opts.reset_cycles;
+            let mut vec: InputVector = Vec::with_capacity(self.free_inputs.len() + 1);
+            if let Some((r, active_low)) = &self.reset {
+                let asserted = u64::from(!*active_low);
+                vec.push((r.clone(), if in_reset { asserted } else { 1 - asserted }));
+            }
+            for (k, (name, _)) in self.free_inputs.iter().enumerate() {
+                let v = if in_reset || !use_model {
+                    0
+                } else {
+                    let sv = &self.frame_inputs[t][k];
+                    let mut bits = 0u64;
+                    for (i, &l) in sv.lits().iter().enumerate() {
+                        if self.enc.model(&self.solver, l) {
+                            bits |= 1 << i;
+                        }
+                    }
+                    bits
+                };
+                vec.push((name.clone(), v));
+            }
+            vectors.push(vec);
+        }
+        Stimulus {
+            vectors,
+            reset_cycles: self.opts.reset_cycles,
+        }
+    }
+
+    fn run(&mut self, props: &[PropSym]) -> Result<BmcVerdict, BmcError> {
+        let max_len = self.opts.reset_cycles + self.opts.depth;
+        if max_len == 0 {
+            return Ok(BmcVerdict::Holds {
+                vacuous: props.iter().map(|p| p.name.clone()).collect(),
+            });
+        }
+        for len in 1..=max_len {
+            self.push_frame()?;
+            let mut fail = NLit::FALSE;
+            for prop in props {
+                for s in 0..len {
+                    let (f, _) = self.attempt_lits(prop, s, len)?;
+                    fail = self.g.or(fail, f);
+                }
+            }
+            match fail.as_const() {
+                Some(false) => continue,
+                Some(true) => {
+                    // Every input sequence fails; the all-zero one will do.
+                    return Ok(BmcVerdict::Fails {
+                        stimulus: self.extract_stimulus(len, false),
+                    });
+                }
+                None => {
+                    let q = self.enc.lit(&self.g, &mut self.solver, fail);
+                    match self.solver.solve(&[q]) {
+                        SolveResult::Sat => {
+                            return Ok(BmcVerdict::Fails {
+                                stimulus: self.extract_stimulus(len, true),
+                            });
+                        }
+                        SolveResult::Unsat => continue,
+                        SolveResult::Unknown => {
+                            return Err(BmcError::Resource("conflict budget exhausted".into()));
+                        }
+                    }
+                }
+            }
+        }
+        // Bounded proof; decide vacuity per assertion name, mirroring the
+        // oracle's `fired` bookkeeping (a name counts as fired when any
+        // directive bearing it can complete a non-vacuous attempt).
+        let mut pass_by_name: BTreeMap<&str, NLit> = BTreeMap::new();
+        for prop in props {
+            let mut pass = NLit::FALSE;
+            for s in 0..max_len {
+                let (_, pl) = self.attempt_lits(prop, s, max_len)?;
+                pass = self.g.or(pass, pl);
+            }
+            let entry = pass_by_name.entry(&prop.name).or_insert(NLit::FALSE);
+            *entry = self.g.or(*entry, pass);
+        }
+        let mut fired: BTreeSet<&str> = BTreeSet::new();
+        for (name, lit) in &pass_by_name {
+            let can_fire = match lit.as_const() {
+                Some(b) => b,
+                None => {
+                    let q = self.enc.lit(&self.g, &mut self.solver, *lit);
+                    match self.solver.solve(&[q]) {
+                        SolveResult::Sat => true,
+                        SolveResult::Unsat => false,
+                        SolveResult::Unknown => {
+                            return Err(BmcError::Resource("conflict budget exhausted".into()));
+                        }
+                    }
+                }
+            };
+            if can_fire {
+                fired.insert(name);
+            }
+        }
+        let vacuous = props
+            .iter()
+            .map(|p| p.name.clone())
+            .filter(|n| !fired.contains(n.as_str()))
+            .collect();
+        Ok(BmcVerdict::Holds { vacuous })
+    }
+}
+
+/// Symbolically model-checks every assertion of a compiled design.
+///
+/// # Errors
+///
+/// [`BmcError::Unsupported`] when the design falls outside the encodable
+/// subset (non-levelizable logic, non-constant division, unsupported
+/// system calls); [`BmcError::Resource`] when a budget is exhausted. Both
+/// are signals to fall back to the simulation oracle.
+pub fn check(cd: &CompiledDesign, opts: BmcOptions) -> Result<BmcVerdict, BmcError> {
+    let props = compile_props(cd)?;
+    Engine::new(cd, opts)?.run(&props)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_sim::Simulator;
+    use std::sync::Arc;
+
+    fn compiled(src: &str) -> Arc<CompiledDesign> {
+        let d = asv_verilog::compile(src).expect("compile");
+        Arc::new(CompiledDesign::compile(&d))
+    }
+
+    const GOOD: &str = r#"
+module latch1(input clk, input rst_n, input d, output reg q);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 1'b0;
+    else q <= d;
+  end
+  property follow;
+    @(posedge clk) disable iff (!rst_n) d |-> ##1 q;
+  endproperty
+  chk: assert property (follow) else $error("q must follow d");
+endmodule
+"#;
+
+    #[test]
+    fn good_design_holds_non_vacuously() {
+        let cd = compiled(GOOD);
+        let verdict = check(
+            &cd,
+            BmcOptions {
+                depth: 6,
+                reset_cycles: 2,
+                ..BmcOptions::default()
+            },
+        )
+        .expect("symbolic check");
+        assert_eq!(verdict, BmcVerdict::Holds { vacuous: vec![] });
+    }
+
+    #[test]
+    fn buggy_design_yields_replaying_counterexample() {
+        let cd = compiled(&GOOD.replace("q <= d;", "q <= !d;"));
+        let verdict = check(
+            &cd,
+            BmcOptions {
+                depth: 6,
+                reset_cycles: 2,
+                ..BmcOptions::default()
+            },
+        )
+        .expect("symbolic check");
+        let BmcVerdict::Fails { stimulus } = verdict else {
+            panic!("bug must be refuted");
+        };
+        // The witness must replay to a concrete assertion failure. (The
+        // sva monitor cannot be used here — it depends on this crate — so
+        // re-check `d |-> ##1 q` by hand: some post-reset tick must show
+        // d=1 with q=0 one tick later.)
+        let mut sim = Simulator::from_compiled(Arc::clone(&cd));
+        for t in 0..stimulus.len() {
+            sim.step(&stimulus.cycle(t)).expect("step");
+        }
+        let trace = sim.into_trace();
+        let bit = |t: usize, name: &str| trace.value(t, name).map(|v| v.bits()).unwrap_or(0);
+        let violated = (0..trace.len().saturating_sub(1)).any(|t| {
+            bit(t, "rst_n") == 1
+                && bit(t + 1, "rst_n") == 1
+                && bit(t, "d") == 1
+                && bit(t + 1, "q") == 0
+        });
+        assert!(violated, "replay must fail the assertion");
+    }
+
+    #[test]
+    fn rare_trigger_bug_is_found() {
+        // The antecedent fires only for a == 0xA5: random sampling has a
+        // 1/256-per-cycle chance; the solver finds it directly.
+        let src = r#"
+module rare(input clk, input rst_n, input [7:0] a, output reg bad);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) bad <= 1'b0;
+    else bad <= (a == 8'hA5);
+  end
+  p_rare: assert property (@(posedge clk) disable iff (!rst_n)
+    a == 8'hA5 |-> ##1 !bad) else $error("rare trigger");
+endmodule
+"#;
+        let cd = compiled(src);
+        let verdict = check(
+            &cd,
+            BmcOptions {
+                depth: 8,
+                reset_cycles: 2,
+                ..BmcOptions::default()
+            },
+        )
+        .expect("symbolic check");
+        let BmcVerdict::Fails { stimulus } = verdict else {
+            panic!("rare-trigger bug must be refuted symbolically");
+        };
+        // The witness must actually drive a to 0xA5 at some post-reset tick.
+        let hit = (0..stimulus.len()).any(|t| {
+            stimulus
+                .cycle(t)
+                .iter()
+                .any(|(n, v)| *n == "a" && *v == 0xA5)
+        });
+        assert!(hit, "witness must contain the rare trigger value");
+    }
+
+    #[test]
+    fn vacuous_assertion_is_reported() {
+        // The antecedent can never hold (a > 15 on a 4-bit input).
+        let src = r#"
+module vac(input clk, input rst_n, input [3:0] a, output reg q);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 1'b0;
+    else q <= 1'b1;
+  end
+  p_vac: assert property (@(posedge clk) disable iff (!rst_n)
+    a > 4'd15 |-> ##1 q) else $error("unreachable");
+endmodule
+"#;
+        let cd = compiled(src);
+        let verdict = check(
+            &cd,
+            BmcOptions {
+                depth: 6,
+                reset_cycles: 2,
+                ..BmcOptions::default()
+            },
+        )
+        .expect("symbolic check");
+        assert_eq!(
+            verdict,
+            BmcVerdict::Holds {
+                vacuous: vec!["p_vac".to_string()]
+            }
+        );
+    }
+
+    #[test]
+    fn non_levelizable_designs_are_unsupported() {
+        let src = r#"
+module lat(input clk, input en, input d, output reg q);
+  always @(*) begin if (en) q = d; end
+  p: assert property (@(posedge clk) 1'b1 |-> 1'b1);
+endmodule
+"#;
+        let cd = compiled(src);
+        assert!(matches!(
+            check(&cd, BmcOptions::default()),
+            Err(BmcError::Unsupported(_))
+        ));
+    }
+}

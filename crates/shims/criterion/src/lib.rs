@@ -12,7 +12,19 @@ use std::time::Instant;
 pub use std::hint::black_box;
 
 /// Rough wall-clock budget per benchmark, nanoseconds.
-const TARGET_MEASURE_NANOS: u128 = 400_000_000;
+pub const TARGET_MEASURE_NANOS: u128 = 400_000_000;
+
+/// Budget under `ASV_SCALE=quick` (CI smoke runs).
+pub const QUICK_MEASURE_NANOS: u128 = 40_000_000;
+
+/// The active per-benchmark budget: `ASV_SCALE=quick` selects the smoke
+/// budget, anything else the full one.
+fn target_nanos() -> u128 {
+    match std::env::var("ASV_SCALE").as_deref() {
+        Ok("quick") => QUICK_MEASURE_NANOS,
+        _ => TARGET_MEASURE_NANOS,
+    }
+}
 
 /// Measurement driver handed to the closure of
 /// [`Criterion::bench_function`].
@@ -35,7 +47,7 @@ impl Bencher {
             let elapsed = start.elapsed().as_nanos().max(1);
             if elapsed >= 10_000_000 || batch >= 1 << 20 {
                 let per_iter = elapsed / u128::from(batch);
-                let iters = (TARGET_MEASURE_NANOS / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+                let iters = (target_nanos() / per_iter.max(1)).clamp(1, 1 << 24) as u64;
                 let start = Instant::now();
                 for _ in 0..iters {
                     black_box(routine());

@@ -526,10 +526,19 @@ pub struct CCaseArm {
 }
 
 /// One combinational process in source order.
+///
+/// Public so that second consumers of the compiled form (the `asv-sat`
+/// bit-blaster walks the same bytecode symbolically) can traverse the
+/// schedule without re-lowering the AST.
 #[derive(Debug, Clone)]
-enum CombStep {
+pub enum CombStep {
     /// Continuous assignment.
-    Assign { lhs: CLValue, rhs: ExprProg },
+    Assign {
+        /// Compiled target.
+        lhs: CLValue,
+        /// Compiled value program.
+        rhs: ExprProg,
+    },
     /// Combinational always block (nonblocking writes inside commit at
     /// block end — delta-cycle collapse, as in the interpreter).
     Block(CStmt),
@@ -642,6 +651,24 @@ impl CompiledDesign {
     /// fallback is the declaration-order fixpoint loop).
     pub fn is_levelized(&self) -> bool {
         self.levelized
+    }
+
+    /// The combinational steps in declaration order. Walk them in
+    /// [`CompiledDesign::comb_order`] to replay the levelized schedule.
+    pub fn comb_steps(&self) -> &[CombStep] {
+        &self.comb
+    }
+
+    /// Execution order over [`CompiledDesign::comb_steps`] (levelized when
+    /// [`CompiledDesign::is_levelized`], declaration order otherwise).
+    pub fn comb_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The clocked `always` bodies in declaration order, as executed by
+    /// [`CompiledDesign::clock_edge`].
+    pub fn seq_blocks(&self) -> &[CStmt] {
+        &self.seq
     }
 
     /// Settles combinational logic.

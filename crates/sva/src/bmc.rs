@@ -2,30 +2,51 @@
 //!
 //! The paper uses SymbiYosys twice: (1) to prove generated SVAs valid on
 //! the golden design, and (2) to confirm injected bugs trip the SVAs and to
-//! produce the failure logs. Both uses only need a *refutation oracle with
-//! traces*. [`Verifier::check`] provides that by driving the design with
-//! the complete input space up to a bounded depth when the space is small
-//! (a genuine bounded proof), and with seeded random stimulus otherwise.
+//! produce the failure logs. [`Verifier::check`] provides both through a
+//! selectable [`Engine`]:
+//!
+//! * **Symbolic** — the `asv-sat` bounded model checker bit-blasts the
+//!   compiled design, unrolls it over time frames and decides every
+//!   assertion with an embedded CDCL SAT solver. Verdicts are exhaustive
+//!   over the *entire* input space up to the depth, counterexamples are
+//!   minimal-depth, and vacuity is proven rather than sampled.
+//! * **Simulation** — the original oracle: exhaustive stimulus enumeration
+//!   when the input space fits [`Verifier::exhaustive_limit`], otherwise
+//!   seeded random sampling (now parallelised across threads with a
+//!   deterministic lowest-index-wins merge).
+//! * **Auto** (default) — symbolic whenever the design is levelizable and
+//!   2-state encodable, simulation otherwise (cyclic/latch designs keep
+//!   the fixpoint path; so do non-constant division and other constructs
+//!   outside the encodable subset).
+//!
+//! Every symbolic counterexample is replayed on the compiled simulator
+//! before being reported, so `Fails` verdicts carry exactly the logs a
+//! concrete run produces.
 
 use crate::monitor::{AssertionFailure, CheckOutcome, CompiledChecker, MonitorError};
+use asv_sat::engine::{BmcOptions, BmcVerdict};
 use asv_sim::compile::CompiledDesign;
 use asv_sim::exec::{SimError, Simulator};
 use asv_sim::stimulus::{Stimulus, StimulusGen};
 use asv_sim::trace::Trace;
 use asv_verilog::sema::Design;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Result of verifying a design's assertions.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Verdict {
     /// No failure found. `exhaustive` is true when the whole input space up
-    /// to the depth was enumerated (bounded proof), false when sampled.
+    /// to the depth was covered — by enumeration (`stimuli > 0`) or by a
+    /// symbolic bounded proof (`stimuli == 0`); false when sampled.
     Holds {
         /// Whether the search was exhaustive up to the depth.
         exhaustive: bool,
-        /// Number of stimuli simulated.
+        /// Number of stimuli simulated (0 for a symbolic proof, which
+        /// simulates none).
         stimuli: usize,
         /// Assertions that never fired non-vacuously on any stimulus
         /// (empty = every check was exercised).
@@ -73,6 +94,10 @@ pub enum VerifyError {
     Monitor(MonitorError),
     /// The design has no assertions to check.
     NoAssertions,
+    /// [`Engine::Symbolic`] was requested but the design falls outside the
+    /// symbolic engine's subset (with [`Engine::Auto`] this silently falls
+    /// back to simulation instead).
+    Symbolic(String),
 }
 
 impl fmt::Display for VerifyError {
@@ -81,6 +106,7 @@ impl fmt::Display for VerifyError {
             VerifyError::Sim(e) => write!(f, "simulation error: {e}"),
             VerifyError::Monitor(e) => write!(f, "monitor error: {e}"),
             VerifyError::NoAssertions => write!(f, "design has no assertions"),
+            VerifyError::Symbolic(m) => write!(f, "symbolic engine unavailable: {m}"),
         }
     }
 }
@@ -99,6 +125,19 @@ impl From<MonitorError> for VerifyError {
     }
 }
 
+/// Which verification engine [`Verifier::check`] runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Symbolic when the design is levelizable and 2-state encodable,
+    /// simulation otherwise.
+    #[default]
+    Auto,
+    /// Symbolic only; out-of-subset designs are a [`VerifyError::Symbolic`].
+    Symbolic,
+    /// The enumeration/sampling oracle only.
+    Simulation,
+}
+
 /// Bounded verifier configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Verifier {
@@ -107,12 +146,14 @@ pub struct Verifier {
     /// Reset cycles at the head of every run.
     pub reset_cycles: usize,
     /// Cap on exhaustively enumerated stimuli before falling back to
-    /// random sampling.
+    /// random sampling (simulation engine).
     pub exhaustive_limit: u64,
-    /// Number of random stimuli when sampling.
+    /// Number of random stimuli when sampling (simulation engine).
     pub random_runs: usize,
     /// RNG seed for random stimulus.
     pub seed: u64,
+    /// Engine selection.
+    pub engine: Engine,
 }
 
 impl Default for Verifier {
@@ -123,8 +164,38 @@ impl Default for Verifier {
             exhaustive_limit: 4096,
             random_runs: 48,
             seed: 0xA55E_7501,
+            engine: Engine::Auto,
         }
     }
+}
+
+/// Small MRU cache of compiled designs, keyed by structural equality.
+///
+/// `Verifier` is a plain-old-data config (`Copy`), so the cache lives in
+/// thread-local storage: repeated [`Verifier::simulate`]/
+/// [`Verifier::replay`]/[`Verifier::check`] calls on the same design reuse
+/// one [`CompiledDesign`] instead of re-lowering the AST every call.
+const COMPILE_CACHE_CAP: usize = 8;
+
+thread_local! {
+    static COMPILE_CACHE: RefCell<Vec<Arc<CompiledDesign>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn compiled_for(design: &Design) -> Arc<CompiledDesign> {
+    COMPILE_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(pos) = cache.iter().position(|cd| cd.design() == design) {
+            let cd = cache.remove(pos);
+            cache.push(Arc::clone(&cd)); // most recently used last
+            return cd;
+        }
+        let cd = Arc::new(CompiledDesign::compile(design));
+        if cache.len() == COMPILE_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push(Arc::clone(&cd));
+        cd
+    })
 }
 
 impl Verifier {
@@ -133,90 +204,164 @@ impl Verifier {
         Self::default()
     }
 
-    /// Checks all assertions of `design`.
+    /// Checks all assertions of `design` with the configured [`Engine`].
     ///
-    /// The design is compiled once ([`CompiledDesign`]) and its assertions
-    /// are compiled once ([`CompiledChecker`]); each stimulus then restarts
-    /// the simulator with an O(#signals) state reset and evaluates
-    /// properties as bytecode over the trace.
+    /// The design is compiled once (and cached across calls); assertions
+    /// are compiled once per call. The symbolic engine decides the entire
+    /// bounded input space; the simulation engine enumerates it when small
+    /// enough and samples otherwise.
     ///
     /// # Errors
     ///
     /// Returns [`VerifyError::NoAssertions`] when the design has no
-    /// assertion directives, and propagates simulation/monitoring errors.
+    /// assertion directives, [`VerifyError::Symbolic`] when
+    /// [`Engine::Symbolic`] is forced on an out-of-subset design, and
+    /// propagates simulation/monitoring errors.
     pub fn check(&self, design: &Design) -> Result<Verdict, VerifyError> {
         if design.module.assertions().count() == 0 {
             return Err(VerifyError::NoAssertions);
         }
-        let compiled = Arc::new(CompiledDesign::compile(design));
+        let compiled = compiled_for(design);
         // State index == trace column: the checker can be built from the
         // compiled design's interner before any trace exists.
         let col = |name: &str| compiled.sig(name).map(|s| s.idx());
         let checker = CompiledChecker::new(&design.module, col)?;
+        match self.engine {
+            Engine::Simulation => self.check_simulation(design, &compiled, &checker),
+            Engine::Symbolic => match self.check_symbolic(&compiled, &checker) {
+                Ok(verdict) => verdict,
+                Err(reason) => Err(VerifyError::Symbolic(reason)),
+            },
+            Engine::Auto => match self.check_symbolic(&compiled, &checker) {
+                Ok(verdict) => verdict,
+                Err(_) => self.check_simulation(design, &compiled, &checker),
+            },
+        }
+    }
+
+    /// Runs the symbolic engine. The outer `Err(String)` means the engine
+    /// could not produce a verdict (out-of-subset design or budget) — the
+    /// caller decides between fallback and a hard error.
+    #[allow(clippy::result_large_err)]
+    fn check_symbolic(
+        &self,
+        compiled: &Arc<CompiledDesign>,
+        checker: &CompiledChecker,
+    ) -> Result<Result<Verdict, VerifyError>, String> {
+        let opts = BmcOptions {
+            depth: self.depth,
+            reset_cycles: self.reset_cycles,
+            ..BmcOptions::default()
+        };
+        match asv_sat::engine::check(compiled, opts).map_err(|e| e.to_string())? {
+            BmcVerdict::Holds { vacuous } => Ok(Ok(Verdict::Holds {
+                exhaustive: true,
+                stimuli: 0,
+                vacuous,
+            })),
+            BmcVerdict::Fails { stimulus } => {
+                // Replay the witness concretely: the reported failures and
+                // logs must be exactly what a simulation run produces.
+                let mut sim = Simulator::from_compiled(Arc::clone(compiled));
+                for t in 0..stimulus.len() {
+                    if let Err(e) = sim.step(&stimulus.cycle(t)) {
+                        return Err(format!("witness replay raised `{e}`"));
+                    }
+                }
+                let trace = sim.into_trace();
+                let results = match checker.outcomes(&trace) {
+                    Ok(r) => r,
+                    Err(e) => return Err(format!("witness monitoring raised `{e}`")),
+                };
+                let mut failures = Vec::new();
+                for (_, outcome) in results {
+                    if let CheckOutcome::Failed(f) = outcome {
+                        failures.extend(f);
+                    }
+                }
+                if failures.is_empty() {
+                    return Err("witness did not replay to a concrete failure".into());
+                }
+                let logs = failures.iter().map(ToString::to_string).collect();
+                Ok(Ok(Verdict::Fails(CounterExample {
+                    stimulus,
+                    failures,
+                    logs,
+                })))
+            }
+        }
+    }
+
+    /// The enumeration/sampling oracle.
+    fn check_simulation(
+        &self,
+        design: &Design,
+        compiled: &Arc<CompiledDesign>,
+        checker: &CompiledChecker,
+    ) -> Result<Verdict, VerifyError> {
         let gen = StimulusGen::new(design);
-        let (stimuli, exhaustive) =
-            match gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
-                Some(all) => (all, true),
-                None => {
-                    let mut runs = Vec::with_capacity(self.random_runs);
-                    for i in 0..self.random_runs {
-                        runs.push(gen.random_seeded(
+        match gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
+            Some(all) => {
+                let count = all.len();
+                let mut fired: std::collections::BTreeSet<String> =
+                    std::collections::BTreeSet::new();
+                for stim in all {
+                    match run_stimulus(compiled, checker, stim)? {
+                        StimulusOutcome::Fails(cex) => return Ok(Verdict::Fails(cex)),
+                        StimulusOutcome::Passes(names) => fired.extend(names),
+                    }
+                }
+                Ok(self.holds(design, true, count, fired))
+            }
+            None => {
+                let stimuli: Vec<Stimulus> = (0..self.random_runs)
+                    .map(|i| {
+                        gen.random_seeded(
                             self.depth,
                             self.reset_cycles,
                             self.seed.wrapping_add(i as u64),
-                        ));
-                    }
-                    (runs, false)
-                }
-            };
-        let count = stimuli.len();
-        let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
-        for stim in stimuli {
-            let mut sim = Simulator::from_compiled(Arc::clone(&compiled));
-            for t in 0..stim.len() {
-                sim.step(&stim.cycle(t))?;
-            }
-            let trace = sim.into_trace();
-            let results = checker.outcomes(&trace)?;
-            let mut failures = Vec::new();
-            for (dir, outcome) in &results {
-                match outcome {
-                    CheckOutcome::Failed(f) => failures.extend(f.clone()),
-                    CheckOutcome::Passed { .. } => {
-                        fired.insert(dir.log_name().to_string());
-                    }
-                    CheckOutcome::Vacuous => {}
-                }
-            }
-            if !failures.is_empty() {
-                let logs = failures.iter().map(ToString::to_string).collect();
-                return Ok(Verdict::Fails(CounterExample {
-                    stimulus: stim,
-                    failures,
-                    logs,
-                }));
+                        )
+                    })
+                    .collect();
+                let count = stimuli.len();
+                let fired = match check_stimuli_parallel(compiled, checker, stimuli)? {
+                    Ok(fired) => fired,
+                    Err(cex) => return Ok(Verdict::Fails(cex)),
+                };
+                Ok(self.holds(design, false, count, fired))
             }
         }
+    }
+
+    fn holds(
+        &self,
+        design: &Design,
+        exhaustive: bool,
+        stimuli: usize,
+        fired: std::collections::BTreeSet<String>,
+    ) -> Verdict {
         let vacuous: Vec<String> = design
             .module
             .assertions()
             .map(|a| a.log_name().to_string())
             .filter(|n| !fired.contains(n))
             .collect();
-        Ok(Verdict::Holds {
+        Verdict::Holds {
             exhaustive,
-            stimuli: count,
+            stimuli,
             vacuous,
-        })
+        }
     }
 
-    /// Simulates one stimulus, returning the trace.
+    /// Simulates one stimulus, returning the trace. The design is compiled
+    /// once and cached (an earlier revision re-lowered the AST on every
+    /// call).
     ///
     /// # Errors
     ///
     /// Propagates [`SimError`].
     pub fn simulate(&self, design: &Design, stim: &Stimulus) -> Result<Trace, VerifyError> {
-        let mut sim = Simulator::new(design);
+        let mut sim = Simulator::from_compiled(compiled_for(design));
         for t in 0..stim.len() {
             sim.step(&stim.cycle(t))?;
         }
@@ -230,6 +375,127 @@ impl Verifier {
     /// Propagates [`SimError`].
     pub fn replay(&self, design: &Design, cex: &CounterExample) -> Result<Trace, VerifyError> {
         self.simulate(design, &cex.stimulus)
+    }
+}
+
+/// Outcome of simulating and monitoring one stimulus.
+enum StimulusOutcome {
+    /// Assertion failures were observed.
+    Fails(CounterExample),
+    /// No failure; the named assertions completed non-vacuously.
+    Passes(Vec<String>),
+}
+
+fn run_stimulus(
+    compiled: &Arc<CompiledDesign>,
+    checker: &CompiledChecker,
+    stim: Stimulus,
+) -> Result<StimulusOutcome, VerifyError> {
+    let mut sim = Simulator::from_compiled(Arc::clone(compiled));
+    for t in 0..stim.len() {
+        sim.step(&stim.cycle(t))?;
+    }
+    let trace = sim.into_trace();
+    let results = checker.outcomes(&trace)?;
+    let mut failures = Vec::new();
+    let mut passed = Vec::new();
+    for (dir, outcome) in &results {
+        match outcome {
+            CheckOutcome::Failed(f) => failures.extend(f.clone()),
+            CheckOutcome::Passed { .. } => passed.push(dir.log_name().to_string()),
+            CheckOutcome::Vacuous => {}
+        }
+    }
+    if failures.is_empty() {
+        Ok(StimulusOutcome::Passes(passed))
+    } else {
+        let logs = failures.iter().map(ToString::to_string).collect();
+        Ok(StimulusOutcome::Fails(CounterExample {
+            stimulus: stim,
+            failures,
+            logs,
+        }))
+    }
+}
+
+/// Result of a worker's earliest "event" (error or failure) at a stimulus
+/// index; the merge keeps the lowest index so the parallel fallback is
+/// bit-identical to the sequential loop it replaced.
+type WorkerEvent = (usize, Result<CounterExample, VerifyError>);
+
+/// Checks random stimuli across `std::thread::scope` workers.
+///
+/// Returns `Ok(Ok(fired))` when every stimulus passes, `Ok(Err(cex))` for
+/// the failure with the lowest stimulus index, and `Err(e)` for the error
+/// with the lowest index (errors and failures compete on index, exactly
+/// like the sequential loop).
+#[allow(clippy::type_complexity)]
+fn check_stimuli_parallel(
+    compiled: &Arc<CompiledDesign>,
+    checker: &CompiledChecker,
+    stimuli: Vec<Stimulus>,
+) -> Result<Result<std::collections::BTreeSet<String>, CounterExample>, VerifyError> {
+    if stimuli.is_empty() {
+        // `random_runs: 0` — the sequential loop checked nothing and held.
+        return Ok(Ok(std::collections::BTreeSet::new()));
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(stimuli.len())
+        .max(1);
+    // Lowest stimulus index with an event so far: later indices can be
+    // skipped by every worker (they can never win the merge).
+    let best = AtomicUsize::new(usize::MAX);
+    let chunk = stimuli.len().div_ceil(workers);
+    let indexed: Vec<(usize, Stimulus)> = stimuli.into_iter().enumerate().collect();
+    let mut events: Vec<Option<WorkerEvent>> = Vec::new();
+    let mut fired_sets: Vec<std::collections::BTreeSet<String>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for part in indexed.chunks(chunk) {
+            let best = &best;
+            handles.push(scope.spawn(move || {
+                let mut fired = std::collections::BTreeSet::new();
+                let mut event: Option<WorkerEvent> = None;
+                for (idx, stim) in part {
+                    if *idx >= best.load(Ordering::Relaxed) {
+                        break; // an earlier event already wins the merge
+                    }
+                    match run_stimulus(compiled, checker, stim.clone()) {
+                        Ok(StimulusOutcome::Passes(names)) => fired.extend(names),
+                        Ok(StimulusOutcome::Fails(cex)) => {
+                            event = Some((*idx, Ok(cex)));
+                            best.fetch_min(*idx, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(e) => {
+                            event = Some((*idx, Err(e)));
+                            best.fetch_min(*idx, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                (event, fired)
+            }));
+        }
+        for h in handles {
+            let (event, fired) = h.join().expect("verification worker panicked");
+            events.push(event);
+            fired_sets.push(fired);
+        }
+    });
+    let earliest = events.into_iter().flatten().min_by_key(|(idx, _)| *idx);
+    match earliest {
+        Some((_, Ok(cex))) => Ok(Err(cex)),
+        Some((_, Err(e))) => Err(e),
+        None => {
+            let mut fired = std::collections::BTreeSet::new();
+            for set in fired_sets {
+                fired.extend(set);
+            }
+            Ok(Ok(fired))
+        }
     }
 }
 
@@ -274,6 +540,27 @@ endmodule
         match v.check(&d).expect("verify") {
             Verdict::Holds {
                 exhaustive,
+                vacuous,
+                ..
+            } => {
+                assert!(exhaustive, "symbolic engine proves the bound");
+                assert!(vacuous.is_empty());
+            }
+            Verdict::Fails(cex) => panic!("unexpected failure: {:?}", cex.logs),
+        }
+    }
+
+    #[test]
+    fn simulation_engine_still_enumerates() {
+        let d = compile(GOOD).expect("compile");
+        let v = Verifier {
+            depth: 6,
+            engine: Engine::Simulation,
+            ..Verifier::default()
+        };
+        match v.check(&d).expect("verify") {
+            Verdict::Holds {
+                exhaustive,
                 stimuli,
                 vacuous,
             } => {
@@ -304,6 +591,23 @@ endmodule
     }
 
     #[test]
+    fn symbolic_and_simulation_agree_on_the_latch() {
+        let d = compile(BAD).expect("compile");
+        let sym = Verifier {
+            depth: 6,
+            engine: Engine::Symbolic,
+            ..Verifier::default()
+        };
+        let sim = Verifier {
+            depth: 6,
+            engine: Engine::Simulation,
+            ..Verifier::default()
+        };
+        assert!(sym.check(&d).expect("symbolic").is_failure());
+        assert!(sim.check(&d).expect("simulation").is_failure());
+    }
+
+    #[test]
     fn no_assertions_is_an_error() {
         let d = compile("module m(input a, output y); assign y = a; endmodule").expect("compile");
         assert_eq!(Verifier::new().check(&d), Err(VerifyError::NoAssertions));
@@ -311,6 +615,9 @@ endmodule
 
     #[test]
     fn wide_inputs_fall_back_to_random() {
+        // Under Engine::Auto this scenario is no longer statistically
+        // hollow: the symbolic engine proves the whole 8-bit × 8-cycle
+        // space. Engine::Simulation preserves the old sampling behaviour.
         let src = r#"
 module add1(input clk, input rst_n, input [7:0] a, output reg [8:0] s);
   always @(posedge clk or negedge rst_n) begin
@@ -322,12 +629,27 @@ module add1(input clk, input rst_n, input [7:0] a, output reg [8:0] s);
 endmodule
 "#;
         let d = compile(src).expect("compile");
-        let v = Verifier {
+        let auto = Verifier {
             depth: 8,
             random_runs: 8,
             ..Verifier::default()
         };
-        match v.check(&d).expect("verify") {
+        match auto.check(&d).expect("verify") {
+            Verdict::Holds {
+                exhaustive,
+                stimuli,
+                ..
+            } => {
+                assert!(exhaustive, "symbolic engine must prove the bound");
+                assert_eq!(stimuli, 0, "no simulation needed for the proof");
+            }
+            Verdict::Fails(cex) => panic!("unexpected failure: {:?}", cex.logs),
+        }
+        let sampled = Verifier {
+            engine: Engine::Simulation,
+            ..auto
+        };
+        match sampled.check(&d).expect("verify") {
             Verdict::Holds {
                 exhaustive,
                 stimuli,
@@ -341,9 +663,129 @@ endmodule
     }
 
     #[test]
+    fn rare_trigger_bug_is_refuted_by_auto() {
+        // The buggy consequent fires only when a == 8'hA5 — a 1-in-256
+        // event per cycle that seeded sampling misses, but Engine::Auto
+        // refutes symbolically with a replaying counterexample.
+        let src = r#"
+module rare(input clk, input rst_n, input [7:0] a, output reg bad);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) bad <= 1'b0;
+    else bad <= (a == 8'hA5);
+  end
+  p_rare: assert property (@(posedge clk) disable iff (!rst_n)
+    a == 8'hA5 |-> ##1 !bad) else $error("rare trigger");
+endmodule
+"#;
+        let d = compile(src).expect("compile");
+        let sampled = Verifier {
+            depth: 8,
+            random_runs: 8,
+            engine: Engine::Simulation,
+            ..Verifier::default()
+        };
+        match sampled.check(&d).expect("verify") {
+            Verdict::Holds { vacuous, .. } => {
+                assert_eq!(
+                    vacuous,
+                    vec!["p_rare".to_string()],
+                    "sampling must miss the rare trigger entirely"
+                );
+            }
+            Verdict::Fails(_) => panic!("8 random runs cannot hit a 1/256 trigger with this seed"),
+        }
+        let auto = Verifier {
+            depth: 8,
+            random_runs: 8,
+            ..Verifier::default()
+        };
+        let Verdict::Fails(cex) = auto.check(&d).expect("verify") else {
+            panic!("symbolic engine must refute the rare-trigger bug");
+        };
+        assert!(cex.logs[0].contains("failed assertion rare.p_rare"));
+        // Bit-identical replay on the compiled simulator.
+        let trace = auto.replay(&d, &cex).expect("replay");
+        let logs = crate::monitor::failure_logs(&d.module, &trace).expect("monitor");
+        assert_eq!(logs, cex.logs);
+    }
+
+    #[test]
+    fn forced_symbolic_engine_rejects_latch_designs() {
+        let src = r#"
+module lat(input clk, input en, input d, output reg q);
+  always @(*) begin if (en) q = d; end
+  p: assert property (@(posedge clk) 1'b1 |-> 1'b1);
+endmodule
+"#;
+        let d = compile(src).expect("compile");
+        let v = Verifier {
+            engine: Engine::Symbolic,
+            ..Verifier::default()
+        };
+        assert!(matches!(v.check(&d), Err(VerifyError::Symbolic(_))));
+        // Auto falls back to simulation and still produces a verdict.
+        let auto = Verifier::default();
+        assert!(auto.check(&d).is_ok());
+    }
+
+    #[test]
     fn verdict_is_deterministic() {
         let d = compile(BAD).expect("compile");
         let v = Verifier::default();
         assert_eq!(v.check(&d).expect("a"), v.check(&d).expect("b"));
+    }
+
+    #[test]
+    fn zero_random_runs_hold_trivially() {
+        // Wide inputs + random_runs: 0 must reproduce the sequential
+        // loop's "checked nothing, held vacuously" verdict, not panic.
+        let src = "module z(input clk, input [9:0] a, output reg [9:0] q);\n\
+             always @(posedge clk) q <= a;\n\
+             p: assert property (@(posedge clk) 1'b1 |-> 1'b1);\nendmodule";
+        let d = compile(src).expect("compile");
+        let v = Verifier {
+            random_runs: 0,
+            engine: Engine::Simulation,
+            ..Verifier::default()
+        };
+        match v.check(&d).expect("verify") {
+            Verdict::Holds {
+                exhaustive,
+                stimuli,
+                vacuous,
+            } => {
+                assert!(!exhaustive);
+                assert_eq!(stimuli, 0);
+                assert_eq!(vacuous, vec!["p".to_string()]);
+            }
+            Verdict::Fails(cex) => panic!("nothing was checked: {:?}", cex.logs),
+        }
+    }
+
+    #[test]
+    fn parallel_sampling_is_deterministic() {
+        // Wide inputs force the random path; a bug that fires on nearly
+        // every stimulus exercises the lowest-index-wins merge.
+        let src = r#"
+module wsum(input clk, input rst_n, input [9:0] a, output reg [9:0] s);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) s <= 10'd0;
+    else s <= a + 10'd2;
+  end
+  p_sum: assert property (@(posedge clk) disable iff (!rst_n)
+    1'b1 |-> ##1 s == $past(a, 1) + 10'd1) else $error("bad sum");
+endmodule
+"#;
+        let d = compile(src).expect("compile");
+        let v = Verifier {
+            depth: 6,
+            random_runs: 16,
+            engine: Engine::Simulation,
+            ..Verifier::default()
+        };
+        let a = v.check(&d).expect("a");
+        let b = v.check(&d).expect("b");
+        assert_eq!(a, b, "parallel merge must be deterministic");
+        assert!(a.is_failure());
     }
 }

@@ -4,8 +4,9 @@
 //!
 //! * [`monitor`] — runtime checking of properties over simulation traces,
 //!   producing the assertion-failure logs the repair model consumes;
-//! * [`bmc`] — a bounded model checker standing in for SymbiYosys
-//!   (substitution rationale in DESIGN.md);
+//! * [`bmc`] — a bounded verifier standing in for SymbiYosys
+//!   (substitution rationale in DESIGN.md), with a symbolic SAT-based
+//!   engine (`asv-sat`) and an enumeration/sampling simulation oracle;
 //! * [`mine`] — trace-driven invariant mining standing in for the paper's
 //!   LLM-based SVA generation;
 //! * [`eval`] — sampled-value evaluation with `$past`/`$rose`/`$fell`/
@@ -35,6 +36,6 @@ pub mod eval;
 pub mod mine;
 pub mod monitor;
 
-pub use bmc::{CounterExample, Verdict, Verifier, VerifyError};
+pub use bmc::{CounterExample, Engine, Verdict, Verifier, VerifyError};
 pub use mine::{attach_property, Miner};
 pub use monitor::{check_module, failure_logs, AssertionFailure, CheckOutcome};

@@ -397,6 +397,9 @@ fn match_seq(
 }
 
 /// Total number of ticks (beyond the start) a property may observe.
+///
+/// Semantic twin of the symbolic engine's window computation in
+/// `asv-sat` (engine.rs `compile_props`); keep the two in lock step.
 fn property_window(prop: &PropertyDecl) -> u32 {
     match &prop.body {
         PropExpr::Seq(s) => s.duration(),

@@ -1,0 +1,226 @@
+//! Differential tests: the symbolic bounded model checker must agree with
+//! exhaustive stimulus enumeration wherever enumeration is possible.
+//!
+//! For every datagen archetype at a small size hint, and for a set of
+//! injected mutations of each golden design, both engines run with the
+//! same bounds over an input space small enough to enumerate completely:
+//!
+//! * `Holds` verdicts must agree, including the vacuous-assertion list
+//!   (symbolic vacuity is a proof; on an enumerable space it must coincide
+//!   with the enumerated notion exactly).
+//! * `Fails` verdicts must agree, and every symbolic counterexample must
+//!   replay bit-identically on the compiled simulator (same failure logs).
+//!
+//! Designs outside the symbolic subset (non-levelizable) are asserted to
+//! report `VerifyError::Symbolic` rather than silently skipping.
+
+use asv_datagen::corpus::{Archetype, CorpusGen, SizeHint};
+use asv_sim::StimulusGen;
+use asv_sva::bmc::{Engine, Verdict, Verifier, VerifyError};
+use asv_sva::monitor::failure_logs;
+use asv_verilog::sema::Design;
+
+const RESET_CYCLES: usize = 2;
+
+/// Picks a depth so that `2^(bits × depth)` stays enumerable, preferring
+/// deeper unrollings for narrow designs.
+fn enumerable_depth(design: &Design) -> Option<usize> {
+    let gen = StimulusGen::new(design);
+    let bits: u32 = gen.free_inputs().iter().map(|(_, w)| *w).sum();
+    if bits == 0 {
+        return Some(6);
+    }
+    let depth = (14 / bits as usize).min(6);
+    (depth >= 2).then_some(depth)
+}
+
+fn verifiers(depth: usize) -> (Verifier, Verifier) {
+    let sym = Verifier {
+        depth,
+        reset_cycles: RESET_CYCLES,
+        engine: Engine::Symbolic,
+        ..Verifier::default()
+    };
+    let sim = Verifier {
+        depth,
+        reset_cycles: RESET_CYCLES,
+        exhaustive_limit: 1 << 15,
+        engine: Engine::Simulation,
+        ..Verifier::default()
+    };
+    (sym, sim)
+}
+
+/// Compares both engines on one design. Returns whether the design failed
+/// (so callers can count refuted mutants).
+fn assert_engines_agree(design: &Design, label: &str) -> bool {
+    let Some(depth) = enumerable_depth(design) else {
+        return false; // input space too wide for enumeration: not this suite's job
+    };
+    let (sym, sim) = verifiers(depth);
+    let symbolic = match sym.check(design) {
+        Ok(v) => v,
+        Err(VerifyError::Symbolic(reason)) => {
+            panic!("{label}: symbolic engine refused an archetype design: {reason}")
+        }
+        Err(e) => panic!("{label}: symbolic check error: {e}"),
+    };
+    let enumerated = sim.check(design).unwrap_or_else(|e| {
+        panic!("{label}: simulation check error: {e}");
+    });
+    match (&symbolic, &enumerated) {
+        (
+            Verdict::Holds {
+                exhaustive: true,
+                vacuous: v_sym,
+                ..
+            },
+            Verdict::Holds {
+                exhaustive,
+                vacuous: v_enum,
+                ..
+            },
+        ) => {
+            assert!(
+                exhaustive,
+                "{label}: enumeration must be exhaustive at depth {depth}"
+            );
+            assert_eq!(
+                v_sym, v_enum,
+                "{label}: symbolic vacuity must match the enumerated notion"
+            );
+            false
+        }
+        (Verdict::Fails(c_sym), Verdict::Fails(_)) => {
+            // The symbolic counterexample must replay to its own logs.
+            let trace = sym.replay(design, c_sym).expect("replay");
+            let logs = failure_logs(&design.module, &trace).expect("monitor");
+            assert_eq!(
+                logs, c_sym.logs,
+                "{label}: symbolic counterexample must replay bit-identically"
+            );
+            true
+        }
+        (s, e) => panic!("{label}: engines disagree:\n  symbolic: {s:?}\n  enumerated: {e:?}"),
+    }
+}
+
+fn small_designs() -> Vec<(String, Design)> {
+    let gen = CorpusGen::new(11);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(23);
+    let mut out = Vec::new();
+    for (i, arch) in Archetype::ALL.iter().enumerate() {
+        let gd = gen.instantiate(
+            *arch,
+            i,
+            SizeHint {
+                stages: 1,
+                width: 2,
+            },
+            &mut rng,
+        );
+        let design = asv_verilog::compile(&gd.source)
+            .unwrap_or_else(|e| panic!("{arch}: golden source must compile: {e}"));
+        out.push((format!("{arch}"), design));
+    }
+    out
+}
+
+#[test]
+fn golden_archetypes_agree_and_hold() {
+    for (label, design) in small_designs() {
+        let failed = assert_engines_agree(&design, &label);
+        assert!(!failed, "{label}: golden archetype design must hold");
+    }
+}
+
+#[test]
+fn mutated_archetypes_agree_with_enumeration() {
+    let mut compared = 0usize;
+    let mut refuted = 0usize;
+    for (label, design) in small_designs() {
+        for (mi, mutation) in asv_mutation::enumerate(&design).iter().take(5).enumerate() {
+            let Ok(injection) = asv_mutation::apply(&design, mutation) else {
+                continue;
+            };
+            let Ok(buggy) = asv_verilog::compile(&injection.buggy_source) else {
+                continue; // corrupting mutations are screened elsewhere
+            };
+            let tag = format!("{label}/mut{mi}");
+            // Mutants may legitimately divide by a mutated constant or hit
+            // other out-of-subset constructs: both engines must then agree
+            // to disagree (symbolic refuses, simulation decides) — that
+            // path is exercised by the fallback tests in asv-sva. Here we
+            // compare only in-subset mutants.
+            let Some(depth) = enumerable_depth(&buggy) else {
+                continue;
+            };
+            let (sym, _) = verifiers(depth);
+            if matches!(sym.check(&buggy), Err(VerifyError::Symbolic(_))) {
+                continue;
+            }
+            if assert_engines_agree(&buggy, &tag) {
+                refuted += 1;
+            }
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= 20,
+        "expected a meaningful mutant sample, compared only {compared}"
+    );
+    assert!(
+        refuted >= 5,
+        "expected several refuted mutants, got {refuted} of {compared}"
+    );
+}
+
+#[test]
+fn rare_trigger_design_is_only_refuted_symbolically() {
+    // 8-bit trigger value: 1/256 per cycle under uniform sampling; the
+    // corner-biased sampler raises the odds for all-zeros/all-ones but not
+    // for 0xA5. Exhaustive enumeration is impossible (2^64 sequences at
+    // depth 8), so before the symbolic engine this bug was invisible.
+    let src = r#"
+module rare(input clk, input rst_n, input [7:0] a, output reg bad);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) bad <= 1'b0;
+    else bad <= (a == 8'hA5);
+  end
+  p_rare: assert property (@(posedge clk) disable iff (!rst_n)
+    a == 8'hA5 |-> ##1 !bad) else $error("rare trigger");
+endmodule
+"#;
+    let design = asv_verilog::compile(src).expect("compile");
+    let sampling = Verifier {
+        depth: 8,
+        engine: Engine::Simulation,
+        random_runs: 48,
+        ..Verifier::default()
+    };
+    match sampling.check(&design).expect("sampling verdict") {
+        Verdict::Holds {
+            exhaustive,
+            vacuous,
+            ..
+        } => {
+            assert!(!exhaustive);
+            assert_eq!(
+                vacuous,
+                vec!["p_rare".to_string()],
+                "sampling must miss the trigger"
+            );
+        }
+        Verdict::Fails(_) => panic!("48 seeded runs must not hit a 1/256-per-cycle trigger"),
+    }
+    let auto = Verifier {
+        depth: 8,
+        ..Verifier::default()
+    };
+    let Verdict::Fails(cex) = auto.check(&design).expect("auto verdict") else {
+        panic!("Engine::Auto must refute the rare-trigger bug");
+    };
+    let trace = auto.replay(&design, &cex).expect("replay");
+    let logs = failure_logs(&design.module, &trace).expect("monitor");
+    assert_eq!(logs, cex.logs, "counterexample replays bit-identically");
+}
