@@ -102,6 +102,35 @@ fn bench_verifier(c: &mut Criterion) {
     });
 }
 
+fn bench_fuzz(c: &mut Criterion) {
+    // Out-of-symbolic-subset rare-trigger design: the fuzzing engine's
+    // home turf. Budget 32 keeps one iteration in the hundreds of
+    // microseconds; throughput = stimuli/second through the full
+    // instrumented pipeline (mutate → simulate+coverage → monitor).
+    let src = "module lrare(input clk, input rst_n, input [15:0] a, output reg bad);\n\
+         reg shadow;\n\
+         always @(*) begin if (a[0]) shadow = a[1]; end\n\
+         always @(posedge clk or negedge rst_n) begin\n\
+           if (!rst_n) bad <= 1'b0;\n\
+           else bad <= 1'b0;\n\
+         end\n\
+         p_rare: assert property (@(posedge clk) disable iff (!rst_n)\n\
+           a == 16'hBEEF |-> ##1 !bad) else $error(\"rare trigger\");\n\
+         endmodule\n";
+    let design = asv_verilog::compile(src).expect("compile");
+    let fuzzer = Verifier {
+        depth: 8,
+        reset_cycles: 2,
+        exhaustive_limit: 64,
+        random_runs: 32,
+        seed: 1,
+        engine: Engine::Fuzz,
+    };
+    c.bench_function("fuzz_throughput", |b| {
+        b.iter(|| fuzzer.check(black_box(&design)).expect("check"))
+    });
+}
+
 fn bench_sat(c: &mut Criterion) {
     use asv_sat::{Lit, SolveResult, Solver};
     // Pigeonhole PHP(7,6): a classic resolution-hard UNSAT instance that
@@ -159,6 +188,7 @@ criterion_group!(
     bench_frontend,
     bench_simulator,
     bench_verifier,
+    bench_fuzz,
     bench_sat,
     bench_repair
 );

@@ -1,11 +1,17 @@
-//! Engine comparison table: verdict fidelity on **rare-trigger** scenarios.
+//! Engine comparison table: verdict fidelity on **rare-trigger** scenarios
+//! across all three verification engines.
 //!
-//! Each scenario injects a bug whose antecedent fires only for one exact
-//! wide-input value (`a == 8'hA5`-style), so seeded random sampling is
-//! overwhelmingly likely to miss it — the verdicts the paper's pipeline
-//! would silently mislabel without a real bounded model checker. The table
-//! shows, per scenario and engine: the verdict, whether it is exhaustive,
-//! and the wall time.
+//! Two scenario families:
+//!
+//! * **In-subset** — levelizable designs whose bug fires only for one
+//!   exact wide-input value. The symbolic engine decides these
+//!   exhaustively; seeded sampling is overwhelmingly likely to miss them.
+//! * **Out-of-subset** — the same rare triggers inside designs the
+//!   symbolic engine rejects (latch-style combinational blocks). This is
+//!   the scenario class the coverage-guided fuzzer exists for: at the
+//!   *same stimulus budget*, blind sampling misses every violation while
+//!   the fuzzer's dictionary + corpus search finds them (asserted below,
+//!   so CI enforces the claim).
 //!
 //! Run with `cargo run --release -p asv-bench --bin table_engines`.
 
@@ -17,6 +23,8 @@ struct Scenario {
     src: String,
     /// Ground truth: does a violating input sequence exist within bounds?
     violable: bool,
+    /// Outside the symbolic engine's subset (latch-style block)?
+    out_of_subset: bool,
 }
 
 /// A register pipeline that misbehaves only when `a` equals `trigger`.
@@ -39,27 +47,126 @@ fn rare_design(width: u32, trigger: u64, buggy: bool) -> String {
     )
 }
 
+/// The rare trigger inside a design with a latch-style combinational
+/// block, which pushes it outside the symbolic subset: the bug fires one
+/// cycle after `a == trigger`.
+fn latch_rare_design(width: u32, trigger: u64, buggy: bool) -> String {
+    let bad = if buggy {
+        format!("(a == {width}'d{trigger})")
+    } else {
+        "1'b0".to_string()
+    };
+    format!(
+        "module lrare(input clk, input rst_n, input [{msb}:0] a, output reg bad);\n\
+         reg shadow;\n\
+         always @(*) begin if (a[0]) shadow = a[1]; end\n\
+         always @(posedge clk or negedge rst_n) begin\n\
+           if (!rst_n) bad <= 1'b0;\n\
+           else bad <= {bad};\n\
+         end\n\
+         p_rare: assert property (@(posedge clk) disable iff (!rst_n)\n\
+           a == {width}'d{trigger} |-> ##1 !bad) else $error(\"rare trigger\");\n\
+         endmodule\n",
+        msb = width - 1,
+    )
+}
+
+/// Out-of-subset design violable only by **two consecutive** trigger
+/// cycles (`bad` registers last cycle's hit): sampling's odds fall
+/// quadratically, while the fuzzer's corpus keeps single-hit stimuli
+/// (new toggle coverage on `hit`) and the duplicate-cycle mutation turns
+/// them into back-to-back hits.
+fn latch_rare2_design(width: u32, trigger: u64) -> String {
+    format!(
+        "module lrare2(input clk, input rst_n, input [{msb}:0] a, output reg hit, output reg bad);\n\
+         reg shadow;\n\
+         always @(*) begin if (a[0]) shadow = a[1]; end\n\
+         always @(posedge clk or negedge rst_n) begin\n\
+           if (!rst_n) hit <= 1'b0;\n\
+           else hit <= (a == {width}'d{trigger});\n\
+         end\n\
+         always @(posedge clk or negedge rst_n) begin\n\
+           if (!rst_n) bad <= 1'b0;\n\
+           else bad <= hit;\n\
+         end\n\
+         p_rare: assert property (@(posedge clk) disable iff (!rst_n)\n\
+           a == {width}'d{trigger} |-> ##1 !bad) else $error(\"rare trigger\");\n\
+         endmodule\n",
+        msb = width - 1,
+    )
+}
+
+/// A two-stage lock: `armed` latches after `a == 8'hA5`, the violation
+/// needs a later `a == 8'h5A` — a sequencing bug blind sampling
+/// essentially never reproduces, while the fuzzer's corpus keeps the
+/// armed prefix and mutates the suffix.
+fn lock_design() -> String {
+    "module lock2(input clk, input rst_n, input [7:0] a, output reg armed, output reg bad);\n\
+     reg shadow;\n\
+     always @(*) begin if (a[0]) shadow = a[1]; end\n\
+     always @(posedge clk or negedge rst_n) begin\n\
+       if (!rst_n) armed <= 1'b0;\n\
+       else if (a == 8'hA5) armed <= 1'b1;\n\
+     end\n\
+     always @(posedge clk or negedge rst_n) begin\n\
+       if (!rst_n) bad <= 1'b0;\n\
+       else bad <= armed && (a == 8'h5A);\n\
+     end\n\
+     p_lock: assert property (@(posedge clk) disable iff (!rst_n)\n\
+       (armed && (a == 8'h5A)) |-> ##1 !bad) else $error(\"two-stage trigger\");\n\
+     endmodule\n"
+        .to_string()
+}
+
 fn scenarios() -> Vec<Scenario> {
     vec![
         Scenario {
             name: "rare8_buggy",
             src: rare_design(8, 0xA5, true),
             violable: true,
+            out_of_subset: false,
         },
         Scenario {
             name: "rare8_fixed",
             src: rare_design(8, 0xA5, false),
             violable: false,
+            out_of_subset: false,
         },
         Scenario {
             name: "rare16_buggy",
             src: rare_design(16, 0xBEEF, true),
             violable: true,
+            out_of_subset: false,
         },
         Scenario {
             name: "rare16_fixed",
             src: rare_design(16, 0xBEEF, false),
             violable: false,
+            out_of_subset: false,
+        },
+        Scenario {
+            name: "lat_rare8x2_buggy",
+            src: latch_rare2_design(8, 0xA5),
+            violable: true,
+            out_of_subset: true,
+        },
+        Scenario {
+            name: "lat_rare16_buggy",
+            src: latch_rare_design(16, 0xBEEF, true),
+            violable: true,
+            out_of_subset: true,
+        },
+        Scenario {
+            name: "lat_rare16_fixed",
+            src: latch_rare_design(16, 0xBEEF, false),
+            violable: false,
+            out_of_subset: true,
+        },
+        Scenario {
+            name: "lat_lock2_buggy",
+            src: lock_design(),
+            violable: true,
+            out_of_subset: true,
         },
     ]
 }
@@ -76,21 +183,36 @@ fn verdict_cell(v: &Result<Verdict, asv_sva::bmc::VerifyError>) -> String {
             if vacuous.is_empty() { "" } else { ", vacuous!" }
         ),
         Ok(Verdict::Fails(_)) => "Fails(cex)".to_string(),
+        // Expected for the symbolic engine on out-of-subset scenarios;
+        // anything else (oracle divergence, simulation errors) is a
+        // harness failure the asserts below turn into a CI failure.
+        Err(asv_sva::bmc::VerifyError::Symbolic(_)) => "out of subset".to_string(),
         Err(e) => format!("error: {e}"),
     }
 }
 
 fn main() {
-    println!("== Verification engines on rare-trigger scenarios ==");
+    // Equal stimulus budget for sampling and fuzzing: the comparison is
+    // engine quality, not run count.
+    let budget = 192;
+    println!("== Verification engines on rare-trigger scenarios (budget {budget}) ==");
     println!(
-        "{:<14} {:<8} {:<12} {:<28} {:>10}",
+        "{:<18} {:<8} {:<12} {:<28} {:>10}",
         "scenario", "truth", "engine", "verdict", "time"
     );
+    let mut fuzz_found = 0usize;
+    let mut sampling_found = 0usize;
+    let mut rare_out_of_subset = 0usize;
     for sc in scenarios() {
         let design = asv_verilog::compile(&sc.src).expect("scenario compiles");
-        for (engine, label) in [(Engine::Simulation, "sampling"), (Engine::Auto, "symbolic")] {
+        for (engine, label) in [
+            (Engine::Simulation, "sampling"),
+            (Engine::Symbolic, "symbolic"),
+            (Engine::Fuzz, "fuzz"),
+        ] {
             let verifier = Verifier {
                 depth: 8,
+                random_runs: budget,
                 engine,
                 ..Verifier::default()
             };
@@ -104,7 +226,7 @@ fn main() {
                 _ => false,
             };
             println!(
-                "{:<14} {:<8} {:<12} {:<28} {:>8.1?} {}",
+                "{:<18} {:<8} {:<12} {:<28} {:>8.1?} {}",
                 sc.name,
                 truth,
                 label,
@@ -112,18 +234,60 @@ fn main() {
                 elapsed,
                 if correct {
                     "✓"
+                } else if verdict.is_err() {
+                    "—"
                 } else {
                     "✗ (misses bug or vacuous)"
                 }
             );
-            // The symbolic engine must always land on the ground truth.
-            if engine == Engine::Auto {
+            if sc.violable && sc.out_of_subset {
+                let found = matches!(&verdict, Ok(Verdict::Fails(_)));
+                match engine {
+                    Engine::Fuzz => fuzz_found += usize::from(found),
+                    Engine::Simulation => sampling_found += usize::from(found),
+                    _ => {}
+                }
+            }
+            // In-subset scenarios: the symbolic engine must land on the
+            // ground truth; out-of-subset ones must be rejected, not
+            // silently mislabelled. The concrete engines may miss bugs
+            // but must never error — an error there is a harness bug.
+            if engine == Engine::Symbolic {
+                if sc.out_of_subset {
+                    assert!(
+                        matches!(verdict, Err(asv_sva::bmc::VerifyError::Symbolic(_))),
+                        "{}: must be out of subset, got {:?}",
+                        sc.name,
+                        verdict
+                    );
+                } else {
+                    assert!(correct, "{}: symbolic engine must match truth", sc.name);
+                }
+            } else {
                 assert!(
-                    correct,
-                    "{}: symbolic engine must match ground truth",
-                    sc.name
+                    verdict.is_ok(),
+                    "{}/{label}: concrete engine errored: {:?}",
+                    sc.name,
+                    verdict
                 );
             }
         }
+        rare_out_of_subset += usize::from(sc.violable && sc.out_of_subset);
     }
+    println!(
+        "\nrare out-of-subset violations found: fuzz {fuzz_found}/{rare_out_of_subset}, \
+         sampling {sampling_found}/{rare_out_of_subset} (same {budget}-stimulus budget)"
+    );
+    assert!(
+        rare_out_of_subset >= 3,
+        "need at least 3 rare out-of-subset scenarios"
+    );
+    assert_eq!(
+        fuzz_found, rare_out_of_subset,
+        "the fuzzer must find every rare out-of-subset violation"
+    );
+    assert_eq!(
+        sampling_found, 0,
+        "blind sampling at the same budget must miss every one (else the scenarios are too easy)"
+    );
 }

@@ -1,0 +1,71 @@
+//! Coverage reporting for the evaluation and datagen pipelines.
+//!
+//! The fuzzer's coverage maps double as a *scenario-diversity* signal:
+//! two stimuli that light up the same branch arms, toggles and
+//! antecedents exercise the same scenario, however different their raw
+//! bits look. This module re-exports the coverage types and offers the
+//! aggregation/ranking helpers the pipelines consume.
+
+pub use asv_fuzz::novelty_rank;
+pub use asv_sim::cover::{CovMap, CoverageReport};
+
+use asv_sim::exec::{SimError, Simulator};
+use asv_sim::stimulus::Stimulus;
+use asv_sim::CompiledDesign;
+use asv_verilog::sema::Design;
+use std::sync::Arc;
+
+/// Simulates every stimulus against `design` and returns the combined
+/// coverage report — how much of the design's behaviour the set
+/// exercises (the datagen trace-diversity metric).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn coverage_report(design: &Design, stimuli: &[Stimulus]) -> Result<CoverageReport, SimError> {
+    let compiled = Arc::new(CompiledDesign::compile(design));
+    let mut acc = CovMap::new(&compiled, 0);
+    for stim in stimuli {
+        let mut sim = Simulator::from_compiled(Arc::clone(&compiled));
+        sim.enable_coverage(0);
+        for t in 0..stim.len() {
+            sim.step(&stim.cycle(t))?;
+        }
+        if let (_, Some(cov)) = sim.into_trace_and_coverage() {
+            acc.merge(&cov);
+        }
+    }
+    Ok(CoverageReport::of(&acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_sim::StimulusGen;
+
+    const COUNTER: &str = "module c(input clk, input rst_n, input en, output reg [3:0] q);\n\
+        always @(posedge clk or negedge rst_n) begin\n\
+          if (!rst_n) q <= 4'd0; else if (en) q <= q + 4'd1;\n\
+        end\nendmodule";
+
+    #[test]
+    fn more_stimuli_never_reduce_coverage() {
+        let d = asv_verilog::compile(COUNTER).expect("compile");
+        let gen = StimulusGen::new(&d);
+        let one = vec![gen.random_seeded(8, 2, 1)];
+        let many: Vec<_> = (0..6).map(|s| gen.random_seeded(8, 2, s)).collect();
+        let r1 = coverage_report(&d, &one).expect("report");
+        let rn = coverage_report(&d, &many).expect("report");
+        assert!(rn.covered() >= r1.covered());
+        assert!(rn.branch_pct() >= r1.branch_pct());
+        assert_eq!(rn.total(), r1.total(), "denominators are design-fixed");
+    }
+
+    #[test]
+    fn empty_stimulus_set_reports_zero_coverage() {
+        let d = asv_verilog::compile(COUNTER).expect("compile");
+        let r = coverage_report(&d, &[]).expect("report");
+        assert_eq!(r.covered(), 0);
+        assert!(r.total() > 0);
+    }
+}

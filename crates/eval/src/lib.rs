@@ -17,11 +17,13 @@
 //! println!("pass@1 = {:.2}%", run.pass_at(1) * 100.0);
 //! ```
 
+pub mod coverage;
 pub mod judge;
 pub mod passk;
 pub mod report;
 pub mod runner;
 
+pub use coverage::{coverage_report, CoverageReport};
 pub use judge::Judge;
 pub use passk::{mean_pass_at_k, pass_at_k};
 pub use runner::{benchmark, evaluate, BenchCase, CaseResult, EvalConfig, EvalRun};

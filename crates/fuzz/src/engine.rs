@@ -1,0 +1,481 @@
+//! The coverage-guided fuzzing loop.
+//!
+//! Rounds alternate between a sequential, seeded *scheduler* (parent
+//! selection, mutation, dedup — cheap) and a parallel *executor* (the
+//! simulations — the cost). Batch results are merged in stimulus-index
+//! order, failures and errors compete on the lowest index, and the corpus
+//! is updated sequentially, so a campaign is a pure function of
+//! `(design, options)` — the thread count changes wall time only.
+
+use crate::corpus::Corpus;
+use crate::mutate::Mutator;
+use asv_sim::compile::CompiledDesign;
+use asv_sim::cover::{CovMap, CoverageReport};
+use asv_sim::exec::{SimError, Simulator};
+use asv_sim::interp::AstSimulator;
+use asv_sim::stimulus::{Stimulus, StimulusGen};
+use asv_sim::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+
+/// Assertion evaluation plugged in by the caller (the SVA layer), keeping
+/// property semantics out of this crate.
+pub trait AssertionOracle: Sync {
+    /// Number of assertion directives (sizes the antecedent coverage
+    /// axis).
+    fn assertions(&self) -> usize;
+
+    /// Judges one trace, recording antecedent-fired events into `cov`.
+    /// Returns `true` when any assertion failed on the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered monitor error (treated as fatal by the engine).
+    fn failed(&self, trace: &Trace, cov: &mut CovMap) -> Result<bool, String>;
+}
+
+/// Fuzzing campaign configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzOptions {
+    /// Post-reset cycles per run.
+    pub cycles: usize,
+    /// Reset cycles at the head of every run.
+    pub reset_cycles: usize,
+    /// Total execution budget (number of simulated stimuli).
+    pub budget: usize,
+    /// Campaign seed; equal seeds reproduce the campaign exactly.
+    pub seed: u64,
+    /// Executions scheduled per round (scheduling granularity).
+    pub batch: usize,
+    /// Worker threads; 0 means `std::thread::available_parallelism`.
+    pub threads: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            cycles: 12,
+            reset_cycles: 2,
+            budget: 256,
+            seed: 0xF0_77E12,
+            batch: 16,
+            threads: 0,
+        }
+    }
+}
+
+/// Outcome of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzVerdict {
+    /// An assertion-violating stimulus was found (and replayed on the
+    /// interpreter oracle).
+    Failure {
+        /// The violating stimulus.
+        stimulus: Stimulus,
+        /// Zero-based index of the violating run within the campaign.
+        run_index: usize,
+    },
+    /// The budget was exhausted without a violation.
+    NoFailure,
+}
+
+/// Result of a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzResult {
+    /// Failure or budget exhaustion.
+    pub verdict: FuzzVerdict,
+    /// Coverage accumulated over every merged run.
+    pub coverage: CovMap,
+    /// Percentage summary of `coverage`.
+    pub report: CoverageReport,
+    /// Stimuli actually executed and merged.
+    pub runs: usize,
+    /// Coverage-increasing stimuli retained.
+    pub corpus_size: usize,
+    /// Order-sensitive corpus fingerprint (determinism checks).
+    pub corpus_fingerprint: u64,
+}
+
+/// Errors raised by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzError {
+    /// A stimulus failed to simulate (e.g. input-dependent combinational
+    /// divergence).
+    Sim(SimError),
+    /// The assertion oracle failed (rendered monitor error).
+    Oracle(String),
+    /// A failing stimulus did not replay bit-identically on the
+    /// interpreter oracle — a simulator bug, never a design property.
+    OracleDivergence,
+}
+
+impl fmt::Display for FuzzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzError::Sim(e) => write!(f, "simulation error: {e}"),
+            FuzzError::Oracle(m) => write!(f, "assertion oracle error: {m}"),
+            FuzzError::OracleDivergence => {
+                write!(f, "failure did not replay on the interpreter oracle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuzzError {}
+
+impl From<SimError> for FuzzError {
+    fn from(e: SimError) -> Self {
+        FuzzError::Sim(e)
+    }
+}
+
+/// Runs one stimulus with coverage, returning its map and whether an
+/// assertion failed.
+fn run_one<O: AssertionOracle>(
+    compiled: &Arc<CompiledDesign>,
+    oracle: &O,
+    stim: &Stimulus,
+) -> Result<(CovMap, bool), FuzzError> {
+    let mut sim = Simulator::from_compiled(Arc::clone(compiled));
+    sim.enable_coverage(oracle.assertions());
+    for t in 0..stim.len() {
+        sim.step(&stim.cycle(t))?;
+    }
+    let (trace, cov) = sim.into_trace_and_coverage();
+    let mut cov = cov.expect("coverage was enabled");
+    let failed = oracle.failed(&trace, &mut cov).map_err(FuzzError::Oracle)?;
+    Ok((cov, failed))
+}
+
+/// Replays `stim` on both backends and demands bit-identical traces: a
+/// reported failure must be a property of the design, not an artefact of
+/// the compiled simulator.
+fn replay_on_interpreter(compiled: &Arc<CompiledDesign>, stim: &Stimulus) -> Result<(), FuzzError> {
+    let mut csim = Simulator::from_compiled(Arc::clone(compiled));
+    let mut isim = AstSimulator::new(compiled.design());
+    for t in 0..stim.len() {
+        csim.step(&stim.cycle(t))?;
+        isim.step(&stim.cycle(t))?;
+    }
+    if csim.into_trace() == isim.into_trace() {
+        Ok(())
+    } else {
+        Err(FuzzError::OracleDivergence)
+    }
+}
+
+/// Per-stimulus execution outcome: the run's coverage map and whether an
+/// assertion failed.
+type RunOutcome = Result<(CovMap, bool), FuzzError>;
+
+/// Executes `batch` across worker threads, returning per-stimulus results
+/// in index order. Workers stop their chunk at the first failure or
+/// error — later indices in the same chunk cannot win the merge.
+fn run_batch<O: AssertionOracle>(
+    compiled: &Arc<CompiledDesign>,
+    oracle: &O,
+    batch: &[Stimulus],
+    threads: usize,
+) -> (usize, Vec<Vec<RunOutcome>>) {
+    let workers = threads.min(batch.len()).max(1);
+    let chunk = batch.len().div_ceil(workers);
+    if workers == 1 {
+        return (chunk, vec![run_chunk(compiled, oracle, batch)]);
+    }
+    let mut per_chunk = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for part in batch.chunks(chunk) {
+            handles.push(scope.spawn(move || run_chunk(compiled, oracle, part)));
+        }
+        for h in handles {
+            per_chunk.push(h.join().expect("fuzz worker panicked"));
+        }
+    });
+    (chunk, per_chunk)
+}
+
+fn run_chunk<O: AssertionOracle>(
+    compiled: &Arc<CompiledDesign>,
+    oracle: &O,
+    part: &[Stimulus],
+) -> Vec<RunOutcome> {
+    let mut out = Vec::with_capacity(part.len());
+    for stim in part {
+        let r = run_one(compiled, oracle, stim);
+        let stop = matches!(&r, Err(_) | Ok((_, true)));
+        out.push(r);
+        if stop {
+            break;
+        }
+    }
+    out
+}
+
+/// Runs a coverage-guided fuzzing campaign against `compiled`.
+///
+/// Deterministic from [`FuzzOptions::seed`] regardless of
+/// [`FuzzOptions::threads`]. A found failure is always replayed on the
+/// [`AstSimulator`] interpreter oracle before it is reported.
+///
+/// # Errors
+///
+/// Returns [`FuzzError`] on simulation failures, oracle failures, or a
+/// failure that does not replay on the interpreter — always the
+/// lowest-index event of the campaign.
+pub fn fuzz<O: AssertionOracle>(
+    compiled: &Arc<CompiledDesign>,
+    oracle: &O,
+    opts: &FuzzOptions,
+) -> Result<FuzzResult, FuzzError> {
+    let gen = StimulusGen::new(compiled.design());
+    let mutator = Mutator::new(compiled, opts.reset_cycles);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut corpus = Corpus::new();
+    let mut coverage = CovMap::new(compiled, oracle.assertions());
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.threads
+    };
+    let batch_size = opts.batch.max(1);
+    let mut runs = 0usize;
+    let mut verdict = FuzzVerdict::NoFailure;
+
+    'campaign: while runs < opts.budget {
+        let n = batch_size.min(opts.budget - runs);
+        let batch = schedule(&gen, &mutator, &mut corpus, &mut rng, n, opts);
+        let (chunk_size, per_chunk) = run_batch(compiled, oracle, &batch, threads);
+        for (c, chunk) in per_chunk.into_iter().enumerate() {
+            for (j, result) in chunk.into_iter().enumerate() {
+                let (cov, failed) = result?;
+                let new_points = coverage.merge(&cov);
+                let stim = &batch[c * chunk_size + j];
+                runs += 1;
+                if failed {
+                    replay_on_interpreter(compiled, stim)?;
+                    verdict = FuzzVerdict::Failure {
+                        stimulus: stim.clone(),
+                        run_index: runs - 1,
+                    };
+                    break 'campaign;
+                }
+                if new_points > 0 {
+                    corpus.add(stim.clone(), new_points);
+                }
+            }
+        }
+    }
+
+    Ok(FuzzResult {
+        report: CoverageReport::of(&coverage),
+        verdict,
+        runs,
+        corpus_size: corpus.len(),
+        corpus_fingerprint: corpus.fingerprint(),
+        coverage,
+    })
+}
+
+/// Produces one round's candidate stimuli: seeded randoms while the corpus
+/// is empty (plus a standing exploration share), energy-weighted parents
+/// with mutation and occasional crossover afterwards, deduplicated
+/// against everything scheduled so far.
+fn schedule(
+    gen: &StimulusGen,
+    mutator: &Mutator,
+    corpus: &mut Corpus,
+    rng: &mut StdRng,
+    n: usize,
+    opts: &FuzzOptions,
+) -> Vec<Stimulus> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut stim = if corpus.is_empty() || rng.gen::<u64>() % 8 == 0 {
+            gen.random(opts.cycles, opts.reset_cycles, rng)
+        } else {
+            let mut child = if corpus.len() >= 2 && rng.gen::<u64>() % 4 == 0 {
+                let a = corpus.pick(rng).clone();
+                let b = corpus.pick(rng).clone();
+                mutator.crossover(&a, &b, rng)
+            } else {
+                corpus.pick(rng).clone()
+            };
+            mutator.mutate(&mut child, rng);
+            child
+        };
+        for _ in 0..3 {
+            if corpus.note(&stim) {
+                break;
+            }
+            // Already scheduled once: push the child further out.
+            mutator.mutate(&mut stim, rng);
+        }
+        out.push(stim);
+    }
+    out
+}
+
+/// Greedy coverage-novelty ranking of a stimulus set: repeatedly selects
+/// the stimulus adding the most not-yet-covered points (ties to the
+/// lowest index). Returns `(stimulus index, marginal points)` in selection
+/// order — the scenario-diversity signal the datagen/eval pipeline uses
+/// to favour diverse traces.
+///
+/// # Errors
+///
+/// Propagates [`FuzzError::Sim`] when a stimulus fails to simulate.
+pub fn novelty_rank(
+    compiled: &Arc<CompiledDesign>,
+    stimuli: &[Stimulus],
+) -> Result<Vec<(usize, usize)>, FuzzError> {
+    let mut covs = Vec::with_capacity(stimuli.len());
+    for stim in stimuli {
+        let mut sim = Simulator::from_compiled(Arc::clone(compiled));
+        sim.enable_coverage(0);
+        for t in 0..stim.len() {
+            sim.step(&stim.cycle(t))?;
+        }
+        covs.push(sim.into_trace_and_coverage().1.expect("coverage enabled"));
+    }
+    let mut acc = CovMap::new(compiled, 0);
+    let mut remaining: Vec<usize> = (0..stimuli.len()).collect();
+    let mut out = Vec::with_capacity(stimuli.len());
+    while !remaining.is_empty() {
+        let (pos, best, gain) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| (pos, i, acc.new_points(&covs[i])))
+            .max_by(|a, b| a.2.cmp(&b.2).then(b.1.cmp(&a.1)))
+            .expect("non-empty remaining");
+        acc.merge(&covs[best]);
+        out.push((best, gain));
+        remaining.remove(pos);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An oracle for tests that flags a failure whenever the named signal
+    /// samples 1 after reset.
+    struct SignalHigh {
+        col: usize,
+    }
+
+    impl AssertionOracle for SignalHigh {
+        fn assertions(&self) -> usize {
+            1
+        }
+        fn failed(&self, trace: &Trace, cov: &mut CovMap) -> Result<bool, String> {
+            cov.record_antecedent(0);
+            Ok((0..trace.len()).any(|t| trace.get(t, self.col).is_truthy()))
+        }
+    }
+
+    const RARE: &str = "module r(input clk, input rst_n, input [7:0] a, output reg hit);\n\
+         always @(posedge clk or negedge rst_n) begin\n\
+           if (!rst_n) hit <= 1'b0; else hit <= (a == 8'hA5);\n\
+         end\nendmodule";
+
+    fn compiled(src: &str) -> Arc<CompiledDesign> {
+        Arc::new(CompiledDesign::compile(
+            &asv_verilog::compile(src).expect("compile"),
+        ))
+    }
+
+    fn rare_oracle(cd: &Arc<CompiledDesign>) -> SignalHigh {
+        SignalHigh {
+            col: cd.sig("hit").expect("hit").idx(),
+        }
+    }
+
+    #[test]
+    fn dictionary_guided_fuzzing_hits_the_magic_value() {
+        let cd = compiled(RARE);
+        let oracle = rare_oracle(&cd);
+        let opts = FuzzOptions {
+            budget: 512,
+            seed: 11,
+            ..FuzzOptions::default()
+        };
+        let res = fuzz(&cd, &oracle, &opts).expect("fuzz");
+        let FuzzVerdict::Failure { stimulus, .. } = res.verdict else {
+            panic!("dictionary mutation must find a == 8'hA5 within budget");
+        };
+        assert!(
+            stimulus
+                .vectors
+                .iter()
+                .any(|v| v.iter().any(|(n, x)| n == "a" && *x == 0xA5)),
+            "the failing stimulus must contain the trigger"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let cd = compiled(RARE);
+        let oracle = rare_oracle(&cd);
+        let base = FuzzOptions {
+            budget: 96,
+            seed: 3,
+            ..FuzzOptions::default()
+        };
+        let one = fuzz(&cd, &oracle, &FuzzOptions { threads: 1, ..base }).expect("t1");
+        let four = fuzz(&cd, &oracle, &FuzzOptions { threads: 4, ..base }).expect("t4");
+        assert_eq!(one.verdict, four.verdict);
+        assert_eq!(one.runs, four.runs);
+        assert_eq!(one.coverage, four.coverage);
+        assert_eq!(one.corpus_fingerprint, four.corpus_fingerprint);
+    }
+
+    #[test]
+    fn no_failure_reports_coverage_and_exhausted_budget() {
+        let cd = compiled(
+            "module ok(input clk, input rst_n, input [3:0] a, output reg [3:0] q);\n\
+             always @(posedge clk or negedge rst_n) begin\n\
+               if (!rst_n) q <= 4'd0; else q <= a;\n\
+             end\nendmodule",
+        );
+        struct Never;
+        impl AssertionOracle for Never {
+            fn assertions(&self) -> usize {
+                0
+            }
+            fn failed(&self, _: &Trace, _: &mut CovMap) -> Result<bool, String> {
+                Ok(false)
+            }
+        }
+        let opts = FuzzOptions {
+            budget: 40,
+            seed: 1,
+            ..FuzzOptions::default()
+        };
+        let res = fuzz(&cd, &Never, &opts).expect("fuzz");
+        assert_eq!(res.verdict, FuzzVerdict::NoFailure);
+        assert_eq!(res.runs, 40);
+        assert!(res.report.toggle_pct() > 50.0, "got {}", res.report);
+        assert!(res.corpus_size >= 1, "coverage-increasing runs retained");
+    }
+
+    #[test]
+    fn novelty_rank_prefers_fresh_coverage() {
+        let cd = compiled(RARE);
+        let gen = StimulusGen::new(cd.design());
+        // Two identical stimuli and one distinct: the distinct one must
+        // rank in the top two, and a duplicate must contribute 0 last.
+        let a = gen.random_seeded(6, 2, 1);
+        let b = gen.random_seeded(6, 2, 9);
+        let ranked = novelty_rank(&cd, &[a.clone(), a, b]).expect("rank");
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked[0].1 > 0);
+        let last = ranked[2];
+        assert_eq!(last.1, 0, "a duplicate adds nothing: {ranked:?}");
+        let firsts: Vec<usize> = ranked.iter().map(|r| r.0).collect();
+        assert!(firsts.contains(&2), "distinct stimulus must be ranked");
+    }
+}

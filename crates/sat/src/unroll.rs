@@ -193,6 +193,7 @@ pub fn exec_stmt_sym<'a>(
             cond,
             then_branch,
             else_branch,
+            ..
         } => {
             let cv = run_sym(g, cond, &SliceEnv::new(&state.vals))?;
             let c = cv.is_truthy(g);
@@ -212,6 +213,7 @@ pub fn exec_stmt_sym<'a>(
             scrutinee,
             arms,
             default,
+            ..
         } => {
             let sv = run_sym(g, scrutinee, &SliceEnv::new(&state.vals))?;
             // `no_prior` tracks "no earlier arm matched"; arms and labels

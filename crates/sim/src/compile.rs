@@ -27,6 +27,7 @@
 //! where `$past`/`$rose`/`$fell`/`$stable` are resolved by the
 //! environment through [`Op::History`] sub-programs.
 
+use crate::cover::{CovSink, NoCov};
 use crate::eval::{default_sys_call, EvalError};
 use crate::exec::SimError;
 use crate::value::Value;
@@ -493,6 +494,9 @@ pub enum CStmt {
         then_branch: Box<CStmt>,
         /// Else branch.
         else_branch: Option<Box<CStmt>>,
+        /// Branch-site id of the then arm; the (possibly implicit) else
+        /// arm is `site + 1`. See [`CompiledDesign::branch_sites`].
+        site: u32,
     },
     /// `case (scrutinee) ... endcase`
     Case {
@@ -502,6 +506,9 @@ pub enum CStmt {
         arms: Vec<CCaseArm>,
         /// Default arm.
         default: Option<Box<CStmt>>,
+        /// Branch-site id of the first arm; arm *i* is `site + i` and the
+        /// (possibly implicit) default is `site + arms.len()`.
+        site: u32,
     },
     /// Blocking or nonblocking assignment.
     Assign {
@@ -561,6 +568,8 @@ pub struct CompiledDesign {
     /// True when a single ordered pass settles combinational logic.
     levelized: bool,
     seq: Vec<CStmt>,
+    /// Number of branch sites allocated across all statements.
+    branch_sites: u32,
 }
 
 impl CompiledDesign {
@@ -590,6 +599,7 @@ impl CompiledDesign {
 
         let mut comb = Vec::new();
         let mut seq = Vec::new();
+        let mut sites = 0u32;
         for item in &design.module.items {
             match item {
                 Item::Assign(a) => comb.push(CombStep::Assign {
@@ -597,7 +607,7 @@ impl CompiledDesign {
                     rhs: compile_expr(&a.rhs, &resolve, false),
                 }),
                 Item::Always(al) => {
-                    let body = lower_stmt(&al.body, &index, &resolve);
+                    let body = lower_stmt(&al.body, &index, &resolve, &mut sites);
                     if al.sensitivity.is_combinational() {
                         comb.push(CombStep::Block(body));
                     } else {
@@ -619,6 +629,7 @@ impl CompiledDesign {
             order,
             levelized,
             seq,
+            branch_sites: sites,
         }
     }
 
@@ -671,6 +682,13 @@ impl CompiledDesign {
         &self.seq
     }
 
+    /// Number of branch sites ([`CStmt::If`]/[`CStmt::Case`] arms)
+    /// allocated during lowering — the size of a [`crate::cover::CovMap`]'s
+    /// branch axis.
+    pub fn branch_sites(&self) -> u32 {
+        self.branch_sites
+    }
+
     /// Settles combinational logic.
     ///
     /// # Errors
@@ -678,16 +696,32 @@ impl CompiledDesign {
     /// Returns [`SimError::CombDivergence`] when the (cyclic) fallback
     /// fixpoint fails to stabilise, and propagates evaluation errors.
     pub fn settle(&self, state: &mut Vec<Value>, stack: &mut Vec<Value>) -> Result<(), SimError> {
+        self.settle_cov(state, stack, &mut NoCov)
+    }
+
+    /// [`CompiledDesign::settle`] with branch coverage recorded into
+    /// `cov`. With [`NoCov`] this monomorphises to the uninstrumented
+    /// executor (zero cost when coverage is disabled).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledDesign::settle`].
+    pub fn settle_cov<C: CovSink>(
+        &self,
+        state: &mut Vec<Value>,
+        stack: &mut Vec<Value>,
+        cov: &mut C,
+    ) -> Result<(), SimError> {
         if self.levelized {
             for &i in &self.order {
-                self.run_comb_step(&self.comb[i], state, stack)?;
+                self.run_comb_step(&self.comb[i], state, stack, cov)?;
             }
             return Ok(());
         }
         for _ in 0..MAX_SETTLE_ITERS {
             let before = state.clone();
             for step in &self.comb {
-                self.run_comb_step(step, state, stack)?;
+                self.run_comb_step(step, state, stack, cov)?;
             }
             if *state == before {
                 return Ok(());
@@ -696,11 +730,12 @@ impl CompiledDesign {
         Err(SimError::CombDivergence)
     }
 
-    fn run_comb_step(
+    fn run_comb_step<C: CovSink>(
         &self,
         step: &CombStep,
         state: &mut Vec<Value>,
         stack: &mut Vec<Value>,
+        cov: &mut C,
     ) -> Result<(), SimError> {
         match step {
             CombStep::Assign { lhs, rhs } => {
@@ -709,7 +744,7 @@ impl CompiledDesign {
             }
             CombStep::Block(body) => {
                 let mut nba = Vec::new();
-                self.exec_stmt(body, state, stack, &mut nba)?;
+                self.exec_stmt(body, state, stack, &mut nba, cov)?;
                 for (lv, v) in nba {
                     self.write_lvalue(lv, v, state, stack)?;
                 }
@@ -731,13 +766,28 @@ impl CompiledDesign {
         state: &mut Vec<Value>,
         stack: &mut Vec<Value>,
     ) -> Result<(), SimError> {
+        self.clock_edge_cov(state, stack, &mut NoCov)
+    }
+
+    /// [`CompiledDesign::clock_edge`] with branch coverage recorded into
+    /// `cov` (zero cost with [`NoCov`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn clock_edge_cov<C: CovSink>(
+        &self,
+        state: &mut Vec<Value>,
+        stack: &mut Vec<Value>,
+        cov: &mut C,
+    ) -> Result<(), SimError> {
         let pre_edge = state.clone();
         let mut scratch = Vec::new();
         let mut nba_all: Vec<NbaUpdate<'_>> = Vec::new();
         for block in &self.seq {
             scratch.clone_from(&pre_edge);
             let mut nba = Vec::new();
-            self.exec_stmt(block, &mut scratch, stack, &mut nba)?;
+            self.exec_stmt(block, &mut scratch, stack, &mut nba, cov)?;
             for (i, v) in scratch.iter().enumerate() {
                 if pre_edge[i] != *v {
                     nba_all.push(NbaUpdate::Whole(SigId(i as u32), *v));
@@ -756,17 +806,18 @@ impl CompiledDesign {
         Ok(())
     }
 
-    fn exec_stmt<'a>(
+    fn exec_stmt<'a, C: CovSink>(
         &'a self,
         s: &'a CStmt,
         state: &mut Vec<Value>,
         stack: &mut Vec<Value>,
         nba: &mut Vec<(&'a CLValue, Value)>,
+        cov: &mut C,
     ) -> Result<(), SimError> {
         match s {
             CStmt::Block(stmts) => {
                 for st in stmts {
-                    self.exec_stmt(st, state, stack, nba)?;
+                    self.exec_stmt(st, state, stack, nba, cov)?;
                 }
                 Ok(())
             }
@@ -774,31 +825,39 @@ impl CompiledDesign {
                 cond,
                 then_branch,
                 else_branch,
+                site,
             } => {
                 if run(cond, &StateEnv { state }, stack)?.is_truthy() {
-                    self.exec_stmt(then_branch, state, stack, nba)
-                } else if let Some(e) = else_branch {
-                    self.exec_stmt(e, state, stack, nba)
+                    cov.branch(*site);
+                    self.exec_stmt(then_branch, state, stack, nba, cov)
                 } else {
-                    Ok(())
+                    cov.branch(*site + 1);
+                    if let Some(e) = else_branch {
+                        self.exec_stmt(e, state, stack, nba, cov)
+                    } else {
+                        Ok(())
+                    }
                 }
             }
             CStmt::Case {
                 scrutinee,
                 arms,
                 default,
+                site,
             } => {
                 let sv = run(scrutinee, &StateEnv { state }, stack)?;
-                for arm in arms {
+                for (i, arm) in arms.iter().enumerate() {
                     for label in &arm.labels {
                         let lv = run(label, &StateEnv { state }, stack)?;
                         if lv.bits() == sv.bits() {
-                            return self.exec_stmt(&arm.body, state, stack, nba);
+                            cov.branch(*site + i as u32);
+                            return self.exec_stmt(&arm.body, state, stack, nba, cov);
                         }
                     }
                 }
+                cov.branch(*site + arms.len() as u32);
                 if let Some(d) = default {
-                    self.exec_stmt(d, state, stack, nba)
+                    self.exec_stmt(d, state, stack, nba, cov)
                 } else {
                     Ok(())
                 }
@@ -967,7 +1026,7 @@ where
     }
 }
 
-fn lower_stmt<R>(s: &Stmt, index: &HashMap<String, SigId>, resolve: &R) -> CStmt
+fn lower_stmt<R>(s: &Stmt, index: &HashMap<String, SigId>, resolve: &R, sites: &mut u32) -> CStmt
 where
     R: Fn(&str) -> NameRef,
 {
@@ -975,7 +1034,7 @@ where
         Stmt::Block { stmts, .. } => CStmt::Block(
             stmts
                 .iter()
-                .map(|st| lower_stmt(st, index, resolve))
+                .map(|st| lower_stmt(st, index, resolve, sites))
                 .collect(),
         ),
         Stmt::If {
@@ -983,35 +1042,48 @@ where
             then_branch,
             else_branch,
             ..
-        } => CStmt::If {
-            cond: compile_expr(cond, resolve, false),
-            then_branch: Box::new(lower_stmt(then_branch, index, resolve)),
-            else_branch: else_branch
-                .as_ref()
-                .map(|e| Box::new(lower_stmt(e, index, resolve))),
-        },
+        } => {
+            // Two arms: taken (`site`) and not-taken (`site + 1`), whether
+            // or not an else branch exists.
+            let site = *sites;
+            *sites += 2;
+            CStmt::If {
+                cond: compile_expr(cond, resolve, false),
+                then_branch: Box::new(lower_stmt(then_branch, index, resolve, sites)),
+                else_branch: else_branch
+                    .as_ref()
+                    .map(|e| Box::new(lower_stmt(e, index, resolve, sites))),
+                site,
+            }
+        }
         Stmt::Case {
             scrutinee,
             arms,
             default,
             ..
-        } => CStmt::Case {
-            scrutinee: compile_expr(scrutinee, resolve, false),
-            arms: arms
-                .iter()
-                .map(|arm| CCaseArm {
-                    labels: arm
-                        .labels
-                        .iter()
-                        .map(|l| compile_expr(l, resolve, false))
-                        .collect(),
-                    body: lower_stmt(&arm.body, index, resolve),
-                })
-                .collect(),
-            default: default
-                .as_ref()
-                .map(|d| Box::new(lower_stmt(d, index, resolve))),
-        },
+        } => {
+            // One site per arm plus the (possibly implicit) default.
+            let site = *sites;
+            *sites += arms.len() as u32 + 1;
+            CStmt::Case {
+                scrutinee: compile_expr(scrutinee, resolve, false),
+                arms: arms
+                    .iter()
+                    .map(|arm| CCaseArm {
+                        labels: arm
+                            .labels
+                            .iter()
+                            .map(|l| compile_expr(l, resolve, false))
+                            .collect(),
+                        body: lower_stmt(&arm.body, index, resolve, sites),
+                    })
+                    .collect(),
+                default: default
+                    .as_ref()
+                    .map(|d| Box::new(lower_stmt(d, index, resolve, sites))),
+                site,
+            }
+        }
         Stmt::Assign {
             lhs,
             rhs,
@@ -1196,6 +1268,7 @@ impl StepFx {
                 cond,
                 then_branch,
                 else_branch,
+                ..
             } => {
                 self.branching = true;
                 self.read_prog(cond);
@@ -1205,6 +1278,7 @@ impl StepFx {
                 scrutinee,
                 arms,
                 default,
+                ..
             } => {
                 self.branching = true;
                 self.read_prog(scrutinee);

@@ -24,6 +24,7 @@
 //! differential tests compare against.
 
 use crate::compile::CompiledDesign;
+use crate::cover::CovMap;
 use crate::eval::EvalError;
 use crate::trace::Trace;
 use crate::value::Value;
@@ -68,6 +69,7 @@ pub struct Simulator {
     state: Vec<Value>,
     stack: Vec<Value>,
     trace: Trace,
+    cov: Option<Box<CovMap>>,
 }
 
 impl Simulator {
@@ -88,7 +90,27 @@ impl Simulator {
             state,
             stack: Vec::with_capacity(16),
             trace,
+            cov: None,
         }
+    }
+
+    /// Enables coverage recording (branch arms + signal toggles) for
+    /// subsequent steps. `assertions` sizes the antecedent axis the SVA
+    /// checker fills in (pass 0 when no checker is attached). Without this
+    /// call the hot path runs fully uninstrumented.
+    pub fn enable_coverage(&mut self, assertions: usize) {
+        self.cov = Some(Box::new(CovMap::new(&self.compiled, assertions)));
+    }
+
+    /// The coverage recorded so far, if enabled.
+    pub fn coverage(&self) -> Option<&CovMap> {
+        self.cov.as_deref()
+    }
+
+    /// Consumes the simulator, returning the trace and the coverage map
+    /// (present only after [`Simulator::enable_coverage`]).
+    pub fn into_trace_and_coverage(self) -> (Trace, Option<CovMap>) {
+        (self.trace, self.cov.map(|c| *c))
     }
 
     /// The design under simulation.
@@ -141,10 +163,23 @@ impl Simulator {
             self.set_input(name, *v);
         }
         let cd = Arc::clone(&self.compiled);
-        cd.settle(&mut self.state, &mut self.stack)?;
-        self.trace.push(self.state.clone());
-        cd.clock_edge(&mut self.state, &mut self.stack)?;
-        cd.settle(&mut self.state, &mut self.stack)?;
+        match self.cov.as_deref_mut() {
+            None => {
+                cd.settle(&mut self.state, &mut self.stack)?;
+                self.trace.push(self.state.clone());
+                cd.clock_edge(&mut self.state, &mut self.stack)?;
+                cd.settle(&mut self.state, &mut self.stack)?;
+            }
+            Some(cov) => {
+                cd.settle_cov(&mut self.state, &mut self.stack, cov)?;
+                // Toggle coverage observes the preponed samples — exactly
+                // the values SVA properties see.
+                cov.record_row(&self.state);
+                self.trace.push(self.state.clone());
+                cd.clock_edge_cov(&mut self.state, &mut self.stack, cov)?;
+                cd.settle_cov(&mut self.state, &mut self.stack, cov)?;
+            }
+        }
         Ok(())
     }
 

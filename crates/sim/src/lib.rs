@@ -32,6 +32,7 @@
 //! ```
 
 pub mod compile;
+pub mod cover;
 pub mod eval;
 pub mod exec;
 pub mod interp;
@@ -40,6 +41,7 @@ pub mod trace;
 pub mod value;
 
 pub use compile::{CompiledDesign, SigId};
+pub use cover::{CovMap, CoverageReport};
 pub use eval::{Env, EvalError};
 pub use exec::{SimError, Simulator};
 pub use interp::AstSimulator;

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 pub type InputVector = Vec<(String, u64)>;
 
 /// A full stimulus: a reset prologue followed by per-cycle input vectors.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Stimulus {
     /// Input vectors applied cycle by cycle (reset cycles included).
     pub vectors: Vec<InputVector>,

@@ -119,6 +119,42 @@ impl Trace {
         Some(self.value(t, signal)? == self.value(t - 1, signal)?)
     }
 
+    /// Renders the trace as a standard VCD (value change dump) waveform,
+    /// viewable in GTKWave & co. Counterexamples and fuzzer findings are
+    /// exported with this.
+    ///
+    /// The output is fully deterministic (no date/version headers): one
+    /// `$var` per signal in column order, a full dump at `#0`, then
+    /// change-only dumps per tick. Each tick is one timescale unit.
+    pub fn to_vcd(&self, module: &str) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1ns $end\n");
+        out.push_str(&format!("$scope module {module} $end\n"));
+        let ids: Vec<String> = (0..self.names.len()).map(vcd_id).collect();
+        for (i, name) in self.names.iter().enumerate() {
+            let width = self.steps.first().map(|row| row[i].width()).unwrap_or(1);
+            out.push_str(&format!("$var wire {width} {} {name} $end\n", ids[i]));
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut last: Vec<Option<Value>> = vec![None; self.names.len()];
+        for (t, row) in self.steps.iter().enumerate() {
+            out.push_str(&format!("#{t}\n"));
+            for (i, v) in row.iter().enumerate() {
+                if last[i] == Some(*v) {
+                    continue;
+                }
+                last[i] = Some(*v);
+                if v.width() == 1 {
+                    out.push_str(&format!("{}{}\n", v.bits(), ids[i]));
+                } else {
+                    out.push_str(&format!("b{:b} {}\n", v.bits(), ids[i]));
+                }
+            }
+        }
+        out.push_str(&format!("#{}\n", self.steps.len()));
+        out
+    }
+
     /// Renders a compact textual waveform of the chosen signals (debugging
     /// aid and CoT evidence).
     pub fn format_signals(&self, signals: &[&str]) -> String {
@@ -135,6 +171,21 @@ impl Trace {
         }
         out
     }
+}
+
+/// VCD identifier code for signal column `i`: base-94 over the printable
+/// ASCII range `!`..=`~`, as the format specifies.
+fn vcd_id(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (i % 94) as u8) as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    s
 }
 
 #[cfg(test)]
@@ -186,6 +237,28 @@ mod tests {
     fn push_checks_arity() {
         let mut t = Trace::new(vec!["a".into()]);
         t.push(vec![Value::new(0, 1), Value::new(0, 1)]);
+    }
+
+    #[test]
+    fn vcd_ids_cover_multi_char_codes() {
+        assert_eq!(vcd_id(0), "!");
+        assert_eq!(vcd_id(93), "~");
+        assert_eq!(vcd_id(94), "!!");
+        let all: std::collections::BTreeSet<String> = (0..300).map(vcd_id).collect();
+        assert_eq!(all.len(), 300, "id codes must be unique");
+    }
+
+    #[test]
+    fn vcd_emits_changes_only() {
+        let vcd = tr().to_vcd("m");
+        assert!(vcd.contains("$scope module m $end"));
+        assert!(vcd.contains("$var wire 1 ! a $end"));
+        assert!(vcd.contains("$var wire 4 \" b $end"));
+        // b holds 3 at ticks 1 and 2: exactly one change record for it.
+        assert_eq!(vcd.matches("b11 \"").count(), 1);
+        // a toggles 0 → 1 → 0: three scalar records.
+        assert_eq!(vcd.matches("\n0!").count(), 2);
+        assert_eq!(vcd.matches("\n1!").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Golden-file test for [`asv_sim::Trace::to_vcd`]: the exported waveform
+//! of a fixed counter run must match `tests/golden/counter.vcd` byte for
+//! byte. The export carries no timestamps or tool versions, so the file
+//! is stable across machines; regenerate it (and review the diff) only
+//! when the VCD format intentionally changes.
+
+use asv_sim::Simulator;
+
+const COUNTER: &str = "module c(input clk, input rst_n, input en, output reg [3:0] q);\n\
+     always @(posedge clk or negedge rst_n) begin\n\
+       if (!rst_n) q <= 4'd0; else if (en) q <= q + 4'd1;\n\
+     end\nendmodule";
+
+fn counter_vcd() -> String {
+    let design = asv_verilog::compile(COUNTER).expect("compile");
+    let mut sim = Simulator::new(&design);
+    sim.step(&[("rst_n", 0), ("en", 0)]).expect("reset");
+    for en in [1, 1, 0, 1, 1, 1] {
+        sim.step(&[("rst_n", 1), ("en", en)]).expect("step");
+    }
+    sim.into_trace().to_vcd("c")
+}
+
+#[test]
+fn counter_vcd_matches_golden() {
+    let golden = include_str!("golden/counter.vcd");
+    assert_eq!(
+        counter_vcd(),
+        golden,
+        "VCD export drifted from the golden file"
+    );
+}
+
+#[test]
+fn vcd_is_deterministic() {
+    assert_eq!(counter_vcd(), counter_vcd());
+}

@@ -12,20 +12,32 @@
 //!   minimal-depth, and vacuity is proven rather than sampled.
 //! * **Simulation** — the original oracle: exhaustive stimulus enumeration
 //!   when the input space fits [`Verifier::exhaustive_limit`], otherwise
-//!   seeded random sampling (now parallelised across threads with a
-//!   deterministic lowest-index-wins merge).
+//!   seeded random sampling (parallelised across threads with a
+//!   deterministic lowest-index-wins merge, identical stimuli
+//!   deduplicated so no run repeats across threads).
+//! * **Fuzz** — the `asv-fuzz` coverage-guided greybox fuzzer: branch,
+//!   toggle and antecedent coverage recorded per run feeds an AFL-style
+//!   corpus whose mutations (including design-constant dictionary
+//!   substitution) direct the search toward rare triggers blind sampling
+//!   misses. Deterministic from [`Verifier::seed`]; the stimulus budget
+//!   is [`Verifier::random_runs`], making fuzz and sampling verdicts
+//!   comparable at equal cost.
 //! * **Auto** (default) — symbolic whenever the design is levelizable and
-//!   2-state encodable, simulation otherwise (cyclic/latch designs keep
-//!   the fixpoint path; so do non-constant division and other constructs
-//!   outside the encodable subset).
+//!   2-state encodable. Outside that subset (cyclic/latch designs,
+//!   non-constant division, dynamic bit indices) it enumerates the input
+//!   space when small enough and otherwise runs the **fuzzer** — not
+//!   blind sampling — over the same budget.
 //!
 //! Every symbolic counterexample is replayed on the compiled simulator
-//! before being reported, so `Fails` verdicts carry exactly the logs a
-//! concrete run produces.
+//! before being reported, and every fuzzer finding additionally replays
+//! on the `AstSimulator` interpreter oracle, so `Fails` verdicts carry
+//! exactly the logs a concrete run produces.
 
 use crate::monitor::{AssertionFailure, CheckOutcome, CompiledChecker, MonitorError};
+use asv_fuzz::{AssertionOracle, FuzzError, FuzzOptions, FuzzVerdict};
 use asv_sat::engine::{BmcOptions, BmcVerdict};
 use asv_sim::compile::CompiledDesign;
+use asv_sim::cover::CovMap;
 use asv_sim::exec::{SimError, Simulator};
 use asv_sim::stimulus::{Stimulus, StimulusGen};
 use asv_sim::trace::Trace;
@@ -96,8 +108,11 @@ pub enum VerifyError {
     NoAssertions,
     /// [`Engine::Symbolic`] was requested but the design falls outside the
     /// symbolic engine's subset (with [`Engine::Auto`] this silently falls
-    /// back to simulation instead).
+    /// back to a concrete engine instead).
     Symbolic(String),
+    /// The fuzzing engine failed (oracle error or a finding that did not
+    /// replay on the interpreter — harness bugs, not design verdicts).
+    Fuzz(String),
 }
 
 impl fmt::Display for VerifyError {
@@ -107,6 +122,7 @@ impl fmt::Display for VerifyError {
             VerifyError::Monitor(e) => write!(f, "monitor error: {e}"),
             VerifyError::NoAssertions => write!(f, "design has no assertions"),
             VerifyError::Symbolic(m) => write!(f, "symbolic engine unavailable: {m}"),
+            VerifyError::Fuzz(m) => write!(f, "fuzzing engine failed: {m}"),
         }
     }
 }
@@ -128,14 +144,19 @@ impl From<MonitorError> for VerifyError {
 /// Which verification engine [`Verifier::check`] runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Engine {
-    /// Symbolic when the design is levelizable and 2-state encodable,
-    /// simulation otherwise.
+    /// Symbolic when the design is levelizable and 2-state encodable;
+    /// otherwise exhaustive enumeration when the input space fits
+    /// [`Verifier::exhaustive_limit`], and coverage-guided fuzzing beyond
+    /// that.
     #[default]
     Auto,
     /// Symbolic only; out-of-subset designs are a [`VerifyError::Symbolic`].
     Symbolic,
     /// The enumeration/sampling oracle only.
     Simulation,
+    /// The coverage-guided fuzzer only, with [`Verifier::random_runs`] as
+    /// its execution budget.
+    Fuzz,
 }
 
 /// Bounded verifier configuration.
@@ -148,9 +169,11 @@ pub struct Verifier {
     /// Cap on exhaustively enumerated stimuli before falling back to
     /// random sampling (simulation engine).
     pub exhaustive_limit: u64,
-    /// Number of random stimuli when sampling (simulation engine).
+    /// Stimulus budget of the concrete non-exhaustive engines: the number
+    /// of random samples (simulation engine) and the fuzzer's execution
+    /// budget — the same number, so the two are comparable at equal cost.
     pub random_runs: usize,
-    /// RNG seed for random stimulus.
+    /// RNG seed for random stimulus and fuzzing campaigns.
     pub seed: u64,
     /// Engine selection.
     pub engine: Engine,
@@ -228,14 +251,31 @@ impl Verifier {
         let checker = CompiledChecker::new(&design.module, col)?;
         match self.engine {
             Engine::Simulation => self.check_simulation(design, &compiled, &checker),
+            Engine::Fuzz => self.check_fuzz(design, &compiled, &checker),
             Engine::Symbolic => match self.check_symbolic(&compiled, &checker) {
                 Ok(verdict) => verdict,
                 Err(reason) => Err(VerifyError::Symbolic(reason)),
             },
             Engine::Auto => match self.check_symbolic(&compiled, &checker) {
                 Ok(verdict) => verdict,
-                Err(_) => self.check_simulation(design, &compiled, &checker),
+                Err(_) => self.check_concrete(design, &compiled, &checker),
             },
+        }
+    }
+
+    /// The concrete fallback of [`Engine::Auto`]: exhaustive enumeration
+    /// when the bounded input space is small enough, coverage-guided
+    /// fuzzing (never blind sampling) otherwise.
+    fn check_concrete(
+        &self,
+        design: &Design,
+        compiled: &Arc<CompiledDesign>,
+        checker: &CompiledChecker,
+    ) -> Result<Verdict, VerifyError> {
+        let gen = StimulusGen::new(design);
+        match gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
+            Some(all) => self.check_enumerated(design, compiled, checker, all),
+            None => self.check_fuzz(design, compiled, checker),
         }
     }
 
@@ -301,19 +341,14 @@ impl Verifier {
     ) -> Result<Verdict, VerifyError> {
         let gen = StimulusGen::new(design);
         match gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
-            Some(all) => {
-                let count = all.len();
-                let mut fired: std::collections::BTreeSet<String> =
-                    std::collections::BTreeSet::new();
-                for stim in all {
-                    match run_stimulus(compiled, checker, stim)? {
-                        StimulusOutcome::Fails(cex) => return Ok(Verdict::Fails(cex)),
-                        StimulusOutcome::Passes(names) => fired.extend(names),
-                    }
-                }
-                Ok(self.holds(design, true, count, fired))
-            }
+            Some(all) => self.check_enumerated(design, compiled, checker, all),
             None => {
+                // Per-stimulus RNG streams (SplitMix64-expanded seeds) are
+                // decorrelated but can still collide on narrow inputs;
+                // identical stimuli are deduplicated so no run repeats
+                // across worker threads.
+                let mut seen: std::collections::HashSet<Stimulus> =
+                    std::collections::HashSet::with_capacity(self.random_runs);
                 let stimuli: Vec<Stimulus> = (0..self.random_runs)
                     .map(|i| {
                         gen.random_seeded(
@@ -322,6 +357,7 @@ impl Verifier {
                             self.seed.wrapping_add(i as u64),
                         )
                     })
+                    .filter(|s| seen.insert(s.clone()))
                     .collect();
                 let count = stimuli.len();
                 let fired = match check_stimuli_parallel(compiled, checker, stimuli)? {
@@ -329,6 +365,74 @@ impl Verifier {
                     Err(cex) => return Ok(Verdict::Fails(cex)),
                 };
                 Ok(self.holds(design, false, count, fired))
+            }
+        }
+    }
+
+    /// Checks a fully enumerated stimulus set (exhaustive coverage).
+    fn check_enumerated(
+        &self,
+        design: &Design,
+        compiled: &Arc<CompiledDesign>,
+        checker: &CompiledChecker,
+        all: Vec<Stimulus>,
+    ) -> Result<Verdict, VerifyError> {
+        let count = all.len();
+        let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for stim in all {
+            match run_stimulus(compiled, checker, stim)? {
+                StimulusOutcome::Fails(cex) => return Ok(Verdict::Fails(cex)),
+                StimulusOutcome::Passes(names) => fired.extend(names),
+            }
+        }
+        Ok(self.holds(design, true, count, fired))
+    }
+
+    /// The coverage-guided fuzzing engine, with [`Verifier::random_runs`]
+    /// as its execution budget so its verdicts compare to sampling at
+    /// equal cost. Non-vacuity is read off the merged coverage map's
+    /// antecedent bits; failures replay through [`run_stimulus`] so the
+    /// reported logs are exactly what a concrete run produces.
+    fn check_fuzz(
+        &self,
+        design: &Design,
+        compiled: &Arc<CompiledDesign>,
+        checker: &CompiledChecker,
+    ) -> Result<Verdict, VerifyError> {
+        let oracle = CheckerOracle { checker };
+        let opts = FuzzOptions {
+            cycles: self.depth,
+            reset_cycles: self.reset_cycles,
+            budget: self.random_runs,
+            seed: self.seed,
+            ..FuzzOptions::default()
+        };
+        let res = asv_fuzz::fuzz(compiled, &oracle, &opts).map_err(|e| match e {
+            FuzzError::Sim(s) => VerifyError::Sim(s),
+            other => VerifyError::Fuzz(other.to_string()),
+        })?;
+        match res.verdict {
+            FuzzVerdict::Failure { stimulus, .. } => {
+                match run_stimulus(compiled, checker, stimulus)? {
+                    StimulusOutcome::Fails(cex) => Ok(Verdict::Fails(cex)),
+                    StimulusOutcome::Passes(_) => Err(VerifyError::Fuzz(
+                        "fuzzer finding did not reproduce under the checker".into(),
+                    )),
+                }
+            }
+            FuzzVerdict::NoFailure => {
+                let vacuous = design
+                    .module
+                    .assertions()
+                    .enumerate()
+                    .filter(|(i, _)| !res.coverage.antecedent_hit(*i))
+                    .map(|(_, a)| a.log_name().to_string())
+                    .collect();
+                Ok(Verdict::Holds {
+                    exhaustive: false,
+                    stimuli: res.runs,
+                    vacuous,
+                })
             }
         }
     }
@@ -375,6 +479,26 @@ impl Verifier {
     /// Propagates [`SimError`].
     pub fn replay(&self, design: &Design, cex: &CounterExample) -> Result<Trace, VerifyError> {
         self.simulate(design, &cex.stimulus)
+    }
+}
+
+/// Adapter giving the fuzzer assertion feedback through the compiled
+/// checker (property semantics stay in this crate).
+struct CheckerOracle<'a> {
+    checker: &'a CompiledChecker,
+}
+
+impl AssertionOracle for CheckerOracle<'_> {
+    fn assertions(&self) -> usize {
+        self.checker.assertion_count()
+    }
+
+    fn failed(&self, trace: &Trace, cov: &mut CovMap) -> Result<bool, String> {
+        let out = self
+            .checker
+            .outcomes_cov(trace, cov)
+            .map_err(|e| e.to_string())?;
+        Ok(out.iter().any(|(_, o)| o.is_failure()))
     }
 }
 
@@ -759,6 +883,136 @@ endmodule
                 assert_eq!(vacuous, vec!["p".to_string()]);
             }
             Verdict::Fails(cex) => panic!("nothing was checked: {:?}", cex.logs),
+        }
+    }
+
+    /// Rare trigger (`a == 16'hBEEF`) in a design the symbolic engine
+    /// rejects (latch-style combinational block): the scenario class the
+    /// fuzzing engine exists for.
+    const LATCH_RARE: &str = r#"
+module lrare(input clk, input rst_n, input [15:0] a, output reg bad);
+  reg shadow;
+  always @(*) begin if (a[0]) shadow = a[1]; end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) bad <= 1'b0;
+    else bad <= (a == 16'hBEEF);
+  end
+  p_rare: assert property (@(posedge clk) disable iff (!rst_n)
+    a == 16'hBEEF |-> ##1 !bad) else $error("rare trigger");
+endmodule
+"#;
+
+    #[test]
+    fn fuzz_finds_rare_trigger_where_sampling_misses() {
+        let d = compile(LATCH_RARE).expect("compile");
+        assert!(
+            matches!(
+                Verifier {
+                    engine: Engine::Symbolic,
+                    ..Verifier::default()
+                }
+                .check(&d),
+                Err(VerifyError::Symbolic(_))
+            ),
+            "scenario must be outside the symbolic subset"
+        );
+        let budget = Verifier {
+            depth: 8,
+            random_runs: 64,
+            ..Verifier::default()
+        };
+        // Blind sampling at this budget cannot hit a 1/65536 trigger...
+        let sampled = Verifier {
+            engine: Engine::Simulation,
+            ..budget
+        };
+        match sampled.check(&d).expect("verify") {
+            Verdict::Holds { vacuous, .. } => assert_eq!(vacuous, vec!["p_rare".to_string()]),
+            Verdict::Fails(_) => panic!("sampling cannot hit a 1/65536 trigger at budget 64"),
+        }
+        // ...the dictionary-guided fuzzer refutes it at the same budget.
+        let fuzzed = Verifier {
+            engine: Engine::Fuzz,
+            ..budget
+        };
+        let Verdict::Fails(cex) = fuzzed.check(&d).expect("verify") else {
+            panic!("fuzzer must find the rare trigger");
+        };
+        assert!(cex.logs[0].contains("failed assertion lrare.p_rare"));
+        // Counterexamples replay bit-identically, like every engine's.
+        let trace = fuzzed.replay(&d, &cex).expect("replay");
+        let logs = crate::monitor::failure_logs(&d.module, &trace).expect("monitor");
+        assert_eq!(logs, cex.logs);
+        // Engine::Auto routes this out-of-subset design to the fuzzer too.
+        assert!(budget.check(&d).expect("auto").is_failure());
+    }
+
+    #[test]
+    fn fuzz_verdict_is_deterministic() {
+        let d = compile(LATCH_RARE).expect("compile");
+        let v = Verifier {
+            depth: 8,
+            random_runs: 48,
+            engine: Engine::Fuzz,
+            ..Verifier::default()
+        };
+        assert_eq!(v.check(&d).expect("a"), v.check(&d).expect("b"));
+    }
+
+    #[test]
+    fn fuzz_reports_non_vacuous_holds_on_safe_designs() {
+        // Same rare antecedent, correct consequent: the fuzzer still digs
+        // up the trigger, so the hold is non-vacuous where sampling's is
+        // vacuous.
+        let src = LATCH_RARE.replace("bad <= (a == 16'hBEEF);", "bad <= 1'b0;");
+        let d = compile(&src).expect("compile");
+        let v = Verifier {
+            depth: 8,
+            random_runs: 64,
+            engine: Engine::Fuzz,
+            ..Verifier::default()
+        };
+        match v.check(&d).expect("verify") {
+            Verdict::Holds {
+                exhaustive,
+                stimuli,
+                vacuous,
+            } => {
+                assert!(!exhaustive);
+                assert_eq!(stimuli, 64);
+                assert!(
+                    vacuous.is_empty(),
+                    "fuzzer must exercise the rare antecedent: {vacuous:?}"
+                );
+            }
+            Verdict::Fails(cex) => panic!("safe design failed: {:?}", cex.logs),
+        }
+    }
+
+    #[test]
+    fn sampling_deduplicates_repeated_stimuli() {
+        // One 1-bit input over 2 cycles: only 4 distinct stimuli exist, so
+        // 32 sampled runs must collapse below 32 (no repeated runs across
+        // threads).
+        let src = "module n(input clk, input rst_n, input d, output reg q);\n\
+             always @(posedge clk or negedge rst_n) begin\n\
+               if (!rst_n) q <= 1'b0; else q <= d;\n\
+             end\n\
+             p: assert property (@(posedge clk) disable iff (!rst_n) d |-> ##1 q);\nendmodule";
+        let d = compile(src).expect("compile");
+        let v = Verifier {
+            depth: 2,
+            random_runs: 32,
+            exhaustive_limit: 1, // force the sampling path
+            engine: Engine::Simulation,
+            ..Verifier::default()
+        };
+        match v.check(&d).expect("verify") {
+            Verdict::Holds { stimuli, .. } => {
+                assert!(stimuli <= 4, "4 distinct stimuli exist, ran {stimuli}");
+                assert!(stimuli >= 2, "dedup must not collapse everything");
+            }
+            Verdict::Fails(cex) => panic!("design holds: {:?}", cex.logs),
         }
     }
 

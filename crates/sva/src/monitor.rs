@@ -16,6 +16,7 @@
 //!   and never reported as failures (bounded semantics).
 
 use crate::eval::CompiledExpr;
+use asv_sim::cover::CovMap;
 use asv_sim::eval::EvalError;
 use asv_sim::trace::Trace;
 use asv_sim::value::Value;
@@ -201,6 +202,38 @@ impl CompiledChecker {
         for (dir, prop) in &self.directives {
             let outcome = check_property(&self.module_name, dir, prop, trace, &mut stack)?;
             out.push((dir, outcome));
+        }
+        Ok(out)
+    }
+
+    /// Number of compiled assertion directives (the antecedent axis of a
+    /// [`CovMap`]).
+    pub fn assertion_count(&self) -> usize {
+        self.directives.len()
+    }
+
+    /// [`CompiledChecker::outcomes`] plus coverage: directive *i* is
+    /// recorded as antecedent-fired in `cov` when at least one attempt
+    /// completed non-vacuously ([`CheckOutcome::Passed`]) or failed
+    /// ([`CheckOutcome::Failed`]) — the per-assertion feedback signal of
+    /// the coverage-guided fuzzer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures as [`MonitorError::Eval`].
+    pub fn outcomes_cov(
+        &self,
+        trace: &Trace,
+        cov: &mut CovMap,
+    ) -> Result<Vec<(&AssertDirective, CheckOutcome)>, MonitorError> {
+        let out = self.outcomes(trace)?;
+        for (i, (_, outcome)) in out.iter().enumerate() {
+            if matches!(
+                outcome,
+                CheckOutcome::Passed { .. } | CheckOutcome::Failed(_)
+            ) {
+                cov.record_antecedent(i);
+            }
         }
         Ok(out)
     }
