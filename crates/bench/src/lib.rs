@@ -22,7 +22,8 @@
 use assertsolver_core::prelude::*;
 use asv_datagen::pipeline::{run as run_pipeline, PipelineConfig};
 use asv_datagen::Datasets;
-use asv_eval::{benchmark, evaluate, BenchCase, EvalConfig, EvalRun, Judge};
+use asv_eval::{benchmark, evaluate_with_service, BenchCase, EvalConfig, EvalRun, Judge};
+use asv_serve::{ServeOptions, VerifyService};
 
 /// Experiment scale selected via the `ASV_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,11 @@ pub struct Experiment {
     pub assert_solver: Model,
     /// The combined SVA-Eval benchmark.
     pub bench: Vec<BenchCase>,
+    /// Shared verification service: verdicts are memoised **across** the
+    /// engines under comparison (wrong candidate patches repeat between
+    /// Base/SFT/AssertSolver, and every engine's candidates repeat
+    /// across its 20 samples).
+    pub service: VerifyService,
 }
 
 impl Experiment {
@@ -106,21 +112,32 @@ impl Experiment {
             sft_model,
             assert_solver,
             bench,
+            service: VerifyService::new(ServeOptions::default()),
         }
     }
 
-    /// Evaluates one engine over the benchmark with a fresh fast judge.
+    /// Evaluates one engine over the benchmark through the shared
+    /// verification service (fast-judge bounds, pass@k fanned out across
+    /// all cores, verdicts memoised across engines).
     pub fn evaluate(&self, engine: &dyn RepairEngine) -> EvalRun {
         eprintln!("[asv-bench] evaluating {} ...", engine.name());
-        let mut judge = Judge::fast();
-        let run = evaluate(engine, &self.bench, &EvalConfig::default(), &mut judge);
+        let before = self.service.stats();
+        let run = evaluate_with_service(
+            engine,
+            &self.bench,
+            &EvalConfig::default(),
+            Judge::fast().verifier(),
+            &self.service,
+        );
+        let after = self.service.stats();
         eprintln!(
-            "[asv-bench]   {}: pass@1={:.2}% pass@5={:.2}% (judge cache {}/{} hits)",
+            "[asv-bench]   {}: pass@1={:.2}% pass@5={:.2}% (verify service: {} ran, {} memo, {} dedup)",
             run.engine,
             run.pass_at(1) * 100.0,
             run.pass_at(5) * 100.0,
-            judge.stats.0,
-            judge.stats.0 + judge.stats.1
+            after.executed - before.executed,
+            after.memo_hits - before.memo_hits,
+            after.deduped - before.deduped,
         );
         run
     }

@@ -8,6 +8,7 @@ use crate::dataset::{split_by_module, SvaBugEntry, VerilogBugEntry, VerilogPtEnt
 use crate::human;
 use crate::stage1::{self, RawItem};
 use crate::stage2::Stage2;
+use asv_serve::{ServeOptions, VerifyService};
 use asv_sva::bmc::{Engine, Verifier};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -128,7 +129,14 @@ pub struct PipelineStats {
 }
 
 /// Runs the full pipeline.
+///
+/// Verification-heavy stages submit batches to one shared
+/// [`VerifyService`]: Stage 2 validates every golden design and confirms
+/// every injected bug across the service's worker pool, with verdicts
+/// memoised so the pipeline never re-verifies a design it has already
+/// decided. Results are bit-identical to the historical sequential loop.
 pub fn run(config: &PipelineConfig) -> Datasets {
+    let service = VerifyService::new(ServeOptions::default());
     let gen = CorpusGen::new(config.seed);
     let designs = gen.generate(config.corpus_size);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00);
@@ -179,7 +187,7 @@ pub fn run(config: &PipelineConfig) -> Datasets {
         seed: config.seed ^ 0x57A6_E002,
         verifier: config.verifier,
     };
-    let s2 = stage2.run(&surviving);
+    let s2 = stage2.run_with(&surviving, &service);
 
     // Train/test split on module names per length bin (the 90/10 rule).
     let split = split_by_module(s2.sva_bug, config.train_frac, config.seed ^ 0x5711);

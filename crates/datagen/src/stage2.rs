@@ -7,10 +7,19 @@
 //! verified. Bugs that trip an assertion become SVA-Bug instances carrying
 //! the verifier's failure logs; bugs that survive all assertions become
 //! Verilog-Bug instances.
+//!
+//! Verification goes through the `asv-serve` job service in two batches —
+//! all golden validations, then all injected-bug confirmations — so the
+//! whole corpus fans out across worker threads while bug *sampling* stays
+//! a sequential, seeded walk. Outputs are identical to the old one-design-
+//! at-a-time loop: designs are processed in order, the RNG stream is
+//! consumed per surviving design exactly as before, and every verdict is
+//! deterministic in `(design, verifier)`.
 
 use crate::corpus::GeneratedDesign;
 use crate::dataset::{LengthBin, SvaBugEntry, VerilogBugEntry};
-use asv_mutation::inject::{apply, classify_direct, enumerate};
+use asv_mutation::inject::{apply, classify_direct, enumerate, Injection};
+use asv_serve::{ServeOptions, VerifyJob, VerifyService};
 use asv_sva::bmc::{Verdict, Verifier};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -53,50 +62,92 @@ pub struct Stage2Output {
 }
 
 impl Stage2 {
-    /// Runs Stage 2 over compiled designs.
+    /// Runs Stage 2 over compiled designs through an internally
+    /// constructed [`VerifyService`] (all cores).
     pub fn run(&self, designs: &[GeneratedDesign]) -> Stage2Output {
-        let mut out = Stage2Output::default();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        for gd in designs {
-            self.run_one(gd, &mut rng, &mut out);
-        }
-        out
+        self.run_with(designs, &VerifyService::new(ServeOptions::default()))
     }
 
-    fn run_one(&self, gd: &GeneratedDesign, rng: &mut StdRng, out: &mut Stage2Output) {
-        let Ok(golden) = asv_verilog::compile(&gd.source) else {
-            out.rejected_designs.push(gd.name.clone());
-            return;
-        };
-        // SVA validation on the golden design (SymbiYosys step 1).
-        match self.verifier.check(&golden) {
-            Ok(Verdict::Holds { .. }) => {}
-            _ => {
-                out.rejected_designs.push(gd.name.clone());
-                return;
+    /// Runs Stage 2, submitting every verification through `service`.
+    ///
+    /// Output-identical to the historical sequential loop for any worker
+    /// count: batching changes wall time only.
+    pub fn run_with(&self, designs: &[GeneratedDesign], service: &VerifyService) -> Stage2Output {
+        let mut out = Stage2Output::default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Batch 1: golden SVA validation (SymbiYosys step 1) for every
+        // design that compiles.
+        let goldens: Vec<Option<std::sync::Arc<asv_verilog::Design>>> = designs
+            .iter()
+            .map(|gd| {
+                asv_verilog::compile(&gd.source)
+                    .ok()
+                    .map(std::sync::Arc::new)
+            })
+            .collect();
+        let golden_jobs: Vec<VerifyJob> = goldens
+            .iter()
+            .flatten()
+            .map(|g| VerifyJob::new(std::sync::Arc::clone(g), self.verifier))
+            .collect();
+        let golden_verdicts = service.verify_batch(&golden_jobs);
+        let mut verdict_iter = golden_verdicts.into_iter();
+        let mut surviving: Vec<(&GeneratedDesign, &asv_verilog::Design)> = Vec::new();
+        for (gd, golden) in designs.iter().zip(&goldens) {
+            match golden {
+                None => out.rejected_designs.push(gd.name.clone()),
+                Some(g) => match verdict_iter.next().expect("one verdict per golden") {
+                    Ok(Verdict::Holds { .. }) => surviving.push((gd, g.as_ref())),
+                    _ => out.rejected_designs.push(gd.name.clone()),
+                },
             }
         }
-        let mut mutations = enumerate(&golden);
-        mutations.shuffle(rng);
-        mutations.truncate(self.bugs_per_design);
-        for m in &mutations {
-            let Ok(injection) = apply(&golden, m) else {
-                continue;
-            };
-            // Compiler gate (SymbiYosys step 2 pre-check): bugs that break
-            // elaboration are discarded, mirroring the paper's removal of
-            // syntax errors introduced by generation.
-            let Ok(buggy) = asv_verilog::compile(&injection.buggy_source) else {
-                out.discarded_syntax += 1;
-                continue;
-            };
-            match self.verifier.check(&buggy) {
+
+        // Sequential, seeded bug sampling (the RNG stream is consumed per
+        // surviving design in corpus order, exactly like the old loop),
+        // plus the compiler gate (SymbiYosys step 2 pre-check): bugs that
+        // break elaboration are discarded, mirroring the paper's removal
+        // of syntax errors introduced by generation.
+        struct Candidate<'a> {
+            gd: &'a GeneratedDesign,
+            injection: Injection,
+            class: asv_mutation::kinds::BugClass,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut bug_jobs: Vec<VerifyJob> = Vec::new();
+        for (gd, golden) in &surviving {
+            let mut mutations = enumerate(golden);
+            mutations.shuffle(&mut rng);
+            mutations.truncate(self.bugs_per_design);
+            for m in &mutations {
+                let Ok(injection) = apply(golden, m) else {
+                    continue;
+                };
+                let Ok(buggy) = asv_verilog::compile(&injection.buggy_source) else {
+                    out.discarded_syntax += 1;
+                    continue;
+                };
+                let mut class = m.class;
+                class.direct = classify_direct(golden, m);
+                bug_jobs.push(VerifyJob::new(buggy, self.verifier));
+                candidates.push(Candidate {
+                    gd,
+                    injection,
+                    class,
+                });
+            }
+        }
+
+        // Batch 2: confirm every injected bug, then fold the verdicts
+        // back in (design, mutation) order.
+        for (candidate, verdict) in candidates.iter().zip(service.verify_batch(&bug_jobs)) {
+            let injection = &candidate.injection;
+            match verdict {
                 Ok(Verdict::Fails(cex)) => {
-                    let mut class = m.class;
-                    class.direct = classify_direct(&golden, m);
                     out.sva_bug.push(SvaBugEntry {
-                        module_name: gd.name.clone(),
-                        spec: gd.spec.clone(),
+                        module_name: candidate.gd.name.clone(),
+                        spec: candidate.gd.spec.clone(),
                         length_bin: LengthBin::of_lines(injection.buggy_source.lines().count()),
                         buggy_source: injection.buggy_source.clone(),
                         golden_source: injection.golden_source.clone(),
@@ -104,15 +155,15 @@ impl Stage2 {
                         line_no: injection.line_no,
                         buggy_line: injection.buggy_line.clone(),
                         fixed_line: injection.fixed_line.clone(),
-                        class,
+                        class: candidate.class,
                         cot: None,
                     });
                 }
                 Ok(Verdict::Holds { .. }) => {
                     // Functional bug below SVA coverage: Verilog-Bug.
                     out.verilog_bug.push(VerilogBugEntry {
-                        module_name: gd.name.clone(),
-                        spec: gd.spec.clone(),
+                        module_name: candidate.gd.name.clone(),
+                        spec: candidate.gd.spec.clone(),
                         buggy_source: injection.buggy_source.clone(),
                         line_no: injection.line_no,
                         buggy_line: injection.buggy_line.clone(),
@@ -126,6 +177,7 @@ impl Stage2 {
                 }
             }
         }
+        out
     }
 }
 
@@ -165,6 +217,25 @@ mod tests {
         );
         // Some bugs escape SVA coverage (the Verilog-Bug stream).
         assert!(!out.verilog_bug.is_empty(), "expected uncaught bugs");
+    }
+
+    #[test]
+    fn batched_output_is_identical_across_worker_counts() {
+        let designs = CorpusGen::new(24).generate(8);
+        let stage2 = Stage2 {
+            bugs_per_design: 4,
+            seed: 7,
+            verifier: small_verifier(),
+        };
+        let reference = stage2.run_with(&designs, &VerifyService::with_workers(1));
+        for workers in [2, 8] {
+            let out = stage2.run_with(&designs, &VerifyService::with_workers(workers));
+            assert_eq!(
+                out, reference,
+                "worker count {workers} changed Stage 2 output"
+            );
+        }
+        assert_eq!(stage2.run(&designs), reference, "default service agrees");
     }
 
     #[test]

@@ -48,6 +48,13 @@ impl Judge {
         })
     }
 
+    /// The verification bounds this judge applies (the batched runner
+    /// uses them to build `asv-serve` jobs that reproduce this judge's
+    /// verdicts exactly).
+    pub fn verifier(&self) -> Verifier {
+        self.verifier
+    }
+
     /// Judges one response against its entry.
     pub fn effective(&mut self, entry: &SvaBugEntry, response: &Response) -> bool {
         // Fast path: textual golden match is correct by construction.

@@ -26,4 +26,7 @@ pub mod runner;
 pub use coverage::{coverage_report, CoverageReport};
 pub use judge::Judge;
 pub use passk::{mean_pass_at_k, pass_at_k};
-pub use runner::{benchmark, evaluate, BenchCase, CaseResult, EvalConfig, EvalRun};
+pub use runner::{
+    benchmark, evaluate, evaluate_sequential, evaluate_with_service, BenchCase, CaseResult,
+    EvalConfig, EvalRun,
+};

@@ -1,11 +1,23 @@
 //! Benchmark runner: drives a repair engine over SVA-Eval and aggregates
 //! pass@k, per-category and per-length-bin results.
+//!
+//! Verification — the dominant cost of the `n = 20` pass@k protocol —
+//! is submitted through the `asv-serve` job service: every candidate
+//! patch of every case becomes one [`VerifyJob`], the whole benchmark
+//! fans out across the service's workers, and repeated candidates (the
+//! 20 samples repeat patches heavily, and wrong patches repeat *across*
+//! cases) are deduplicated by job key and answered from the sharded
+//! verdict memo. Verdicts are bit-identical to the sequential
+//! [`Judge`] path — [`evaluate_sequential`] remains as the reference
+//! oracle and the test suite asserts equality.
 
 use crate::judge::Judge;
 use crate::passk::mean_pass_at_k;
-use assertsolver_core::{RepairEngine, RepairTask};
+use assertsolver_core::{RepairEngine, RepairTask, Response};
 use asv_datagen::dataset::{LengthBin, SvaBugEntry};
 use asv_mutation::BugCategory;
+use asv_serve::{ServeOptions, VerifyJob, VerifyService};
+use asv_sva::bmc::Verifier;
 use serde::{Deserialize, Serialize};
 
 /// Evaluation protocol parameters (paper: n = 20, k ∈ {1, 5}, temp 0.2).
@@ -118,11 +130,27 @@ impl EvalRun {
     }
 }
 
-/// Evaluates one engine over the benchmark.
+/// Evaluates one engine over the benchmark, fanning verification out
+/// across an internally constructed [`VerifyService`] (all cores).
 ///
 /// Deterministic in `(engine, benchmark, config)`: each case derives its
-/// sampling seed from the config seed and the case index.
+/// sampling seed from the config seed and the case index, and the
+/// service's verdict vector is a pure function of the submitted jobs.
+/// `judge` supplies the verification bounds; its verdicts are
+/// reproduced exactly (see [`evaluate_sequential`]).
 pub fn evaluate(
+    engine: &dyn RepairEngine,
+    benchmark: &[BenchCase],
+    config: &EvalConfig,
+    judge: &mut Judge,
+) -> EvalRun {
+    let service = VerifyService::new(ServeOptions::default());
+    evaluate_with_service(engine, benchmark, config, judge.verifier(), &service)
+}
+
+/// The pre-serve sequential reference: one [`Judge`] call per response.
+/// Kept as the oracle the batched path is differential-tested against.
+pub fn evaluate_sequential(
     engine: &dyn RepairEngine,
     benchmark: &[BenchCase],
     config: &EvalConfig,
@@ -133,6 +161,87 @@ pub fn evaluate(
         let task = RepairTask::from(&bc.entry);
         let responses = engine.respond(&task, config.n, config.seed.wrapping_add(i as u64));
         let c = judge.count_effective(&bc.entry, &responses);
+        cases.push(CaseResult {
+            module: bc.entry.module_name.clone(),
+            categories: bc.entry.class.categories(),
+            bin: bc.entry.length_bin,
+            human: bc.human,
+            c,
+            n: config.n,
+        });
+    }
+    EvalRun {
+        engine: engine.name().to_string(),
+        cases,
+    }
+}
+
+/// How one response of one case resolves to effective/ineffective.
+enum Resolution {
+    /// Textual golden match: effective with no verification.
+    Golden,
+    /// Does not compile: ineffective with no verification.
+    NoCompile,
+    /// Awaiting the service verdict for the job at this index.
+    Pending(usize),
+}
+
+/// Evaluates one engine, submitting every verification through `service`.
+///
+/// Reproduces the [`Judge`] semantics exactly: a response is effective
+/// iff it textually matches the golden source, or it compiles and every
+/// assertion of the patched design holds non-vacuously under
+/// `verifier`'s bounds. All candidate patches of the whole benchmark are
+/// submitted as **one batch**, so the `n = 20` pass@k protocol fans out
+/// across the service's workers and repeated candidates verify once.
+pub fn evaluate_with_service(
+    engine: &dyn RepairEngine,
+    benchmark: &[BenchCase],
+    config: &EvalConfig,
+    verifier: Verifier,
+    service: &VerifyService,
+) -> EvalRun {
+    // Phase 1 (sequential, cheap): sample responses, compile candidates,
+    // and turn every non-trivial one into a job.
+    let mut jobs: Vec<VerifyJob> = Vec::new();
+    let mut per_case: Vec<(usize, Vec<Resolution>)> = Vec::with_capacity(benchmark.len());
+    for (i, bc) in benchmark.iter().enumerate() {
+        let task = RepairTask::from(&bc.entry);
+        let responses: Vec<Response> =
+            engine.respond(&task, config.n, config.seed.wrapping_add(i as u64));
+        let mut resolutions = Vec::with_capacity(responses.len());
+        for r in &responses {
+            if r.patched_source == bc.entry.golden_source {
+                resolutions.push(Resolution::Golden);
+            } else if let Ok(design) = asv_verilog::compile(&r.patched_source) {
+                resolutions.push(Resolution::Pending(jobs.len()));
+                jobs.push(VerifyJob::new(design, verifier));
+            } else {
+                resolutions.push(Resolution::NoCompile);
+            }
+        }
+        per_case.push((i, resolutions));
+    }
+    // Phase 2: one batch across the service's worker pool (deduplicated
+    // by job key, memoised across calls).
+    let verdicts = service.verify_batch(&jobs);
+    // Phase 3: fold verdicts back into per-case effective counts.
+    let mut cases = Vec::with_capacity(benchmark.len());
+    for (i, resolutions) in per_case {
+        let bc = &benchmark[i];
+        let c = resolutions
+            .iter()
+            .filter(|res| match res {
+                Resolution::Golden => true,
+                Resolution::NoCompile => false,
+                // A patch counts only when *every* assertion holds
+                // non-vacuously — silencing the failing property by
+                // making its antecedent unreachable does not solve it.
+                Resolution::Pending(j) => {
+                    matches!(&verdicts[*j], Ok(v) if v.holds_non_vacuously())
+                }
+            })
+            .count();
         cases.push(CaseResult {
             module: bc.entry.module_name.clone(),
             categories: bc.entry.class.categories(),
@@ -170,6 +279,42 @@ mod tests {
         let a = evaluate(&engine, &bench, &cfg, &mut Judge::fast());
         let b = evaluate(&engine, &bench, &cfg, &mut Judge::fast());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn service_path_matches_the_sequential_judge() {
+        let (bench, cfg) = small_eval();
+        let engine = Solver::new(base_model(&[]));
+        let sequential = evaluate_sequential(&engine, &bench, &cfg, &mut Judge::fast());
+        let batched = evaluate(&engine, &bench, &cfg, &mut Judge::fast());
+        assert_eq!(
+            batched, sequential,
+            "service-batched evaluation must reproduce the judge verdicts"
+        );
+        // And across worker counts, including single-threaded.
+        for workers in [1, 8] {
+            let service = VerifyService::with_workers(workers);
+            let run =
+                evaluate_with_service(&engine, &bench, &cfg, Judge::fast().verifier(), &service);
+            assert_eq!(run, sequential, "worker count {workers} changed results");
+        }
+    }
+
+    #[test]
+    fn repeated_evaluation_hits_the_verdict_memo() {
+        let (bench, cfg) = small_eval();
+        let engine = Solver::new(base_model(&[]));
+        let service = VerifyService::with_workers(2);
+        let verifier = Judge::fast().verifier();
+        let a = evaluate_with_service(&engine, &bench, &cfg, verifier, &service);
+        let executed_cold = service.stats().executed;
+        let b = evaluate_with_service(&engine, &bench, &cfg, verifier, &service);
+        assert_eq!(a, b);
+        assert_eq!(
+            service.stats().executed,
+            executed_cold,
+            "re-evaluation must be answered entirely from the verdict memo"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::corpus::Corpus;
 use crate::mutate::Mutator;
+use asv_sim::cancel::CancelToken;
 use asv_sim::compile::CompiledDesign;
 use asv_sim::cover::{CovMap, CoverageReport};
 use asv_sim::exec::{SimError, Simulator};
@@ -109,6 +110,9 @@ pub enum FuzzError {
     /// A failing stimulus did not replay bit-identically on the
     /// interpreter oracle — a simulator bug, never a design property.
     OracleDivergence,
+    /// The campaign's [`CancelToken`] was poisoned (this engine lost a
+    /// portfolio race); no verdict, never a wrong one.
+    Cancelled,
 }
 
 impl fmt::Display for FuzzError {
@@ -119,6 +123,7 @@ impl fmt::Display for FuzzError {
             FuzzError::OracleDivergence => {
                 write!(f, "failure did not replay on the interpreter oracle")
             }
+            FuzzError::Cancelled => write!(f, "fuzzing campaign cancelled"),
         }
     }
 }
@@ -230,6 +235,24 @@ pub fn fuzz<O: AssertionOracle>(
     oracle: &O,
     opts: &FuzzOptions,
 ) -> Result<FuzzResult, FuzzError> {
+    fuzz_cancellable(compiled, oracle, opts, None)
+}
+
+/// [`fuzz`] with a cooperative [`CancelToken`] polled at the top of every
+/// campaign round (the scheduling granularity, [`FuzzOptions::batch`]
+/// executions): once the token is poisoned the campaign returns
+/// [`FuzzError::Cancelled`] within one round. Used by the portfolio racer
+/// so a losing fuzzing campaign stops promptly.
+///
+/// # Errors
+///
+/// As [`fuzz`], plus [`FuzzError::Cancelled`].
+pub fn fuzz_cancellable<O: AssertionOracle>(
+    compiled: &Arc<CompiledDesign>,
+    oracle: &O,
+    opts: &FuzzOptions,
+    cancel: Option<&CancelToken>,
+) -> Result<FuzzResult, FuzzError> {
     let gen = StimulusGen::new(compiled.design());
     let mutator = Mutator::new(compiled, opts.reset_cycles);
     let mut rng = StdRng::seed_from_u64(opts.seed);
@@ -245,6 +268,9 @@ pub fn fuzz<O: AssertionOracle>(
     let mut verdict = FuzzVerdict::NoFailure;
 
     'campaign: while runs < opts.budget {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(FuzzError::Cancelled);
+        }
         let n = batch_size.min(opts.budget - runs);
         let batch = schedule(&gen, &mutator, &mut corpus, &mut rng, n, opts);
         let (chunk_size, per_chunk) = run_batch(compiled, oracle, &batch, threads);
@@ -431,6 +457,37 @@ mod tests {
         assert_eq!(one.runs, four.runs);
         assert_eq!(one.coverage, four.coverage);
         assert_eq!(one.corpus_fingerprint, four.corpus_fingerprint);
+    }
+
+    #[test]
+    fn poisoned_token_stops_the_campaign_promptly() {
+        let cd = compiled(RARE);
+        let oracle = rare_oracle(&cd);
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = FuzzOptions {
+            budget: 1 << 20, // far more than a test could ever run
+            seed: 5,
+            ..FuzzOptions::default()
+        };
+        let start = std::time::Instant::now();
+        let res = fuzz_cancellable(&cd, &oracle, &opts, Some(&token));
+        assert!(matches!(res, Err(FuzzError::Cancelled)), "got {res:?}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "cancellation must stop the campaign within one round"
+        );
+        // An un-poisoned token changes nothing.
+        let live = CancelToken::new();
+        let small = FuzzOptions {
+            budget: 32,
+            seed: 5,
+            ..FuzzOptions::default()
+        };
+        let a = fuzz_cancellable(&cd, &oracle, &small, Some(&live)).expect("runs");
+        let b = fuzz(&cd, &oracle, &small).expect("runs");
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.corpus_fingerprint, b.corpus_fingerprint);
     }
 
     #[test]

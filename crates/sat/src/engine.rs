@@ -21,6 +21,7 @@ use crate::aig::{Aig, NLit, Node};
 use crate::blast::{run_sym, BlastError, SymEnv, SymVec};
 use crate::solver::{Lit, SolveResult, Solver, Var};
 use crate::unroll::{clock_edge_sym, settle_sym, SymState};
+use asv_sim::cancel::CancelToken;
 use asv_sim::compile::{compile_expr, CompiledDesign, ExprProg, HistoryKind, NameRef, SigId};
 use asv_sim::stimulus::{InputVector, Stimulus};
 use asv_sim::value::Value;
@@ -77,6 +78,9 @@ pub enum BmcError {
     Unsupported(String),
     /// A resource budget (conflicts, AIG nodes) was exhausted.
     Resource(String),
+    /// A cooperative [`CancelToken`] was poisoned mid-check (this engine
+    /// lost a portfolio race); the verdict is simply absent, never wrong.
+    Cancelled,
 }
 
 impl fmt::Display for BmcError {
@@ -84,6 +88,7 @@ impl fmt::Display for BmcError {
         match self {
             BmcError::Unsupported(m) => write!(f, "symbolic engine unsupported: {m}"),
             BmcError::Resource(m) => write!(f, "symbolic engine budget exhausted: {m}"),
+            BmcError::Cancelled => write!(f, "symbolic check cancelled"),
         }
     }
 }
@@ -370,6 +375,7 @@ impl Encoder {
 struct Engine<'a> {
     cd: &'a CompiledDesign,
     opts: BmcOptions,
+    cancel: Option<CancelToken>,
     g: Aig,
     solver: Solver,
     enc: Encoder,
@@ -383,7 +389,11 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cd: &'a CompiledDesign, opts: BmcOptions) -> Result<Self, BmcError> {
+    fn new(
+        cd: &'a CompiledDesign,
+        opts: BmcOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Self, BmcError> {
         if !cd.is_levelized() {
             return Err(BmcError::Unsupported(
                 "combinational logic is not levelizable (cyclic, latch-style, \
@@ -400,9 +410,11 @@ impl<'a> Engine<'a> {
         let reset = design.reset().map(|(n, al)| (n.to_string(), al));
         let mut solver = Solver::new();
         solver.conflict_budget = opts.conflict_budget;
+        solver.cancel = cancel.cloned();
         Ok(Engine {
             cd,
             opts,
+            cancel: cancel.cloned(),
             g: Aig::new(),
             solver,
             enc: Encoder::default(),
@@ -577,6 +589,9 @@ impl<'a> Engine<'a> {
             });
         }
         for len in 1..=max_len {
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                return Err(BmcError::Cancelled);
+            }
             self.push_frame()?;
             let mut fail = NLit::FALSE;
             for prop in props {
@@ -605,6 +620,7 @@ impl<'a> Engine<'a> {
                         SolveResult::Unknown => {
                             return Err(BmcError::Resource("conflict budget exhausted".into()));
                         }
+                        SolveResult::Cancelled => return Err(BmcError::Cancelled),
                     }
                 }
             }
@@ -634,6 +650,7 @@ impl<'a> Engine<'a> {
                         SolveResult::Unknown => {
                             return Err(BmcError::Resource("conflict budget exhausted".into()));
                         }
+                        SolveResult::Cancelled => return Err(BmcError::Cancelled),
                     }
                 }
             };
@@ -659,8 +676,55 @@ impl<'a> Engine<'a> {
 /// system calls); [`BmcError::Resource`] when a budget is exhausted. Both
 /// are signals to fall back to the simulation oracle.
 pub fn check(cd: &CompiledDesign, opts: BmcOptions) -> Result<BmcVerdict, BmcError> {
+    check_cancellable(cd, opts, None)
+}
+
+/// [`check`] with a cooperative [`CancelToken`] threaded into the CDCL
+/// search loop and the per-depth unrolling loop: once the token is
+/// poisoned the engine returns [`BmcError::Cancelled`] within one
+/// [`crate::solver::CANCEL_CHECK_INTERVAL`] of solver work. Used by the
+/// portfolio racer so a losing symbolic check stops promptly.
+///
+/// # Errors
+///
+/// As [`check`], plus [`BmcError::Cancelled`].
+pub fn check_cancellable(
+    cd: &CompiledDesign,
+    opts: BmcOptions,
+    cancel: Option<&CancelToken>,
+) -> Result<BmcVerdict, BmcError> {
     let props = compile_props(cd)?;
-    Engine::new(cd, opts)?.run(&props)
+    Engine::new(cd, opts, cancel)?.run(&props)
+}
+
+/// Cheap structural probe: does `cd` fall inside the symbolic engine's
+/// encodable subset?
+///
+/// Compiles every property and symbolically blasts **one post-reset
+/// frame** (settle, sample, clock edge, settle) plus one attempt of each
+/// property — the frame is driven with free symbolic inputs (no reset
+/// prefix), so every operator the full unrolling would blast is
+/// exercised once, without paying for SAT solving or deep unrolling. The
+/// portfolio mode uses this to pick its canonical engine up front.
+///
+/// # Errors
+///
+/// [`BmcError::Unsupported`] exactly when [`check`] would reject the
+/// design before its first SAT call.
+pub fn supports(cd: &CompiledDesign) -> Result<(), BmcError> {
+    let props = compile_props(cd)?;
+    let probe = BmcOptions {
+        depth: 1,
+        reset_cycles: 0,
+        conflict_budget: Some(0),
+        ..BmcOptions::default()
+    };
+    let mut engine = Engine::new(cd, probe, None)?;
+    engine.push_frame()?;
+    for prop in &props {
+        engine.attempt_lits(prop, 0, 1)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -817,5 +881,54 @@ endmodule
             check(&cd, BmcOptions::default()),
             Err(BmcError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn supports_probe_matches_full_check() {
+        assert!(supports(&compiled(GOOD)).is_ok());
+        let latch = r#"
+module lat(input clk, input en, input d, output reg q);
+  always @(*) begin if (en) q = d; end
+  p: assert property (@(posedge clk) 1'b1 |-> 1'b1);
+endmodule
+"#;
+        assert!(matches!(
+            supports(&compiled(latch)),
+            Err(BmcError::Unsupported(_))
+        ));
+        // Symbolic-input-dependent unsupported op (non-constant shift is
+        // fine, non-constant division is not): the probe must catch it
+        // even though a reset-frame constant fold would hide it.
+        let div = r#"
+module dv(input clk, input rst_n, input [3:0] a, output reg [3:0] q);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 4'd0;
+    else q <= 4'd8 / a;
+  end
+  p: assert property (@(posedge clk) disable iff (!rst_n) 1'b1 |-> 1'b1);
+endmodule
+"#;
+        assert_eq!(
+            supports(&compiled(div)).is_ok(),
+            check(&compiled(div), BmcOptions::default()).is_ok(),
+            "probe and full check must agree on non-constant division"
+        );
+    }
+
+    #[test]
+    fn poisoned_token_cancels_the_check_without_panicking() {
+        let cd = compiled(GOOD);
+        let token = CancelToken::new();
+        token.cancel();
+        let verdict = check_cancellable(
+            &cd,
+            BmcOptions {
+                depth: 6,
+                reset_cycles: 2,
+                ..BmcOptions::default()
+            },
+            Some(&token),
+        );
+        assert_eq!(verdict, Err(BmcError::Cancelled));
     }
 }

@@ -1,0 +1,151 @@
+//! Sharded verdict memoisation.
+//!
+//! Keys are [`JobKey`]s — `(design, property set, engine, budget)` — and
+//! values are finished [`JobOutcome`]s. Because every engine is
+//! deterministic in that key, memoised re-verification is exact: a hit
+//! returns bit-identically what re-running the engine would, in O(hash)
+//! instead of O(solve).
+//!
+//! The map is sharded by key so concurrent workers finishing different
+//! jobs never contend on one lock; each shard is a small MRU-ordered
+//! vector with LRU eviction, bounding memory under sustained traffic.
+
+use crate::job::{JobKey, JobOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independent shards (power of two).
+const SHARDS: usize = 16;
+/// Entries per shard; total capacity is `SHARDS * SHARD_CAP`.
+const SHARD_CAP: usize = 512;
+
+/// A sharded LRU verdict memo.
+pub struct VerdictCache {
+    shards: Vec<Mutex<Vec<(JobKey, JobOutcome)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerdictCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        VerdictCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: JobKey) -> &Mutex<Vec<(JobKey, JobOutcome)>> {
+        &self.shards[(key.0 as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up a finished verdict, bumping the entry to
+    /// most-recently-used on a hit.
+    pub fn get(&self, key: JobKey) -> Option<JobOutcome> {
+        let mut shard = self.shard(key).lock().expect("verdict shard poisoned");
+        if let Some(pos) = shard.iter().position(|(k, _)| *k == key) {
+            let entry = shard.remove(pos);
+            let outcome = entry.1.clone();
+            shard.push(entry); // most recently used last
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(outcome)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Records a finished verdict (idempotent; later insertions of the
+    /// same key are ignored since outcomes are deterministic in the key).
+    pub fn insert(&self, key: JobKey, outcome: JobOutcome) {
+        let mut shard = self.shard(key).lock().expect("verdict shard poisoned");
+        if shard.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        if shard.len() == SHARD_CAP {
+            let _evicted = shard.remove(0); // least recently used first
+        }
+        shard.push((key, outcome));
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of memoised verdicts.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("verdict shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoised verdict (benchmarks use this for cache-cold
+    /// measurements; counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("verdict shard poisoned").clear();
+        }
+    }
+}
+
+impl Default for VerdictCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_sva::bmc::Verdict;
+
+    fn outcome(n: usize) -> JobOutcome {
+        Ok(Verdict::Holds {
+            exhaustive: true,
+            stimuli: n,
+            vacuous: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let c = VerdictCache::new();
+        assert_eq!(c.get(JobKey(7)), None);
+        c.insert(JobKey(7), outcome(1));
+        assert_eq!(c.get(JobKey(7)), Some(outcome(1)));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_the_first_entry() {
+        let c = VerdictCache::new();
+        c.insert(JobKey(3), outcome(1));
+        c.insert(JobKey(3), outcome(2));
+        assert_eq!(c.get(JobKey(3)), Some(outcome(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_bounds_each_shard() {
+        let c = VerdictCache::new();
+        // 4x capacity of one shard, all landing in shard 0.
+        for i in 0..(4 * SHARD_CAP) as u64 {
+            c.insert(JobKey(u128::from(i * SHARDS as u64)), outcome(0));
+        }
+        assert!(c.len() <= SHARD_CAP);
+        // The most recent entries survive.
+        let last = u128::from((4 * SHARD_CAP - 1) as u64 * SHARDS as u64);
+        assert_eq!(c.get(JobKey(last)), Some(outcome(0)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Verification jobs and their cache keys.
+
+use asv_sva::bmc::{Verdict, Verifier, VerifyError};
+use asv_verilog::ast::AssertTarget;
+use asv_verilog::sema::Design;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// What one job returns: exactly what `Verifier::check` returns, so the
+/// service is a drop-in replacement for the sequential call.
+pub type JobOutcome = Result<Verdict, VerifyError>;
+
+/// One unit of verification work: a design plus the bounds and engine to
+/// check it with. The `verifier.engine` field is the job's mode —
+/// `Engine::Portfolio` races engines per job, any other engine runs
+/// sequentially inside the worker.
+///
+/// The design is held behind an [`Arc`] so building a job from an
+/// already-shared design (or cloning a job) never deep-copies the AST.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyJob {
+    /// The elaborated design whose assertions are checked.
+    pub design: Arc<Design>,
+    /// Bounds, budget, seed and engine for this job.
+    pub verifier: Verifier,
+}
+
+/// Memo key of a job: a 128-bit fingerprint over `(design, property
+/// set, engine, budget)` — two independent 64-bit hashes of the full
+/// tuple, domain-separated so the halves never cancel together.
+///
+/// Two jobs share a key iff they would produce the same verdict: every
+/// engine is deterministic in `(design, Verifier)`, and the `Verifier`
+/// hash covers depth, reset protocol, enumeration limit, stimulus
+/// budget, seed and engine selection. The property set is hashed
+/// explicitly (directive names plus rendered inline bodies) on top of
+/// the structural design hash, so assertion-only edits never alias.
+/// A wrong verdict-memo hit would be an *unsound verification result*,
+/// hence the 128-bit width: an accidental collision is beyond
+/// plausibility (a deliberate one is outside this tool's threat model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(pub u128);
+
+/// Domain tags making the two key halves independent hash functions.
+const KEY_TAG_HI: u64 = 0x9E37_79B9_7F4A_7C15;
+const KEY_TAG_LO: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+impl VerifyJob {
+    /// Creates a job (accepts an owned design or an `Arc` to one).
+    pub fn new(design: impl Into<Arc<Design>>, verifier: Verifier) -> Self {
+        VerifyJob {
+            design: design.into(),
+            verifier,
+        }
+    }
+
+    /// The job's memo key (see [`JobKey`]).
+    pub fn key(&self) -> JobKey {
+        let design = asv_sim::cache::design_hash(&self.design);
+        let props = property_set_hash(&self.design);
+        let half = |tag: u64| {
+            let mut h = DefaultHasher::new();
+            tag.hash(&mut h);
+            design.hash(&mut h);
+            props.hash(&mut h);
+            self.verifier.hash(&mut h);
+            h.finish()
+        };
+        JobKey((u128::from(half(KEY_TAG_HI)) << 64) | u128::from(half(KEY_TAG_LO)))
+    }
+}
+
+/// Hash of the design's assertion directives: log names, messages, and
+/// rendered inline property bodies (named properties are covered by the
+/// structural design hash; their *binding* is covered by the name).
+fn property_set_hash(design: &Design) -> u64 {
+    let mut h = DefaultHasher::new();
+    for dir in design.module.assertions() {
+        dir.log_name().hash(&mut h);
+        dir.message.hash(&mut h);
+        match &dir.target {
+            AssertTarget::Named(n) => n.hash(&mut h),
+            AssertTarget::Inline(p) => {
+                asv_verilog::pretty::render_prop(&p.body).hash(&mut h);
+                if let Some(d) = &p.disable {
+                    asv_verilog::pretty::render_expr(d).hash(&mut h);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_sva::bmc::Engine;
+
+    fn design(body: &str, prop: &str) -> Design {
+        asv_verilog::compile(&format!(
+            "module m(input clk, input rst_n, input d, output reg q);\n\
+             always @(posedge clk or negedge rst_n) begin\n\
+               if (!rst_n) q <= 1'b0; else q <= {body};\n\
+             end\n\
+             p: assert property (@(posedge clk) disable iff (!rst_n) {prop});\n\
+             endmodule"
+        ))
+        .expect("compile")
+    }
+
+    #[test]
+    fn equal_jobs_share_a_key() {
+        let v = Verifier::default();
+        let a = VerifyJob::new(design("d", "d |-> ##1 q"), v);
+        let b = VerifyJob::new(design("d", "d |-> ##1 q"), v);
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn design_property_engine_and_budget_all_separate_keys() {
+        let v = Verifier::default();
+        let base = VerifyJob::new(design("d", "d |-> ##1 q"), v);
+        let other_logic = VerifyJob::new(design("!d", "d |-> ##1 q"), v);
+        let other_prop = VerifyJob::new(design("d", "d |-> ##1 !q"), v);
+        let other_engine = VerifyJob::new(
+            base.design.clone(),
+            Verifier {
+                engine: Engine::Fuzz,
+                ..v
+            },
+        );
+        let other_budget = VerifyJob::new(
+            base.design.clone(),
+            Verifier {
+                random_runs: v.random_runs + 1,
+                ..v
+            },
+        );
+        for (name, job) in [
+            ("logic", &other_logic),
+            ("property", &other_prop),
+            ("engine", &other_engine),
+            ("budget", &other_budget),
+        ] {
+            assert_ne!(base.key(), job.key(), "{name} change must change the key");
+        }
+    }
+}

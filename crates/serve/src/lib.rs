@@ -1,0 +1,63 @@
+//! # asv-serve
+//!
+//! The serving layer of the verification stack: a batched, concurrent
+//! job service in front of the four verification engines (compiled
+//! simulation, exhaustive enumeration, symbolic BMC, coverage-guided
+//! fuzzing).
+//!
+//! Every caller used to drive `asv_sva::Verifier` one design at a time —
+//! the eval runner's `n = 20` pass@k protocol, the datagen pipeline's
+//! golden-SVA validation and bug confirmation, the bench tables. This
+//! crate turns those call sites into batch submitters:
+//!
+//! * **[`VerifyJob`]** — one design plus the verifier bounds/engine to
+//!   check it with, hashed into a stable [`JobKey`] of
+//!   `(design, property set, engine, budget)`.
+//! * **[`VerifyService`]** — a self-scheduling worker pool: jobs are
+//!   claimed index-by-index from a shared atomic cursor (idle workers
+//!   steal the next unclaimed job, so a slow symbolic proof never blocks
+//!   the rest of the batch) and results are collected in
+//!   submission-index order, making the returned verdict vector
+//!   *deterministic in the batch alone* — worker count changes wall
+//!   time, never output.
+//! * **[`VerdictCache`]** — a sharded memo of finished verdicts. Repeat
+//!   jobs — which dominate repair evaluation, where 20 candidate repairs
+//!   share one design and candidates repeat across samples — are
+//!   answered in O(hash) without touching an engine. Compiled designs
+//!   are additionally shared process-wide through the sharded
+//!   [`asv_sim::cache`], so a design submitted under several engines or
+//!   budgets is lowered once.
+//! * **Portfolio racing** — jobs submitted with
+//!   [`Engine::Portfolio`](asv_sva::bmc::Engine) race symbolic BMC
+//!   against bounded enumeration/fuzzing per job with cooperative
+//!   [`CancelToken`](asv_sim::cancel::CancelToken)s; first decisive
+//!   verdict wins and losers stop within one check interval. Verdicts
+//!   stay bit-identical to sequential `Engine::Auto` (see
+//!   `asv_sva::bmc` for the canonical-verdict rule).
+//!
+//! ```
+//! use asv_serve::{ServeOptions, VerifyJob, VerifyService};
+//! use asv_sva::bmc::{Engine, Verifier};
+//!
+//! let design = asv_verilog::compile(
+//!     "module m(input clk, input rst_n, input d, output reg q);\n\
+//!      always @(posedge clk or negedge rst_n) begin\n\
+//!        if (!rst_n) q <= 1'b0; else q <= d;\n\
+//!      end\n\
+//!      p: assert property (@(posedge clk) disable iff (!rst_n) d |-> ##1 q);\n\
+//!      endmodule",
+//! )?;
+//! let verifier = Verifier { engine: Engine::Portfolio, ..Verifier::default() };
+//! let service = VerifyService::new(ServeOptions::default());
+//! let verdicts = service.verify_batch(&[VerifyJob::new(design, verifier)]);
+//! assert!(verdicts[0].as_ref().expect("verdict").holds_non_vacuously());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cache;
+pub mod job;
+pub mod service;
+
+pub use cache::VerdictCache;
+pub use job::{JobKey, JobOutcome, VerifyJob};
+pub use service::{ServeOptions, ServeStats, VerifyService};

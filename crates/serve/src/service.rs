@@ -1,0 +1,336 @@
+//! The batched verification job service.
+//!
+//! [`VerifyService::verify_batch`] takes a slice of [`VerifyJob`]s and
+//! returns their outcomes **in submission order**. Internally:
+//!
+//! 1. jobs are deduplicated by [`JobKey`] — only the first occurrence of
+//!    a key is executed, later occurrences copy its verdict (repair
+//!    evaluation submits the same patched design many times across the
+//!    20-sample protocol);
+//! 2. keys already in the [`VerdictCache`] are answered in O(hash);
+//! 3. the remaining jobs go to a self-scheduling worker pool: each
+//!    worker claims the next unclaimed job from a shared atomic cursor,
+//!    so a batch mixing microsecond enumerations with millisecond
+//!    symbolic proofs stays load-balanced without any up-front
+//!    partitioning (idle workers steal whatever is left);
+//! 4. results land in their submission slot and new verdicts are
+//!    memoised.
+//!
+//! Every engine is deterministic in `(design, Verifier)`, outcomes are
+//! keyed per job, and the collection order is the submission order — so
+//! the returned vector is a pure function of the batch, whatever the
+//! worker count and however the OS schedules the race.
+
+use crate::cache::VerdictCache;
+use crate::job::{JobKey, JobOutcome, VerifyJob};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker threads; 0 means `std::thread::available_parallelism`.
+    ///
+    /// Portfolio jobs spawn their own short-lived racer pair on top;
+    /// racers are cancelled as soon as a verdict is decisive, so the
+    /// oversubscription is transient.
+    pub workers: usize,
+    /// Memoise verdicts across batches (disable for cache-cold
+    /// benchmarking; in-batch deduplication always applies).
+    pub memoize: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 0,
+            memoize: true,
+        }
+    }
+}
+
+/// Cumulative service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs submitted across all batches (including duplicates and
+    /// cache hits).
+    pub submitted: u64,
+    /// Jobs that actually ran an engine.
+    pub executed: u64,
+    /// Jobs answered from the verdict memo.
+    pub memo_hits: u64,
+    /// Jobs answered by in-batch deduplication.
+    pub deduped: u64,
+}
+
+/// A verification job service with sharded verdict memoisation.
+pub struct VerifyService {
+    opts: ServeOptions,
+    verdicts: VerdictCache,
+    submitted: AtomicU64,
+    executed: AtomicU64,
+    memo_hits: AtomicU64,
+    deduped: AtomicU64,
+}
+
+impl VerifyService {
+    /// Creates a service.
+    pub fn new(opts: ServeOptions) -> Self {
+        VerifyService {
+            opts,
+            verdicts: VerdictCache::new(),
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+        }
+    }
+
+    /// A service with an explicit worker count (0 = all cores).
+    pub fn with_workers(workers: usize) -> Self {
+        Self::new(ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        })
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        if self.opts.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.opts.workers
+        }
+    }
+
+    /// Verifies one job (a batch of one).
+    pub fn verify_one(&self, job: &VerifyJob) -> JobOutcome {
+        self.verify_batch(std::slice::from_ref(job))
+            .pop()
+            .expect("one job in, one outcome out")
+    }
+
+    /// Verifies a batch, returning outcomes in submission order.
+    ///
+    /// The result vector is deterministic in the batch: worker count and
+    /// scheduling change wall time only. Jobs sharing a [`JobKey`] are
+    /// executed once.
+    pub fn verify_batch(&self, jobs: &[VerifyJob]) -> Vec<JobOutcome> {
+        self.submitted
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let mut results: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+        // In-batch dedup: first submission index per key runs the job.
+        let mut first_of: HashMap<JobKey, usize> = HashMap::with_capacity(jobs.len());
+        let mut owners: Vec<usize> = Vec::with_capacity(jobs.len());
+        let keys: Vec<JobKey> = jobs.iter().map(VerifyJob::key).collect();
+        for (i, &key) in keys.iter().enumerate() {
+            owners.push(*first_of.entry(key).or_insert(i));
+        }
+        // Memo lookups for the unique jobs.
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, &owner) in owners.iter().enumerate() {
+            if owner != i {
+                continue; // duplicate; filled from its owner below
+            }
+            if self.opts.memoize {
+                if let Some(hit) = self.verdicts.get(keys[i]) {
+                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    results[i] = Some(hit);
+                    continue;
+                }
+            }
+            pending.push(i);
+        }
+        // Self-scheduling pool over the pending jobs.
+        if !pending.is_empty() {
+            let workers = self.workers().min(pending.len()).max(1);
+            let cursor = AtomicUsize::new(0);
+            let mut per_worker: Vec<Vec<(usize, JobOutcome)>> = Vec::with_capacity(workers);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for _ in 0..workers {
+                    let cursor = &cursor;
+                    let pending = &pending;
+                    handles.push(scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let at = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&job_idx) = pending.get(at) else {
+                                break;
+                            };
+                            let job = &jobs[job_idx];
+                            done.push((job_idx, job.verifier.check(&job.design)));
+                        }
+                        done
+                    }));
+                }
+                for h in handles {
+                    per_worker.push(h.join().expect("verification worker panicked"));
+                }
+            });
+            for (job_idx, outcome) in per_worker.into_iter().flatten() {
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                if self.opts.memoize {
+                    self.verdicts.insert(keys[job_idx], outcome.clone());
+                }
+                results[job_idx] = Some(outcome);
+            }
+        }
+        // Copy duplicates from their owners, in submission order.
+        for i in 0..jobs.len() {
+            if results[i].is_none() {
+                let owner = owners[i];
+                self.deduped.fetch_add(1, Ordering::Relaxed);
+                results[i] = Some(
+                    results[owner]
+                        .clone()
+                        .expect("owner job resolved before its duplicates"),
+                );
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot resolved"))
+            .collect()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The verdict memo (benchmarks clear it between cold runs).
+    pub fn verdict_cache(&self) -> &VerdictCache {
+        &self.verdicts
+    }
+}
+
+impl Default for VerifyService {
+    fn default() -> Self {
+        Self::new(ServeOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_sva::bmc::{Engine, Verdict, Verifier};
+    use asv_verilog::sema::Design;
+
+    fn design(follow: bool, tag: u64) -> Design {
+        let rhs = if follow { "d" } else { "!d" };
+        asv_verilog::compile(&format!(
+            "module m{tag}(input clk, input rst_n, input d, output reg q);\n\
+             always @(posedge clk or negedge rst_n) begin\n\
+               if (!rst_n) q <= 1'b0; else q <= {rhs};\n\
+             end\n\
+             p: assert property (@(posedge clk) disable iff (!rst_n) d |-> ##1 q);\n\
+             endmodule"
+        ))
+        .expect("compile")
+    }
+
+    fn batch(n: usize, engine: Engine) -> Vec<VerifyJob> {
+        let verifier = Verifier {
+            depth: 6,
+            engine,
+            ..Verifier::default()
+        };
+        (0..n)
+            .map(|i| VerifyJob::new(design(i % 3 != 0, (i % 5) as u64), verifier))
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_follow_submission_order() {
+        let service = VerifyService::default();
+        let jobs = batch(10, Engine::Auto);
+        let out = service.verify_batch(&jobs);
+        assert_eq!(out.len(), 10);
+        for (i, o) in out.iter().enumerate() {
+            let fails = i % 3 == 0;
+            match o.as_ref().expect("verdict") {
+                Verdict::Fails(_) => assert!(fails, "job {i} must hold"),
+                Verdict::Holds { .. } => assert!(!fails, "job {i} must fail"),
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_are_identical_across_worker_counts() {
+        let jobs = batch(12, Engine::Auto);
+        let reference = VerifyService::with_workers(1).verify_batch(&jobs);
+        for workers in [2, 8] {
+            let out = VerifyService::with_workers(workers).verify_batch(&jobs);
+            assert_eq!(out, reference, "worker count {workers} changed verdicts");
+        }
+    }
+
+    #[test]
+    fn batch_deduplicates_identical_jobs() {
+        let service = VerifyService::default();
+        let one = batch(1, Engine::Auto).remove(0);
+        let jobs: Vec<VerifyJob> = (0..20).map(|_| one.clone()).collect();
+        let out = service.verify_batch(&jobs);
+        assert!(out.iter().all(|o| o == &out[0]));
+        let stats = service.stats();
+        assert_eq!(stats.executed, 1, "one engine run for 20 identical jobs");
+        assert_eq!(stats.deduped, 19);
+    }
+
+    #[test]
+    fn memo_answers_repeat_batches_without_executing() {
+        let service = VerifyService::default();
+        let jobs = batch(6, Engine::Auto);
+        let first = service.verify_batch(&jobs);
+        let executed_cold = service.stats().executed;
+        let second = service.verify_batch(&jobs);
+        assert_eq!(first, second, "memoised verdicts must be bit-identical");
+        assert_eq!(
+            service.stats().executed,
+            executed_cold,
+            "warm batch must not run any engine"
+        );
+        assert!(service.stats().memo_hits > 0);
+    }
+
+    #[test]
+    fn memoize_false_always_executes() {
+        let service = VerifyService::new(ServeOptions {
+            memoize: false,
+            ..ServeOptions::default()
+        });
+        let jobs = batch(4, Engine::Auto);
+        let a = service.verify_batch(&jobs);
+        let b = service.verify_batch(&jobs);
+        assert_eq!(a, b);
+        assert_eq!(service.stats().memo_hits, 0);
+        assert!(service.stats().executed >= 2 * 3); // unique jobs per batch
+    }
+
+    #[test]
+    fn portfolio_batches_match_auto_batches() {
+        let auto = VerifyService::default().verify_batch(&batch(12, Engine::Auto));
+        let portfolio = VerifyService::default().verify_batch(&batch(12, Engine::Portfolio));
+        assert_eq!(portfolio, auto, "portfolio must be bit-identical to Auto");
+    }
+
+    #[test]
+    fn no_assertions_error_propagates_per_job() {
+        let d =
+            asv_verilog::compile("module n(input a, output y); assign y = a; endmodule").unwrap();
+        let service = VerifyService::default();
+        let out = service.verify_one(&VerifyJob::new(d, Verifier::default()));
+        assert_eq!(out, Err(asv_sva::bmc::VerifyError::NoAssertions));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(VerifyService::default().verify_batch(&[]).is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Shared, sharded compile cache: one [`CompiledDesign`] per distinct
+//! design, process-wide.
+//!
+//! The bounded verifier used to keep a *thread-local* MRU slot of
+//! compiled designs, which meant every worker thread of a parallel
+//! sampling/fuzzing/portfolio run re-lowered the same AST once per
+//! thread. This cache replaces that path with a single process-wide
+//! table sharded by design hash: lookups take one shard mutex (shards
+//! are independent, so concurrent verification jobs on different designs
+//! never contend), hits bump the entry to most-recently-used, and misses
+//! compile under no lock other than the owning shard's.
+//!
+//! Keys are a 64-bit structural hash of the elaborated design (rendered
+//! module source plus resolved parameters); hash collisions are resolved
+//! by full structural equality before an entry is reused, so a hit is
+//! always the *same* design.
+
+use crate::compile::CompiledDesign;
+use asv_verilog::sema::Design;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of independent shards (power of two).
+const SHARDS: usize = 16;
+/// LRU capacity per shard; total capacity is `SHARDS * SHARD_CAP`.
+const SHARD_CAP: usize = 8;
+
+/// A stable (per-process) 64-bit structural hash of an elaborated design.
+///
+/// Hashes the pretty-printed module — which covers ports, logic,
+/// properties and assertion directives — plus the resolved parameter
+/// environment, so two designs hash equal iff they would compile to the
+/// same [`CompiledDesign`].
+pub fn design_hash(design: &Design) -> u64 {
+    let mut h = DefaultHasher::new();
+    asv_verilog::pretty::render_module(&design.module).hash(&mut h);
+    for (name, value) in &design.params {
+        name.hash(&mut h);
+        value.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// One shard: a small MRU-ordered vector (most recently used last).
+#[derive(Default)]
+struct Shard {
+    entries: Vec<(u64, std::sync::Arc<CompiledDesign>)>,
+}
+
+/// A sharded LRU cache of compiled designs.
+pub struct CompileCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache (prefer [`global`] outside of tests).
+    pub fn new() -> Self {
+        CompileCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the compiled form of `design`, compiling and caching it on
+    /// the first request. Collisions fall back to structural equality, so
+    /// the returned design is always `design` itself.
+    pub fn get_or_compile(&self, design: &Design) -> std::sync::Arc<CompiledDesign> {
+        let key = design_hash(design);
+        let shard = &self.shards[(key as usize) & (SHARDS - 1)];
+        {
+            let mut s = shard.lock().expect("compile cache shard poisoned");
+            if let Some(pos) = s
+                .entries
+                .iter()
+                .position(|(k, cd)| *k == key && cd.design() == design)
+            {
+                let entry = s.entries.remove(pos);
+                let cd = std::sync::Arc::clone(&entry.1);
+                s.entries.push(entry); // most recently used last
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return cd;
+            }
+        }
+        // Compile outside the shard lock: a slow compile of one design
+        // must not block lookups of the other designs in its shard.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let cd = std::sync::Arc::new(CompiledDesign::compile(design));
+        let mut s = shard.lock().expect("compile cache shard poisoned");
+        // A racing thread may have inserted the same design meanwhile;
+        // keeping both copies is harmless (the duplicate ages out), but
+        // prefer the existing entry so Arc identity stays stable.
+        if let Some(pos) = s
+            .entries
+            .iter()
+            .position(|(k, e)| *k == key && e.design() == design)
+        {
+            return std::sync::Arc::clone(&s.entries[pos].1);
+        }
+        if s.entries.len() == SHARD_CAP {
+            s.entries.remove(0); // least recently used first
+        }
+        s.entries.push((key, std::sync::Arc::clone(&cd)));
+        cd
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops every cached entry (benchmarks use this to measure the
+    /// cache-cold path; counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("compile cache shard poisoned")
+                .entries
+                .clear();
+        }
+    }
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide cache every verifier call goes through.
+pub fn global() -> &'static CompileCache {
+    static GLOBAL: OnceLock<CompileCache> = OnceLock::new();
+    GLOBAL.get_or_init(CompileCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(n: u64) -> Design {
+        asv_verilog::compile(&format!(
+            "module m{n}(input clk, input [3:0] a, output reg [3:0] q);\n\
+             always @(posedge clk) q <= a + 4'd{};\nendmodule",
+            n % 16
+        ))
+        .expect("compile")
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let cache = CompileCache::new();
+        let d = design(1);
+        let a = cache.get_or_compile(&d);
+        let b = cache.get_or_compile(&d);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "second call must hit");
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_designs_get_distinct_entries() {
+        let cache = CompileCache::new();
+        let a = cache.get_or_compile(&design(1));
+        let b = cache.get_or_compile(&design(2));
+        assert!(!std::sync::Arc::ptr_eq(&a, &b));
+        assert_ne!(a.design(), b.design());
+    }
+
+    #[test]
+    fn eviction_keeps_capacity_bounded_and_correct() {
+        let cache = CompileCache::new();
+        // Far more designs than total capacity: every lookup must still
+        // return the right design.
+        for round in 0..3 {
+            for n in 0..(SHARDS * SHARD_CAP * 2) as u64 {
+                let d = design(n);
+                let cd = cache.get_or_compile(&d);
+                assert_eq!(cd.design(), &d, "round {round}: wrong design for {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = CompileCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for n in 0..32u64 {
+                        let d = design((n + t) % 8);
+                        let cd = cache.get_or_compile(&d);
+                        assert_eq!(cd.design(), &d);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn clear_forgets_entries() {
+        let cache = CompileCache::new();
+        let d = design(3);
+        let a = cache.get_or_compile(&d);
+        cache.clear();
+        let b = cache.get_or_compile(&d);
+        assert!(!std::sync::Arc::ptr_eq(&a, &b), "cleared entry recompiles");
+    }
+}

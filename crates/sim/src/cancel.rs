@@ -1,0 +1,74 @@
+//! Cooperative cancellation for long-running verification work.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between a
+//! controller (the portfolio racer or job service in `asv-serve`) and the
+//! hot loops of the verification engines: the CDCL search in `asv-sat`,
+//! the campaign rounds in `asv-fuzz`, and the per-stimulus loops of the
+//! enumeration/sampling oracle in `asv-sva`. Engines poll the token at a
+//! bounded interval and unwind with an explicit `Cancelled` error — never
+//! a panic — so a losing portfolio engine stops within one check
+//! interval of the winner's verdict.
+//!
+//! The token lives in `asv-sim` (the lowest crate every engine already
+//! depends on) so no new dependency edges are needed to thread it through
+//! the stack.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared poison flag: once [`CancelToken::cancel`] is called, every
+/// clone observes [`CancelToken::is_cancelled`] `== true` forever.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Poisons the token; idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has been cancelled.
+    ///
+    /// A relaxed-acquire load of one `AtomicBool` — cheap enough to call
+    /// from solver inner loops at a modest stride.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let t = CancelToken::new();
+        t.cancel();
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn default_is_fresh() {
+        assert!(!CancelToken::default().is_cancelled());
+    }
+}

@@ -31,6 +31,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cache;
+pub mod cancel;
 pub mod compile;
 pub mod cover;
 pub mod eval;
@@ -40,6 +42,8 @@ pub mod stimulus;
 pub mod trace;
 pub mod value;
 
+pub use cache::CompileCache;
+pub use cancel::CancelToken;
 pub use compile::{CompiledDesign, SigId};
 pub use cover::{CovMap, CoverageReport};
 pub use eval::{Env, EvalError};

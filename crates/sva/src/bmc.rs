@@ -28,6 +28,30 @@
 //!   space when small enough and otherwise runs the **fuzzer** — not
 //!   blind sampling — over the same budget.
 //!
+//! * **Portfolio** — races the engines against each other with
+//!   cooperative cancellation (the standard trick from portfolio SAT
+//!   solving). The *canonical* engine is whatever **Auto** would pick;
+//!   competitors run concurrently and a result counts as *decisive* only
+//!   when it determines the canonical verdict: any canonical-engine
+//!   result, or a bounded *proof* of `Holds` from another complete
+//!   engine (exhaustive enumeration finishing before the symbolic prover
+//!   — common on small input spaces, where simulating every stimulus is
+//!   cheaper than bit-blasting). Losers are stopped through a
+//!   [`CancelToken`] threaded into the CDCL search loop, the fuzzing
+//!   round loop and the per-stimulus simulation loops, so they die
+//!   within one check interval. Verdicts are therefore bit-identical to
+//!   sequential [`Engine::Auto`] no matter which engine wins the race or
+//!   how many service workers run — `debug_assertions` builds re-run
+//!   Auto after every portfolio check and assert equivalence. (The one
+//!   documented tolerance: when an enumeration proof pre-empts a
+//!   symbolic run that *would have exhausted its conflict budget*, the
+//!   `Holds` verdict's `stimuli` count metadata reads 0 where Auto's
+//!   fallback would report the enumeration count — hold/fail,
+//!   exhaustiveness and the vacuity set still match exactly, and an
+//!   observed symbolic failure always routes to Auto's fallback verdict.
+//!   The archetype suites never get near the budget and assert full
+//!   bit-identity.)
+//!
 //! Every symbolic counterexample is replayed on the compiled simulator
 //! before being reported, and every fuzzer finding additionally replays
 //! on the `AstSimulator` interpreter oracle, so `Fails` verdicts carry
@@ -35,7 +59,8 @@
 
 use crate::monitor::{AssertionFailure, CheckOutcome, CompiledChecker, MonitorError};
 use asv_fuzz::{AssertionOracle, FuzzError, FuzzOptions, FuzzVerdict};
-use asv_sat::engine::{BmcOptions, BmcVerdict};
+use asv_sat::engine::{BmcError, BmcOptions, BmcVerdict};
+use asv_sim::cancel::CancelToken;
 use asv_sim::compile::CompiledDesign;
 use asv_sim::cover::CovMap;
 use asv_sim::exec::{SimError, Simulator};
@@ -43,10 +68,10 @@ use asv_sim::stimulus::{Stimulus, StimulusGen};
 use asv_sim::trace::Trace;
 use asv_verilog::sema::Design;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// Result of verifying a design's assertions.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -113,6 +138,10 @@ pub enum VerifyError {
     /// The fuzzing engine failed (oracle error or a finding that did not
     /// replay on the interpreter — harness bugs, not design verdicts).
     Fuzz(String),
+    /// The check's [`CancelToken`] was poisoned before a verdict (the
+    /// caller tore the work down; losing portfolio engines surface this
+    /// internally and it never escapes a portfolio check).
+    Cancelled,
 }
 
 impl fmt::Display for VerifyError {
@@ -123,6 +152,7 @@ impl fmt::Display for VerifyError {
             VerifyError::NoAssertions => write!(f, "design has no assertions"),
             VerifyError::Symbolic(m) => write!(f, "symbolic engine unavailable: {m}"),
             VerifyError::Fuzz(m) => write!(f, "fuzzing engine failed: {m}"),
+            VerifyError::Cancelled => write!(f, "verification cancelled"),
         }
     }
 }
@@ -142,7 +172,7 @@ impl From<MonitorError> for VerifyError {
 }
 
 /// Which verification engine [`Verifier::check`] runs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Engine {
     /// Symbolic when the design is levelizable and 2-state encodable;
     /// otherwise exhaustive enumeration when the input space fits
@@ -157,10 +187,15 @@ pub enum Engine {
     /// The coverage-guided fuzzer only, with [`Verifier::random_runs`] as
     /// its execution budget.
     Fuzz,
+    /// Races the engines concurrently with cooperative cancellation and
+    /// returns the canonical ([`Engine::Auto`]-identical) verdict as soon
+    /// as any racer determines it; losers stop within one cancellation
+    /// check interval. See the module docs for the exact decision rule.
+    Portfolio,
 }
 
 /// Bounded verifier configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Verifier {
     /// Post-reset cycles per run.
     pub depth: usize,
@@ -192,33 +227,44 @@ impl Default for Verifier {
     }
 }
 
-/// Small MRU cache of compiled designs, keyed by structural equality.
-///
-/// `Verifier` is a plain-old-data config (`Copy`), so the cache lives in
-/// thread-local storage: repeated [`Verifier::simulate`]/
-/// [`Verifier::replay`]/[`Verifier::check`] calls on the same design reuse
-/// one [`CompiledDesign`] instead of re-lowering the AST every call.
-const COMPILE_CACHE_CAP: usize = 8;
-
-thread_local! {
-    static COMPILE_CACHE: RefCell<Vec<Arc<CompiledDesign>>> = const { RefCell::new(Vec::new()) };
+/// Compiled-design lookup through the process-wide **sharded** cache in
+/// [`asv_sim::cache`]. An earlier revision kept a thread-local MRU slot
+/// here, which re-lowered the same AST once per worker thread during
+/// parallel sampling/fuzzing/portfolio runs; the shared cache compiles
+/// each distinct design exactly once per process.
+fn compiled_for(design: &Design) -> Arc<CompiledDesign> {
+    asv_sim::cache::global().get_or_compile(design)
 }
 
-fn compiled_for(design: &Design) -> Arc<CompiledDesign> {
-    COMPILE_CACHE.with(|cache| {
-        let mut cache = cache.borrow_mut();
-        if let Some(pos) = cache.iter().position(|cd| cd.design() == design) {
-            let cd = cache.remove(pos);
-            cache.push(Arc::clone(&cd)); // most recently used last
-            return cd;
-        }
-        let cd = Arc::new(CompiledDesign::compile(design));
-        if cache.len() == COMPILE_CACHE_CAP {
-            cache.remove(0);
-        }
-        cache.push(Arc::clone(&cd));
-        cd
-    })
+/// Exact equality, except the one documented tolerance of the portfolio
+/// contract: two *exhaustive* `Holds` verdicts with identical vacuity
+/// sets are equivalent even when their `stimuli` counts differ (an
+/// enumeration proof that pre-empted a symbolic run which would have
+/// exhausted its budget reports 0 where Auto's fallback reports the
+/// enumeration count).
+#[cfg(debug_assertions)]
+fn portfolio_matches_auto(
+    portfolio: &Result<Verdict, VerifyError>,
+    auto: &Result<Verdict, VerifyError>,
+) -> bool {
+    if portfolio == auto {
+        return true;
+    }
+    matches!(
+        (portfolio, auto),
+        (
+            Ok(Verdict::Holds {
+                exhaustive: true,
+                vacuous: va,
+                ..
+            }),
+            Ok(Verdict::Holds {
+                exhaustive: true,
+                vacuous: vb,
+                ..
+            }),
+        ) if va == vb
+    )
 }
 
 impl Verifier {
@@ -241,6 +287,22 @@ impl Verifier {
     /// [`Engine::Symbolic`] is forced on an out-of-subset design, and
     /// propagates simulation/monitoring errors.
     pub fn check(&self, design: &Design) -> Result<Verdict, VerifyError> {
+        self.check_cancellable(design, None)
+    }
+
+    /// [`Verifier::check`] with a cooperative [`CancelToken`] threaded
+    /// into every engine's hot loop (CDCL search, fuzzing rounds,
+    /// per-stimulus simulation): once the token is poisoned the check
+    /// returns [`VerifyError::Cancelled`] within one check interval.
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::check`], plus [`VerifyError::Cancelled`].
+    pub fn check_cancellable(
+        &self,
+        design: &Design,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Verdict, VerifyError> {
         if design.module.assertions().count() == 0 {
             return Err(VerifyError::NoAssertions);
         }
@@ -250,16 +312,46 @@ impl Verifier {
         let col = |name: &str| compiled.sig(name).map(|s| s.idx());
         let checker = CompiledChecker::new(&design.module, col)?;
         match self.engine {
-            Engine::Simulation => self.check_simulation(design, &compiled, &checker),
-            Engine::Fuzz => self.check_fuzz(design, &compiled, &checker),
-            Engine::Symbolic => match self.check_symbolic(&compiled, &checker) {
+            Engine::Simulation => self.check_simulation(design, &compiled, &checker, cancel),
+            Engine::Fuzz => self.check_fuzz(design, &compiled, &checker, cancel, false),
+            Engine::Symbolic => match self.check_symbolic(&compiled, &checker, cancel) {
                 Ok(verdict) => verdict,
                 Err(reason) => Err(VerifyError::Symbolic(reason)),
             },
-            Engine::Auto => match self.check_symbolic(&compiled, &checker) {
-                Ok(verdict) => verdict,
-                Err(_) => self.check_concrete(design, &compiled, &checker),
-            },
+            Engine::Auto => self.check_auto(design, &compiled, &checker, cancel),
+            Engine::Portfolio => {
+                let res = self.check_portfolio(design, &compiled, &checker, cancel);
+                // The cross-check the portfolio contract promises: in
+                // debug builds every portfolio verdict is re-derived by
+                // the sequential Auto chain and compared. Skipped when an
+                // external token is live — the caller may poison it
+                // between the two runs, which would make the comparison
+                // race against itself.
+                #[cfg(debug_assertions)]
+                if cancel.is_none() {
+                    let auto = self.check_auto(design, &compiled, &checker, None);
+                    debug_assert!(
+                        portfolio_matches_auto(&res, &auto),
+                        "portfolio verdict diverged from Engine::Auto: {res:?} vs {auto:?}"
+                    );
+                }
+                res
+            }
+        }
+    }
+
+    /// The sequential [`Engine::Auto`] chain: symbolic, then the concrete
+    /// fallback. The portfolio mode reproduces exactly this verdict.
+    fn check_auto(
+        &self,
+        design: &Design,
+        compiled: &Arc<CompiledDesign>,
+        checker: &CompiledChecker,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Verdict, VerifyError> {
+        match self.check_symbolic(compiled, checker, cancel) {
+            Ok(verdict) => verdict,
+            Err(_) => self.check_concrete(design, compiled, checker, cancel),
         }
     }
 
@@ -271,11 +363,12 @@ impl Verifier {
         design: &Design,
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
+        cancel: Option<&CancelToken>,
     ) -> Result<Verdict, VerifyError> {
         let gen = StimulusGen::new(design);
         match gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
-            Some(all) => self.check_enumerated(design, compiled, checker, all),
-            None => self.check_fuzz(design, compiled, checker),
+            Some(all) => self.check_enumerated(design, compiled, checker, all, cancel),
+            None => self.check_fuzz(design, compiled, checker, cancel, false),
         }
     }
 
@@ -287,13 +380,22 @@ impl Verifier {
         &self,
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
+        cancel: Option<&CancelToken>,
     ) -> Result<Result<Verdict, VerifyError>, String> {
         let opts = BmcOptions {
             depth: self.depth,
             reset_cycles: self.reset_cycles,
             ..BmcOptions::default()
         };
-        match asv_sat::engine::check(compiled, opts).map_err(|e| e.to_string())? {
+        let bmc = match asv_sat::engine::check_cancellable(compiled, opts, cancel) {
+            Ok(v) => v,
+            // Cancellation is a hard stop, never a fallback trigger: a
+            // cancelled Auto/portfolio check must not silently run the
+            // (expensive) concrete chain instead.
+            Err(BmcError::Cancelled) => return Ok(Err(VerifyError::Cancelled)),
+            Err(e) => return Err(e.to_string()),
+        };
+        match bmc {
             BmcVerdict::Holds { vacuous } => Ok(Ok(Verdict::Holds {
                 exhaustive: true,
                 stimuli: 0,
@@ -338,10 +440,11 @@ impl Verifier {
         design: &Design,
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
+        cancel: Option<&CancelToken>,
     ) -> Result<Verdict, VerifyError> {
         let gen = StimulusGen::new(design);
         match gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
-            Some(all) => self.check_enumerated(design, compiled, checker, all),
+            Some(all) => self.check_enumerated(design, compiled, checker, all, cancel),
             None => {
                 // Per-stimulus RNG streams (SplitMix64-expanded seeds) are
                 // decorrelated but can still collide on narrow inputs;
@@ -360,7 +463,7 @@ impl Verifier {
                     .filter(|s| seen.insert(s.clone()))
                     .collect();
                 let count = stimuli.len();
-                let fired = match check_stimuli_parallel(compiled, checker, stimuli)? {
+                let fired = match check_stimuli_parallel(compiled, checker, stimuli, cancel)? {
                     Ok(fired) => fired,
                     Err(cex) => return Ok(Verdict::Fails(cex)),
                 };
@@ -376,10 +479,14 @@ impl Verifier {
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
         all: Vec<Stimulus>,
+        cancel: Option<&CancelToken>,
     ) -> Result<Verdict, VerifyError> {
         let count = all.len();
         let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         for stim in all {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(VerifyError::Cancelled);
+            }
             match run_stimulus(compiled, checker, stim)? {
                 StimulusOutcome::Fails(cex) => return Ok(Verdict::Fails(cex)),
                 StimulusOutcome::Passes(names) => fired.extend(names),
@@ -398,6 +505,8 @@ impl Verifier {
         design: &Design,
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
+        cancel: Option<&CancelToken>,
+        single_thread: bool,
     ) -> Result<Verdict, VerifyError> {
         let oracle = CheckerOracle { checker };
         let opts = FuzzOptions {
@@ -405,12 +514,18 @@ impl Verifier {
             reset_cycles: self.reset_cycles,
             budget: self.random_runs,
             seed: self.seed,
+            // A portfolio racer must not multiply the service's worker
+            // threads by the fuzzer's own pool (verdicts are
+            // thread-count-independent; only wall time changes).
+            threads: usize::from(single_thread),
             ..FuzzOptions::default()
         };
-        let res = asv_fuzz::fuzz(compiled, &oracle, &opts).map_err(|e| match e {
-            FuzzError::Sim(s) => VerifyError::Sim(s),
-            other => VerifyError::Fuzz(other.to_string()),
-        })?;
+        let res =
+            asv_fuzz::fuzz_cancellable(compiled, &oracle, &opts, cancel).map_err(|e| match e {
+                FuzzError::Sim(s) => VerifyError::Sim(s),
+                FuzzError::Cancelled => VerifyError::Cancelled,
+                other => VerifyError::Fuzz(other.to_string()),
+            })?;
         match res.verdict {
             FuzzVerdict::Failure { stimulus, .. } => {
                 match run_stimulus(compiled, checker, stimulus)? {
@@ -435,6 +550,159 @@ impl Verifier {
                 })
             }
         }
+    }
+
+    /// [`Engine::Portfolio`]: race the symbolic prover against a
+    /// concrete competitor, first *decisive* result wins.
+    ///
+    /// Canonical-verdict rule (what makes racing deterministic):
+    ///
+    /// * the canonical engine is whatever [`Engine::Auto`] would run —
+    ///   symbolic when the [`asv_sat::engine::supports`] probe passes,
+    ///   else enumeration when the bounded input space fits
+    ///   [`Verifier::exhaustive_limit`], else the fuzzer;
+    /// * a canonical-engine result is always decisive;
+    /// * a bounded **proof** of `Holds` by exhaustive enumeration is
+    ///   decisive even when symbolic is canonical: both engines decide
+    ///   the same bounded space, so the vacuity sets coincide (the
+    ///   differential suite enforces this agreement) and the verdict is
+    ///   reported in symbolic form (`stimuli: 0`);
+    /// * anything else — a concrete `Fails` (its counterexample would
+    ///   differ from the canonical minimal-depth one) or a fuzz
+    ///   `Holds` (not a proof) — is held as the fallback result in case
+    ///   the symbolic engine exhausts a budget, exactly mirroring Auto's
+    ///   fallback chain.
+    ///
+    /// Losers are cancelled and stop within one token-check interval.
+    fn check_portfolio(
+        &self,
+        design: &Design,
+        compiled: &Arc<CompiledDesign>,
+        checker: &CompiledChecker,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Verdict, VerifyError> {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(VerifyError::Cancelled);
+        }
+        // Out-of-subset designs have no competing complete engine: the
+        // canonical concrete chain runs directly, exactly like Auto.
+        if asv_sat::engine::supports(compiled).is_err() {
+            return self.check_concrete(design, compiled, checker, cancel);
+        }
+        // Feasibility only — the stimulus set itself is materialised
+        // inside the concrete racer thread, off the decision path.
+        let enumerable =
+            StimulusGen::new(design).exhaustive_feasible(self.depth, self.exhaustive_limit);
+
+        let sym_cancel = CancelToken::new();
+        let conc_cancel = CancelToken::new();
+        enum Msg {
+            Sym(Result<Result<Verdict, VerifyError>, String>),
+            Conc(Result<Verdict, VerifyError>),
+        }
+        let (tx, rx) = mpsc::channel::<Msg>();
+        std::thread::scope(|scope| {
+            let tx_sym = tx.clone();
+            let sym_token = &sym_cancel;
+            scope.spawn(move || {
+                let r = self.check_symbolic(compiled, checker, Some(sym_token));
+                let _ = tx_sym.send(Msg::Sym(r));
+            });
+            let conc_token = &conc_cancel;
+            scope.spawn(move || {
+                // Auto's exact concrete chain: enumeration when feasible,
+                // the (single-threaded) fuzzer beyond it.
+                let r = self.check_concrete(design, compiled, checker, Some(conc_token));
+                let _ = tx.send(Msg::Conc(r));
+            });
+
+            let mut sym: Option<Result<Result<Verdict, VerifyError>, String>> = None;
+            let mut conc: Option<Result<Verdict, VerifyError>> = None;
+            // Set once an enumeration Holds-proof has pre-empted the
+            // symbolic racer (its vacuity set); the loop then only waits
+            // to observe *why* symbolic stopped, so an actual symbolic
+            // failure still routes to Auto's fallback verdict instead of
+            // racing against it.
+            let mut preempted: Option<Vec<String>> = None;
+            let decision = loop {
+                let msg = match rx.recv_timeout(Duration::from_millis(20)) {
+                    Ok(msg) => msg,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                            break Err(VerifyError::Cancelled);
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        // Both racers reported and neither message was
+                        // decisive — impossible, since a symbolic result
+                        // always is; defend anyway.
+                        break Err(VerifyError::Cancelled);
+                    }
+                };
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    break Err(VerifyError::Cancelled);
+                }
+                match msg {
+                    Msg::Sym(r) => sym = Some(r),
+                    Msg::Conc(r) => conc = Some(r),
+                }
+                if let (Some(vac), Some(s)) = (&preempted, &sym) {
+                    break match s {
+                        // Symbolic crossed the line despite the
+                        // cancellation: its verdict is exact.
+                        Ok(Ok(v)) => Ok(v.clone()),
+                        // Stopped by our poison: report the enumeration
+                        // proof in canonical (symbolic) form.
+                        Ok(Err(VerifyError::Cancelled)) => Ok(Verdict::Holds {
+                            exhaustive: true,
+                            stimuli: 0,
+                            vacuous: vac.clone(),
+                        }),
+                        Ok(Err(e)) => Err(e.clone()),
+                        // Genuine symbolic failure (budget) observed
+                        // before the poison landed: Auto would fall back
+                        // to the concrete engine — report its verdict.
+                        Err(_fallback) => {
+                            conc.clone().expect("concrete result pre-empted the race")
+                        }
+                    };
+                }
+                if preempted.is_some() {
+                    continue; // waiting for the symbolic racer's message
+                }
+                match &sym {
+                    // The canonical engine reported: decisive.
+                    Some(Ok(verdict)) => break verdict.clone(),
+                    // Symbolic fell over (budget): the concrete racer is
+                    // now canonical; use its result once present.
+                    Some(Err(_fallback)) => {
+                        if let Some(c) = &conc {
+                            break c.clone();
+                        }
+                    }
+                    None => {
+                        // A bounded enumeration *proof* of Holds decides
+                        // the same space symbolic would: pre-empt the
+                        // prover, then wait one message to learn how it
+                        // stopped. Everything else (a concrete `Fails`,
+                        // a fuzz `Holds`) waits for the canonical
+                        // engine.
+                        if enumerable {
+                            if let Some(Ok(Verdict::Holds { vacuous, .. })) = &conc {
+                                sym_cancel.cancel();
+                                preempted = Some(vacuous.clone());
+                            }
+                        }
+                    }
+                }
+            };
+            // Stop the losers; scope join waits for them to observe the
+            // poison (one check interval).
+            sym_cancel.cancel();
+            conc_cancel.cancel();
+            decision
+        })
     }
 
     fn holds(
@@ -558,6 +826,7 @@ fn check_stimuli_parallel(
     compiled: &Arc<CompiledDesign>,
     checker: &CompiledChecker,
     stimuli: Vec<Stimulus>,
+    cancel: Option<&CancelToken>,
 ) -> Result<Result<std::collections::BTreeSet<String>, CounterExample>, VerifyError> {
     if stimuli.is_empty() {
         // `random_runs: 0` — the sequential loop checked nothing and held.
@@ -583,6 +852,9 @@ fn check_stimuli_parallel(
                 let mut fired = std::collections::BTreeSet::new();
                 let mut event: Option<WorkerEvent> = None;
                 for (idx, stim) in part {
+                    if cancel.is_some_and(CancelToken::is_cancelled) {
+                        break; // the whole check is being torn down
+                    }
                     if *idx >= best.load(Ordering::Relaxed) {
                         break; // an earlier event already wins the merge
                     }
@@ -609,6 +881,11 @@ fn check_stimuli_parallel(
             fired_sets.push(fired);
         }
     });
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        // A poisoned token means this engine lost its race: whatever was
+        // merged so far is a partial view and must not be reported.
+        return Err(VerifyError::Cancelled);
+    }
     let earliest = events.into_iter().flatten().min_by_key(|(idx, _)| *idx);
     match earliest {
         Some((_, Ok(cex))) => Ok(Err(cex)),
@@ -986,6 +1263,58 @@ endmodule
                 );
             }
             Verdict::Fails(cex) => panic!("safe design failed: {:?}", cex.logs),
+        }
+    }
+
+    #[test]
+    fn portfolio_is_bit_identical_to_auto() {
+        // In-subset Holds (symbolic vs enumeration race), in-subset Fails
+        // (symbolic canonical), and out-of-subset rare trigger (concrete
+        // chain): every verdict must equal sequential Engine::Auto's.
+        // (Debug builds additionally re-assert this inside every
+        // portfolio check.)
+        for (src, depth, runs) in [(GOOD, 6, 48), (BAD, 6, 48), (LATCH_RARE, 8, 64)] {
+            let d = compile(src).expect("compile");
+            let auto = Verifier {
+                depth,
+                random_runs: runs,
+                ..Verifier::default()
+            };
+            let portfolio = Verifier {
+                engine: Engine::Portfolio,
+                ..auto
+            };
+            assert_eq!(
+                portfolio.check(&d),
+                auto.check(&d),
+                "portfolio must reproduce Auto's verdict"
+            );
+            // And it is stable across repeated races.
+            assert_eq!(portfolio.check(&d), portfolio.check(&d));
+        }
+    }
+
+    #[test]
+    fn poisoned_token_cancels_every_engine() {
+        let d = compile(BAD).expect("compile");
+        let token = CancelToken::new();
+        token.cancel();
+        for engine in [
+            Engine::Auto,
+            Engine::Symbolic,
+            Engine::Fuzz,
+            Engine::Portfolio,
+        ] {
+            let v = Verifier {
+                depth: 6,
+                engine,
+                ..Verifier::default()
+            };
+            assert_eq!(
+                v.check_cancellable(&d, Some(&token)),
+                Err(VerifyError::Cancelled),
+                "{engine:?} must observe the poisoned token"
+            );
         }
     }
 

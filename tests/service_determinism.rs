@@ -1,0 +1,124 @@
+//! Service determinism suite: the `asv-serve` verdict vector is a pure
+//! function of the submitted batch.
+//!
+//! Over golden + mutated designs of **all 12 datagen archetypes**, the
+//! same job batch must produce bit-identical verdict vectors:
+//!
+//! * across worker counts {1, 2, 8};
+//! * between `Engine::Portfolio` (racing symbolic BMC, bounded
+//!   enumeration and fuzzing with cooperative cancellation) and
+//!   sequential `Engine::Auto` through a plain `Verifier` loop;
+//! * with and without verdict memoisation (a warm re-submission answers
+//!   from the sharded cache without running a single engine).
+//!
+//! In debug builds (this suite) every portfolio check additionally
+//! re-runs the sequential Auto chain internally and asserts equality, so
+//! a divergence fails twice over.
+
+use asv_datagen::corpus::{Archetype, CorpusGen};
+use asv_mutation::inject::{apply, enumerate};
+use asv_serve::{VerifyJob, VerifyService};
+use asv_sva::bmc::{Engine, Verifier};
+use asv_verilog::sema::Design;
+
+fn bounds(engine: Engine) -> Verifier {
+    Verifier {
+        depth: 8,
+        reset_cycles: 2,
+        exhaustive_limit: 256,
+        random_runs: 24,
+        engine,
+        ..Verifier::default()
+    }
+}
+
+/// Golden + first-compilable-mutant designs covering every archetype.
+fn archetype_designs() -> Vec<(String, Design)> {
+    let designs = CorpusGen::new(0xD17E_u64).generate(Archetype::ALL.len());
+    let mut out = Vec::new();
+    let mut archetypes_seen = std::collections::BTreeSet::new();
+    for gd in &designs {
+        archetypes_seen.insert(gd.archetype.to_string());
+        let golden = asv_verilog::compile(&gd.source)
+            .unwrap_or_else(|e| panic!("{}: golden must compile: {e}", gd.name));
+        // One injected bug per design keeps Fails verdicts in the batch.
+        let mutant = enumerate(&golden).into_iter().find_map(|m| {
+            let injection = apply(&golden, &m).ok()?;
+            asv_verilog::compile(&injection.buggy_source).ok()
+        });
+        out.push((format!("{}:golden", gd.name), golden));
+        if let Some(buggy) = mutant {
+            out.push((format!("{}:mutant", gd.name), buggy));
+        }
+    }
+    assert_eq!(
+        archetypes_seen.len(),
+        Archetype::ALL.len(),
+        "fixture must cover all 12 archetypes"
+    );
+    out
+}
+
+fn jobs(engine: Engine) -> Vec<VerifyJob> {
+    archetype_designs()
+        .into_iter()
+        .map(|(_, d)| VerifyJob::new(d, bounds(engine)))
+        .collect()
+}
+
+#[test]
+fn verdict_vector_is_identical_across_worker_counts() {
+    for engine in [Engine::Auto, Engine::Portfolio] {
+        let batch = jobs(engine);
+        let reference = VerifyService::with_workers(1).verify_batch(&batch);
+        for workers in [2, 8] {
+            let out = VerifyService::with_workers(workers).verify_batch(&batch);
+            assert_eq!(
+                out, reference,
+                "{engine:?} with {workers} workers changed the verdict vector"
+            );
+        }
+    }
+}
+
+#[test]
+fn portfolio_service_matches_sequential_auto() {
+    let designs = archetype_designs();
+    // Sequential reference: one Auto check per design, no service.
+    let auto = bounds(Engine::Auto);
+    let sequential: Vec<_> = designs.iter().map(|(_, d)| auto.check(d)).collect();
+    assert!(
+        sequential
+            .iter()
+            .any(|v| matches!(v, Ok(x) if x.is_failure())),
+        "suite must contain refuted mutants"
+    );
+    assert!(
+        sequential
+            .iter()
+            .any(|v| matches!(v, Ok(x) if !x.is_failure())),
+        "suite must contain holding goldens"
+    );
+    let batched = VerifyService::with_workers(8).verify_batch(&jobs(Engine::Portfolio));
+    for (((name, _), seq), batch) in designs.iter().zip(&sequential).zip(&batched) {
+        assert_eq!(
+            batch, seq,
+            "{name}: portfolio verdict must be bit-identical to sequential Auto"
+        );
+    }
+}
+
+#[test]
+fn warm_resubmission_runs_no_engine() {
+    let batch = jobs(Engine::Portfolio);
+    let service = VerifyService::with_workers(8);
+    let cold = service.verify_batch(&batch);
+    let executed = service.stats().executed;
+    let warm = service.verify_batch(&batch);
+    assert_eq!(cold, warm, "memoised verdicts must be bit-identical");
+    assert_eq!(
+        service.stats().executed,
+        executed,
+        "warm batch must be answered entirely from the verdict memo"
+    );
+}
