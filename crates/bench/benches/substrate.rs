@@ -6,7 +6,7 @@ use assertsolver_core::lm::NgramLm;
 use assertsolver_core::policy::Policy;
 use asv_datagen::corpus::{Archetype, CorpusGen, SizeHint};
 use asv_mutation::repairspace::candidates;
-use asv_sim::{AstSimulator, CompiledDesign, Simulator};
+use asv_sim::{AstSimulator, CompiledDesign, OptLevel, Simulator};
 use asv_sva::bmc::{Engine, Verifier};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -59,8 +59,9 @@ fn bench_simulator(c: &mut Criterion) {
     });
     // Compiled backend, amortised: the design is lowered once and each
     // iteration restarts from the shared CompiledDesign — the shape of the
-    // bounded verifier's per-stimulus loop.
-    let compiled = Arc::new(CompiledDesign::compile(&design));
+    // bounded verifier's per-stimulus loop. Pinned to OptLevel::None so it
+    // stays the unoptimized counterpart of `simulate_64_cycles_opt`.
+    let compiled = Arc::new(CompiledDesign::compile_opt(&design, OptLevel::None));
     c.bench_function("simulate_64_cycles_compiled", |b| {
         b.iter(|| {
             let mut sim = Simulator::from_compiled(Arc::clone(black_box(&compiled)));
@@ -71,6 +72,26 @@ fn bench_simulator(c: &mut Criterion) {
             }
             sim.into_trace().len()
         })
+    });
+    // Same workload through the full IR pass pipeline (folding, strength
+    // reduction, copy propagation, CSE temporaries, superinstruction
+    // fusion): the acceptance bar is ≥ 10% over the unoptimized backend.
+    let optimized = Arc::new(CompiledDesign::compile_opt(&design, OptLevel::Full));
+    c.bench_function("simulate_64_cycles_opt", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::from_compiled(Arc::clone(black_box(&optimized)));
+            sim.step(&[("rst_n", 0)]).expect("reset");
+            for _ in 0..63 {
+                sim.step(&[("rst_n", 1), ("push0", 1), ("pop0", 0)])
+                    .expect("step");
+            }
+            sim.into_trace().len()
+        })
+    });
+    // Front-end cost of the optimizing pipeline itself (lower + passes +
+    // emission + levelization), amortised over every simulation above.
+    c.bench_function("compile_opt", |b| {
+        b.iter(|| CompiledDesign::compile_opt(black_box(&design), OptLevel::Full).bytecode_len())
     });
 }
 
@@ -83,6 +104,7 @@ fn bench_verifier(c: &mut Criterion) {
         random_runs: 8,
         seed: 1,
         engine: Engine::Simulation,
+        opt: OptLevel::None,
     };
     // `Verifier::check` compiles once then resets per stimulus; the seed's
     // `bmc_check` number (full Design clone + AST walk per stimulus) is
@@ -90,15 +112,55 @@ fn bench_verifier(c: &mut Criterion) {
     c.bench_function("verify_compiled", |b| {
         b.iter(|| verifier.check(black_box(&design)).expect("check"))
     });
-    // Symbolic engine on the same fixture and bounds: bit-blast + unroll +
-    // CDCL, one bounded proof over the whole input space instead of
-    // sampling it.
+    // Symbolic engine on the same fixture and bounds: bit-blast + unroll
+    // + CDCL, one bounded proof over the whole input space instead of
+    // sampling it. Pinned to OptLevel::None (the pre-IR behaviour) so the
+    // series stays comparable across commits.
     let symbolic = Verifier {
         engine: Engine::Symbolic,
         ..verifier
     };
     c.bench_function("verify_symbolic", |b| {
         b.iter(|| symbolic.check(black_box(&design)).expect("check"))
+    });
+    // The optimizing-IR comparison pair runs on a scaled datapath —
+    // constant-multiply address scaling, power-of-two division/modulo,
+    // and a debug cone no assertion observes — i.e. the everyday RTL
+    // shapes the IR pipeline exists for: at OptLevel::None the prover
+    // grinds through shift-add multiplier CNF and blasts the debug
+    // logic; at OptLevel::Full strength reduction turns the multiplies
+    // into rewiring and dead-logic elimination drops the debug cone from
+    // the unrolling. `verify_symbolic_opt`'s unoptimized counterpart is
+    // `verify_symbolic_datapath` (same fixture, same bounds).
+    let datapath = asv_verilog::compile(
+        "module dp(input clk, input rst_n, input [7:0] a, output reg [7:0] acc,\n\
+           output [15:0] dbg);\n\
+         wire [7:0] scaled;\n\
+         wire [7:0] ring;\n\
+         assign scaled = (a * 8'd4) + (acc / 8'd2);\n\
+         assign ring = (acc % 8'd8) ^ (a * 8'd16);\n\
+         assign dbg = {a, acc} * 16'd2;\n\
+         always @(posedge clk or negedge rst_n) begin\n\
+           if (!rst_n) acc <= 8'd0;\n\
+           else acc <= scaled ^ ring;\n\
+         end\n\
+         property p_acc;\n\
+           @(posedge clk) disable iff (!rst_n)\n\
+           1'b1 |-> ##1 acc == ($past(scaled, 1) ^ $past(ring, 1));\n\
+         endproperty\n\
+         a_acc: assert property (p_acc) else $error(\"acc datapath\");\n\
+         endmodule\n",
+    )
+    .expect("datapath fixture compiles");
+    c.bench_function("verify_symbolic_datapath", |b| {
+        b.iter(|| symbolic.check(black_box(&datapath)).expect("check"))
+    });
+    let symbolic_opt = Verifier {
+        opt: OptLevel::Full,
+        ..symbolic
+    };
+    c.bench_function("verify_symbolic_opt", |b| {
+        b.iter(|| symbolic_opt.check(black_box(&datapath)).expect("check"))
     });
 }
 
@@ -125,6 +187,7 @@ fn bench_fuzz(c: &mut Criterion) {
         random_runs: 32,
         seed: 1,
         engine: Engine::Fuzz,
+        opt: OptLevel::default(),
     };
     c.bench_function("fuzz_throughput", |b| {
         b.iter(|| fuzzer.check(black_box(&design)).expect("check"))

@@ -1,0 +1,95 @@
+//! Interleaved A/B probe: OptLevel::None vs Full on the bench fixtures.
+use asv_datagen::corpus::{Archetype, CorpusGen, SizeHint};
+use asv_sim::{CompiledDesign, OptLevel, Simulator};
+use asv_sva::bmc::{Engine, Verifier};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let gen = CorpusGen::new(7);
+    let mut rng = StdRng::seed_from_u64(3);
+    let src = gen
+        .instantiate(
+            Archetype::FifoCtrl,
+            0,
+            SizeHint {
+                stages: 3,
+                width: 4,
+            },
+            &mut rng,
+        )
+        .source;
+    let design = asv_verilog::compile(&src).expect("compile");
+    let none = Arc::new(CompiledDesign::compile_opt(&design, OptLevel::None));
+    let full = Arc::new(CompiledDesign::compile_opt(&design, OptLevel::Full));
+    let run = |cd: &Arc<CompiledDesign>| {
+        let t0 = Instant::now();
+        for _ in 0..200 {
+            let mut sim = Simulator::from_compiled(Arc::clone(cd));
+            sim.step(&[("rst_n", 0)]).unwrap();
+            for _ in 0..63 {
+                sim.step(&[("rst_n", 1), ("push0", 1), ("pop0", 0)])
+                    .unwrap();
+            }
+            std::hint::black_box(sim.into_trace().len());
+        }
+        t0.elapsed()
+    };
+    let (mut best_n, mut best_f) = (u128::MAX, u128::MAX);
+    for _ in 0..12 {
+        best_n = best_n.min(run(&none).as_nanos());
+        best_f = best_f.min(run(&full).as_nanos());
+    }
+    println!(
+        "sim: none {} ns/iter, full {} ns/iter ({:+.1}%)",
+        best_n / 200,
+        best_f / 200,
+        (best_n as f64 - best_f as f64) * 100.0 / best_n as f64
+    );
+
+    let dp = asv_verilog::compile(
+        "module dp(input clk, input rst_n, input [7:0] a, output reg [7:0] acc,\n\
+           output [15:0] dbg);\n\
+         wire [7:0] scaled;\nwire [7:0] ring;\n\
+         assign scaled = (a * 8'd4) + (acc / 8'd2);\n\
+         assign ring = (acc % 8'd8) ^ (a * 8'd16);\n\
+         assign dbg = {a, acc} * 16'd2;\n\
+         always @(posedge clk or negedge rst_n) begin\n\
+           if (!rst_n) acc <= 8'd0;\n\
+           else acc <= scaled ^ ring;\n\
+         end\n\
+         property p_acc;\n\
+           @(posedge clk) disable iff (!rst_n)\n\
+           1'b1 |-> ##1 acc == ($past(scaled, 1) ^ $past(ring, 1));\n\
+         endproperty\n\
+         a_acc: assert property (p_acc) else $error(\"acc datapath\");\n\
+         endmodule\n",
+    )
+    .expect("dp");
+    let check = |opt| {
+        let v = Verifier {
+            depth: 8,
+            engine: Engine::Symbolic,
+            opt,
+            ..Verifier::default()
+        };
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            std::hint::black_box(v.check(&dp).expect("check"));
+        }
+        t0.elapsed().as_nanos()
+    };
+    let (mut bn, mut bf) = (u128::MAX, u128::MAX);
+    for _ in 0..8 {
+        bn = bn.min(check(OptLevel::None));
+        bf = bf.min(check(OptLevel::Full));
+    }
+    println!(
+        "symbolic dp: none {} ns/iter, full {} ns/iter ({:+.1}%)",
+        bn / 20,
+        bf / 20,
+        (bn as f64 - bf as f64) * 100.0 / bn as f64
+    );
+}

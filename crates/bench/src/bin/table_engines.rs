@@ -24,9 +24,11 @@
 //!
 //! Run with `cargo run --release -p asv-bench --bin table_engines`.
 
-use asv_datagen::corpus::{Archetype, CorpusGen};
+use asv_datagen::corpus::{Archetype, CorpusGen, SizeHint};
 use asv_mutation::inject::{apply, enumerate};
+use asv_sat::engine::{unroll_stats, BmcOptions};
 use asv_serve::{ServeOptions, VerifyJob, VerifyService};
+use asv_sim::{CompiledDesign, OptLevel};
 use asv_sva::bmc::{Engine, Verdict, Verifier};
 use std::time::{Duration, Instant};
 
@@ -329,7 +331,113 @@ fn main() {
         "blind sampling at the same budget must miss every one (else the scenarios are too easy)"
     );
 
+    optimizing_ir_table();
     mixed_batch_comparison();
+}
+
+/// Per-archetype before/after table of the IR pass pipeline: bytecode
+/// length (the simulator's program size) and AIG node / CNF clause
+/// counts of a depth-8 unrolling (the SAT engine's problem size), at
+/// `OptLevel::None` vs `OptLevel::Full`.
+fn optimizing_ir_table() {
+    println!("\n== Optimizing IR: bytecode and CNF reduction per archetype (depth 8) ==");
+    println!(
+        "{:<14} {:>9} {:>9} {:>6}  {:>9} {:>9} {:>6}  {:>9} {:>9} {:>6}",
+        "archetype",
+        "ops·raw",
+        "ops·opt",
+        "Δ%",
+        "aig·raw",
+        "aig·opt",
+        "Δ%",
+        "cnf·raw",
+        "cnf·opt",
+        "Δ%"
+    );
+    let gen = CorpusGen::new(0x17AB);
+    let opts = BmcOptions {
+        depth: 8,
+        reset_cycles: 2,
+        ..BmcOptions::default()
+    };
+    let pct = |raw: usize, opt: usize| -> f64 {
+        if raw == 0 {
+            0.0
+        } else {
+            (raw as f64 - opt as f64) * 100.0 / raw as f64
+        }
+    };
+    let (mut ops_raw_t, mut ops_opt_t) = (0usize, 0usize);
+    let (mut aig_raw_t, mut aig_opt_t) = (0usize, 0usize);
+    let (mut cnf_raw_t, mut cnf_opt_t) = (0usize, 0usize);
+    for (ai, arch) in Archetype::ALL.iter().enumerate() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(ai as u64);
+        let gd = gen.instantiate(
+            *arch,
+            ai,
+            SizeHint {
+                stages: 2,
+                width: 4,
+            },
+            &mut rng,
+        );
+        let design = asv_verilog::compile(&gd.source).expect("archetype compiles");
+        let raw = CompiledDesign::compile_opt(&design, OptLevel::None);
+        let opt = CompiledDesign::compile_opt(&design, OptLevel::Full);
+        let (ops_raw, ops_opt) = (raw.bytecode_len(), opt.bytecode_len());
+        assert!(
+            ops_opt <= ops_raw,
+            "{arch}: optimization must not grow the bytecode"
+        );
+        ops_raw_t += ops_raw;
+        ops_opt_t += ops_opt;
+        let (stats_raw, stats_opt) = (unroll_stats(&raw, opts), unroll_stats(&opt, opts));
+        let ((ar, cr), (ao, co)) = match (&stats_raw, &stats_opt) {
+            (Ok(r), Ok(o)) => ((r.aig_nodes, r.cnf_clauses), (o.aig_nodes, o.cnf_clauses)),
+            // Out-of-subset designs must be rejected identically.
+            (Err(_), Err(_)) => ((0, 0), (0, 0)),
+            (r, o) => panic!("{arch}: symbolic subset flipped across opt levels: {r:?} vs {o:?}"),
+        };
+        assert!(ao <= ar, "{arch}: optimization must not grow the AIG");
+        aig_raw_t += ar;
+        aig_opt_t += ao;
+        cnf_raw_t += cr;
+        cnf_opt_t += co;
+        println!(
+            "{:<14} {:>9} {:>9} {:>5.1}%  {:>9} {:>9} {:>5.1}%  {:>9} {:>9} {:>5.1}%",
+            format!("{arch}"),
+            ops_raw,
+            ops_opt,
+            pct(ops_raw, ops_opt),
+            ar,
+            ao,
+            pct(ar, ao),
+            cr,
+            co,
+            pct(cr, co),
+        );
+    }
+    println!(
+        "{:<14} {:>9} {:>9} {:>5.1}%  {:>9} {:>9} {:>5.1}%  {:>9} {:>9} {:>5.1}%",
+        "TOTAL",
+        ops_raw_t,
+        ops_opt_t,
+        pct(ops_raw_t, ops_opt_t),
+        aig_raw_t,
+        aig_opt_t,
+        pct(aig_raw_t, aig_opt_t),
+        cnf_raw_t,
+        cnf_opt_t,
+        pct(cnf_raw_t, cnf_opt_t),
+    );
+    assert!(
+        ops_opt_t < ops_raw_t,
+        "the pipeline must shrink total bytecode across the archetypes"
+    );
+    assert!(
+        aig_opt_t < aig_raw_t,
+        "the pipeline must shrink total AIG size across the archetypes"
+    );
 }
 
 /// 64 jobs cycling golden + first-compilable-mutant designs over all 12

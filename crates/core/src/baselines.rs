@@ -140,6 +140,7 @@ impl SelfVerifyEngine {
                 random_runs: 6,
                 seed: 0x01_5EEF,
                 engine: Engine::Auto,
+                opt: asv_sva::bmc::OptLevel::default(),
             },
             shortlist: 5,
             anchor_prob: 0.82,

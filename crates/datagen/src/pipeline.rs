@@ -50,6 +50,7 @@ impl Default for PipelineConfig {
                 random_runs: 24,
                 seed: 0xA55E_7501,
                 engine: Engine::Auto,
+                opt: asv_sva::bmc::OptLevel::default(),
             },
         }
     }
@@ -68,6 +69,7 @@ impl PipelineConfig {
                 random_runs: 10,
                 seed: 0xA55E_7501,
                 engine: Engine::Auto,
+                opt: asv_sva::bmc::OptLevel::default(),
             },
             ..Self::default()
         }

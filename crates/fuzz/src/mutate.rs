@@ -5,7 +5,7 @@
 //! well-formed run of the same depth. All randomness flows through the
 //! caller's seeded RNG: a fuzzing campaign is a pure function of its seed.
 
-use asv_sim::compile::{CLValue, CStmt, CombStep, CompiledDesign, ExprProg, Op};
+use asv_sim::compile::CompiledDesign;
 use asv_sim::stimulus::Stimulus;
 use asv_sim::StimulusGen;
 use asv_verilog::ast::{AssertTarget, Expr, PropExpr, PropertyDecl, SeqExpr};
@@ -21,19 +21,11 @@ use rand::Rng;
 /// design body never mentions them: an antecedent like `a == 16'hBEEF`
 /// must fire for the assertion to be exercised non-vacuously.
 pub fn design_dictionary(compiled: &CompiledDesign) -> Vec<u64> {
-    let mut dict = Vec::new();
-    for step in compiled.comb_steps() {
-        match step {
-            CombStep::Assign { lhs, rhs } => {
-                harvest_lvalue(lhs, &mut dict);
-                harvest_prog(rhs, &mut dict);
-            }
-            CombStep::Block(body) => harvest_stmt(body, &mut dict),
-        }
-    }
-    for block in compiled.seq_blocks() {
-        harvest_stmt(block, &mut dict);
-    }
+    // Bytecode constants come from the design's *raw* (pre-optimization)
+    // emission, recorded at compile time: constant folding merges and
+    // rewrites literals, and the dictionary — and with it every fuzzing
+    // campaign — must be bit-identical at every `OptLevel`.
+    let mut dict: Vec<u64> = compiled.dict_consts().to_vec();
     let module = &compiled.design().module;
     for prop in module.properties() {
         harvest_property(prop, &mut dict);
@@ -101,63 +93,6 @@ fn harvest_expr(e: &Expr, dict: &mut Vec<u64>) {
         }
         Expr::Bit { index, .. } => harvest_expr(index, dict),
         Expr::SysCall { args, .. } => args.iter().for_each(|a| harvest_expr(a, dict)),
-    }
-}
-
-fn harvest_prog(prog: &ExprProg, dict: &mut Vec<u64>) {
-    for op in &prog.ops {
-        if let Op::Const(v) = op {
-            dict.push(v.bits());
-        }
-    }
-    for sub in &prog.subs {
-        harvest_prog(sub, dict);
-    }
-}
-
-fn harvest_lvalue(lv: &CLValue, dict: &mut Vec<u64>) {
-    match lv {
-        CLValue::Bit { index, .. } => harvest_prog(index, dict),
-        CLValue::Concat(parts) => parts.iter().for_each(|p| harvest_lvalue(p, dict)),
-        CLValue::Whole(_) | CLValue::Part { .. } | CLValue::Unknown(_) => {}
-    }
-}
-
-fn harvest_stmt(s: &CStmt, dict: &mut Vec<u64>) {
-    match s {
-        CStmt::Block(stmts) => stmts.iter().for_each(|st| harvest_stmt(st, dict)),
-        CStmt::If {
-            cond,
-            then_branch,
-            else_branch,
-            ..
-        } => {
-            harvest_prog(cond, dict);
-            harvest_stmt(then_branch, dict);
-            if let Some(e) = else_branch {
-                harvest_stmt(e, dict);
-            }
-        }
-        CStmt::Case {
-            scrutinee,
-            arms,
-            default,
-            ..
-        } => {
-            harvest_prog(scrutinee, dict);
-            for arm in arms {
-                arm.labels.iter().for_each(|l| harvest_prog(l, dict));
-                harvest_stmt(&arm.body, dict);
-            }
-            if let Some(d) = default {
-                harvest_stmt(d, dict);
-            }
-        }
-        CStmt::Assign { lhs, rhs, .. } => {
-            harvest_lvalue(lhs, dict);
-            harvest_prog(rhs, dict);
-        }
-        CStmt::Empty => {}
     }
 }
 

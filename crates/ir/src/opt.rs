@@ -1,0 +1,734 @@
+//! The optimization pass pipeline over [`IrDesign`].
+//!
+//! Every rewrite preserves *observable semantics exactly*: the value of
+//! every signal after every simulation phase, the error (and its point of
+//! discovery) of every failing evaluation, the branch-coverage site
+//! numbering, and — via the [`Arena::removable`] gate — the symbolic
+//! engine's accept/reject decision. The differential suites treat the
+//! unoptimized form as the oracle, so a pass that can't prove one of
+//! those properties must not fire.
+//!
+//! Passes:
+//!
+//! * **Constant folding & param propagation** — parameters are folded at
+//!   lowering; this pass folds every operator whose operands are
+//!   constants, turning erroring folds into lazy [`IrExpr::Fail`] nodes
+//!   so `4'd1 / 4'd0` still raises only when evaluated.
+//! * **Algebraic simplification & strength reduction** — width-checked
+//!   identities (`x + 0`, `x & 0`, `x ^ x`, mux-of-equal …) and
+//!   power-of-two strength reduction (`x * 2^k → x << k`,
+//!   `x / 2^k → x >> k`, `x % 2^k → x & (2^k-1)`).
+//! * **Copy propagation** — `assign t = a;` lets later readers load `a`
+//!   directly. Only runs on levelizable designs (the fixpoint fallback's
+//!   per-iteration states are observable through `CombDivergence`) and
+//!   only through width-preserving, single-writer copies.
+//! * **Common-subexpression elimination** — structural hashing happens at
+//!   interning; the bytecode emitter materialises shared nodes into
+//!   expression-local temporaries (see `asv-sim`'s lowering).
+//!
+//! Dead-logic elimination is *consumer-side*: every signal is observable
+//! through traces and toggle coverage, so the simulator keeps everything;
+//! the SAT engine restricts its unrolling to the assertion cone using
+//! [`IrDesign::sym_clean_steps`]-derived step masks.
+
+use crate::eval::{binary, default_sys_call, unary};
+use crate::ir::{Arena, IrCombStep, IrExpr, IrLValue, IrStmt, NodeId};
+use crate::value::Value;
+use crate::{IrDesign, SigId};
+use asv_verilog::ast::BinaryOp;
+use std::collections::HashMap;
+
+/// Runs the full pipeline in place. `cross_step` enables the passes that
+/// move values across combinational steps (copy propagation) and must
+/// only be true when the *unoptimized* design levelizes — the fixpoint
+/// fallback's iteration count is observable through `CombDivergence`.
+pub fn optimize(ir: &mut IrDesign, cross_step: bool) {
+    rewrite_design(ir, &mut |arena, id| fold(arena, id));
+    if cross_step {
+        for _ in 0..4 {
+            let subst = copy_sources(ir);
+            if subst.is_empty() {
+                break;
+            }
+            apply_copies(ir, &subst);
+            rewrite_design(ir, &mut |arena, id| fold(arena, id));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rewrite driver
+// ---------------------------------------------------------------------------
+
+/// Applies `rule` bottom-up to every expression reachable from the
+/// design's statements, memoized per node.
+fn rewrite_design(ir: &mut IrDesign, rule: &mut dyn FnMut(&mut Arena, NodeId) -> NodeId) {
+    let mut memo: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut comb = std::mem::take(&mut ir.comb);
+    for step in &mut comb {
+        match step {
+            IrCombStep::Assign { lhs, rhs } => {
+                *rhs = rewrite_node(&mut ir.arena, *rhs, rule, &mut memo);
+                rewrite_lvalue(&mut ir.arena, lhs, rule, &mut memo);
+            }
+            IrCombStep::Block(body) => rewrite_stmt(&mut ir.arena, body, rule, &mut memo),
+        }
+    }
+    ir.comb = comb;
+    let mut seq = std::mem::take(&mut ir.seq);
+    for block in &mut seq {
+        rewrite_stmt(&mut ir.arena, block, rule, &mut memo);
+    }
+    ir.seq = seq;
+}
+
+fn rewrite_lvalue(
+    arena: &mut Arena,
+    lv: &mut IrLValue,
+    rule: &mut dyn FnMut(&mut Arena, NodeId) -> NodeId,
+    memo: &mut HashMap<NodeId, NodeId>,
+) {
+    match lv {
+        IrLValue::Bit { index, .. } => *index = rewrite_node(arena, *index, rule, memo),
+        IrLValue::Concat(parts) => {
+            for p in parts {
+                rewrite_lvalue(arena, p, rule, memo);
+            }
+        }
+        IrLValue::Whole(_) | IrLValue::Part { .. } | IrLValue::Unknown(_) => {}
+    }
+}
+
+fn rewrite_stmt(
+    arena: &mut Arena,
+    s: &mut IrStmt,
+    rule: &mut dyn FnMut(&mut Arena, NodeId) -> NodeId,
+    memo: &mut HashMap<NodeId, NodeId>,
+) {
+    match s {
+        IrStmt::Block(stmts) => {
+            for st in stmts {
+                rewrite_stmt(arena, st, rule, memo);
+            }
+        }
+        IrStmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            *cond = rewrite_node(arena, *cond, rule, memo);
+            rewrite_stmt(arena, then_branch, rule, memo);
+            if let Some(e) = else_branch {
+                rewrite_stmt(arena, e, rule, memo);
+            }
+        }
+        IrStmt::Case {
+            scrutinee,
+            arms,
+            default,
+            ..
+        } => {
+            *scrutinee = rewrite_node(arena, *scrutinee, rule, memo);
+            for arm in arms {
+                for l in &mut arm.labels {
+                    *l = rewrite_node(arena, *l, rule, memo);
+                }
+                rewrite_stmt(arena, &mut arm.body, rule, memo);
+            }
+            if let Some(d) = default {
+                rewrite_stmt(arena, d, rule, memo);
+            }
+        }
+        IrStmt::Assign { lhs, rhs, .. } => {
+            *rhs = rewrite_node(arena, *rhs, rule, memo);
+            rewrite_lvalue(arena, lhs, rule, memo);
+        }
+        IrStmt::Empty => {}
+    }
+}
+
+/// Rebuilds `id` with rewritten children, then applies `rule` to the
+/// result. Memoized: the DAG is visited once per distinct node.
+fn rewrite_node(
+    arena: &mut Arena,
+    id: NodeId,
+    rule: &mut dyn FnMut(&mut Arena, NodeId) -> NodeId,
+    memo: &mut HashMap<NodeId, NodeId>,
+) -> NodeId {
+    if let Some(&r) = memo.get(&id) {
+        return r;
+    }
+    let rebuilt = match arena.node(id).clone() {
+        n @ (IrExpr::Const(_) | IrExpr::Load(_) | IrExpr::Fail(_)) => arena.add(n),
+        IrExpr::Unary(op, a) => {
+            let a = rewrite_node(arena, a, rule, memo);
+            arena.add(IrExpr::Unary(op, a))
+        }
+        IrExpr::Binary(op, a, b) => {
+            let a = rewrite_node(arena, a, rule, memo);
+            let b = rewrite_node(arena, b, rule, memo);
+            arena.add(IrExpr::Binary(op, a, b))
+        }
+        IrExpr::Select {
+            cond,
+            then_n,
+            else_n,
+        } => {
+            let cond = rewrite_node(arena, cond, rule, memo);
+            let then_n = rewrite_node(arena, then_n, rule, memo);
+            let else_n = rewrite_node(arena, else_n, rule, memo);
+            arena.add(IrExpr::Select {
+                cond,
+                then_n,
+                else_n,
+            })
+        }
+        IrExpr::Concat(parts) => {
+            let parts: Vec<NodeId> = parts
+                .into_iter()
+                .map(|p| rewrite_node(arena, p, rule, memo))
+                .collect();
+            arena.add(IrExpr::Concat(parts))
+        }
+        IrExpr::Repeat { count, value } => {
+            let count = rewrite_node(arena, count, rule, memo);
+            let value = rewrite_node(arena, value, rule, memo);
+            arena.add(IrExpr::Repeat { count, value })
+        }
+        IrExpr::BitIndex { base, index } => {
+            let base = rewrite_node(arena, base, rule, memo);
+            let index = rewrite_node(arena, index, rule, memo);
+            arena.add(IrExpr::BitIndex { base, index })
+        }
+        IrExpr::Slice { base, msb, lsb } => {
+            let base = rewrite_node(arena, base, rule, memo);
+            arena.add(IrExpr::Slice { base, msb, lsb })
+        }
+        IrExpr::SysCall { name, args } => {
+            let args: Vec<NodeId> = args
+                .into_iter()
+                .map(|a| rewrite_node(arena, a, rule, memo))
+                .collect();
+            arena.add(IrExpr::SysCall { name, args })
+        }
+    };
+    let out = rule(arena, rebuilt);
+    memo.insert(id, out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Folding + algebraic simplification + strength reduction
+// ---------------------------------------------------------------------------
+
+/// One bottom-up simplification step for a node whose children are
+/// already in simplified form.
+fn fold(arena: &mut Arena, id: NodeId) -> NodeId {
+    match arena.node(id).clone() {
+        IrExpr::Unary(op, a) => match arena.as_const(a) {
+            // `unary` never raises.
+            Some(ca) => arena.konst(unary(op, ca)),
+            None => id,
+        },
+        IrExpr::Binary(op, a, b) => fold_binary(arena, id, op, a, b),
+        IrExpr::Select {
+            cond,
+            then_n,
+            else_n,
+        } => {
+            if let Some(cv) = arena.as_const(cond) {
+                // The untaken branch was never evaluated: dropping it can
+                // only *remove* work, never an error the oracle raises.
+                return if cv.is_truthy() { then_n } else { else_n };
+            }
+            // Mux-of-equal collapse: sound only when skipping the
+            // condition can neither raise an error nor flip symbolic
+            // supportability.
+            if then_n == else_n && arena.removable(cond) {
+                return then_n;
+            }
+            id
+        }
+        IrExpr::Concat(parts) => {
+            if parts.len() == 1 {
+                // `ConcatN(1)` is the identity in the executor.
+                return parts[0];
+            }
+            let consts: Option<Vec<Value>> = parts.iter().map(|p| arena.as_const(*p)).collect();
+            match consts {
+                Some(vs) => {
+                    let mut acc = vs[0];
+                    for v in &vs[1..] {
+                        acc = acc.concat(*v);
+                    }
+                    arena.konst(acc)
+                }
+                None => id,
+            }
+        }
+        IrExpr::Repeat { count, value } => {
+            let Some(cv) = arena.as_const(count) else {
+                return id;
+            };
+            let n = cv.bits();
+            if n == 0 || n > 64 {
+                // The guard fires before the value is evaluated, so the
+                // whole node folds to the guard's lazy error.
+                return arena.add(IrExpr::Fail(crate::eval::EvalError::Malformed(format!(
+                    "replication count {n} outside 1..=64"
+                ))));
+            }
+            match arena.as_const(value) {
+                Some(v) => {
+                    let mut acc = v;
+                    for _ in 1..n {
+                        acc = acc.concat(v);
+                    }
+                    arena.konst(acc)
+                }
+                None => id,
+            }
+        }
+        IrExpr::BitIndex { base, index } => match (arena.as_const(base), arena.as_const(index)) {
+            (Some(bv), Some(iv)) => {
+                let bit = u32::try_from(iv.bits())
+                    .map(|i| bv.get_bit(i))
+                    .unwrap_or(false);
+                arena.konst(Value::bit(bit))
+            }
+            _ => id,
+        },
+        IrExpr::Slice { base, msb, lsb } => match arena.as_const(base) {
+            Some(bv) => arena.konst(bv.slice(msb, lsb)),
+            None => id,
+        },
+        IrExpr::SysCall { name, args } => {
+            let consts: Option<Vec<Value>> = args.iter().map(|a| arena.as_const(*a)).collect();
+            match consts {
+                Some(vs) => match default_sys_call(&name, &vs) {
+                    Ok(v) => arena.konst(v),
+                    // Raised when evaluated, exactly like the runtime call.
+                    Err(e) => arena.add(IrExpr::Fail(e)),
+                },
+                None => id,
+            }
+        }
+        IrExpr::Const(_) | IrExpr::Load(_) | IrExpr::Fail(_) => id,
+    }
+}
+
+fn fold_binary(arena: &mut Arena, id: NodeId, op: BinaryOp, a: NodeId, b: NodeId) -> NodeId {
+    use BinaryOp as B;
+    let (ca, cb) = (arena.as_const(a), arena.as_const(b));
+    if let (Some(x), Some(y)) = (ca, cb) {
+        return match binary(op, x, y) {
+            Ok(v) => arena.konst(v),
+            Err(e) => arena.add(IrExpr::Fail(e)),
+        };
+    }
+    // Identities below must match `binary`'s width rule exactly: the
+    // result width is `max(lhs, rhs)`, so `x ⊕ c → x` requires the
+    // constant to be no wider than `x`, and `x ⊗ c → const` requires the
+    // statically inferred width of `x`.
+    let wa = arena.width(a);
+    let wb = arena.width(b);
+    // `x op x` on a pure operand: evaluation is referentially transparent,
+    // so both reads see the same value.
+    if a == b && arena.removable(a) {
+        if let Some(w) = wa {
+            match op {
+                B::Sub | B::BitXor => return arena.konst(Value::zero(w)),
+                B::BitXnor => return arena.konst(Value::ones(w)),
+                B::BitAnd | B::BitOr => return a,
+                B::Eq | B::CaseEq | B::Le | B::Ge => return arena.konst(Value::bit(true)),
+                B::Ne | B::CaseNe | B::Lt | B::Gt => return arena.konst(Value::bit(false)),
+                _ => {}
+            }
+        }
+    }
+    if let Some(c) = cb {
+        let wc = c.width();
+        let fits = |w: Option<u32>| w.is_some_and(|w| wc <= w);
+        match op {
+            B::Add | B::Sub | B::BitOr | B::BitXor | B::Shl | B::AShl | B::Shr | B::AShr
+                if c.bits() == 0 && fits(wa) =>
+            {
+                return a;
+            }
+            B::Mul | B::Div if c.bits() == 1 && fits(wa) => return a,
+            B::Mul | B::BitAnd if c.bits() == 0 && arena.removable(a) => {
+                if let Some(w) = wa {
+                    return arena.konst(Value::zero(w.max(wc)));
+                }
+            }
+            B::Mod if c.bits() == 1 && arena.removable(a) => {
+                if let Some(w) = wa {
+                    return arena.konst(Value::zero(w.max(wc)));
+                }
+            }
+            B::Mul if c.bits().is_power_of_two() => {
+                // x * 2^k == x << k at every width: both wrap mod 2^w with
+                // w = max(wx, wc), and `k ≤ wc-1` always fits in wc bits.
+                let k = arena.konst(Value::new(u64::from(c.bits().trailing_zeros()), wc));
+                return arena.add(IrExpr::Binary(B::Shl, a, k));
+            }
+            B::Div if c.bits().is_power_of_two() => {
+                let k = arena.konst(Value::new(u64::from(c.bits().trailing_zeros()), wc));
+                return arena.add(IrExpr::Binary(B::Shr, a, k));
+            }
+            B::Mod if c.bits().is_power_of_two() && c.bits() > 1 => {
+                let m = arena.konst(Value::new(c.bits() - 1, wc));
+                return arena.add(IrExpr::Binary(B::BitAnd, a, m));
+            }
+            B::BitAnd if wa == Some(wc) && c == Value::ones(wc) => return a,
+            B::BitOr
+                if c == Value::ones(wc) && wa.is_some_and(|w| w <= wc) && arena.removable(a) =>
+            {
+                return arena.konst(Value::ones(wc));
+            }
+            _ => {}
+        }
+    }
+    if let Some(c) = ca {
+        let wc = c.width();
+        let fits = |w: Option<u32>| w.is_some_and(|w| wc <= w);
+        match op {
+            B::Add | B::BitOr | B::BitXor if c.bits() == 0 && fits(wb) => return b,
+            B::Mul if c.bits() == 1 && fits(wb) => return b,
+            B::Mul | B::BitAnd if c.bits() == 0 && arena.removable(b) => {
+                if let Some(w) = wb {
+                    return arena.konst(Value::zero(w.max(wc)));
+                }
+            }
+            B::Mul if c.bits().is_power_of_two() => {
+                let k = arena.konst(Value::new(u64::from(c.bits().trailing_zeros()), wc));
+                return arena.add(IrExpr::Binary(B::Shl, b, k));
+            }
+            B::BitAnd if wb == Some(wc) && c == Value::ones(wc) => return b,
+            B::BitOr
+                if c == Value::ones(wc) && wb.is_some_and(|w| w <= wc) && arena.removable(b) =>
+            {
+                return arena.konst(Value::ones(wc));
+            }
+            _ => {}
+        }
+    }
+    id
+}
+
+// ---------------------------------------------------------------------------
+// Copy propagation (levelized designs only)
+// ---------------------------------------------------------------------------
+
+/// What a copied signal forwards to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CopySrc {
+    Sig(SigId),
+    Const(Value),
+}
+
+/// Finds signals `t` driven by exactly one continuous assignment of the
+/// form `assign t = a;` (same width) or `assign t = const;`, with no
+/// other writer anywhere and `t` not an input port. Chains resolve to
+/// their root.
+fn copy_sources(ir: &IrDesign) -> HashMap<SigId, CopySrc> {
+    let n = ir.names.len();
+    let mut write_counts = vec![0usize; n];
+    for step in &ir.comb {
+        match step {
+            IrCombStep::Assign { lhs, .. } => count_lvalue(lhs, &mut write_counts),
+            IrCombStep::Block(body) => count_stmt(body, &mut write_counts),
+        }
+    }
+    for block in &ir.seq {
+        count_stmt(block, &mut write_counts);
+    }
+    let mut map: HashMap<SigId, CopySrc> = HashMap::new();
+    for step in &ir.comb {
+        let IrCombStep::Assign {
+            lhs: IrLValue::Whole(t),
+            rhs,
+        } = step
+        else {
+            continue;
+        };
+        if ir.is_input[t.idx()] || write_counts[t.idx()] != 1 {
+            continue;
+        }
+        match ir.arena.node(*rhs) {
+            IrExpr::Load(a) if ir.widths[a.idx()] == ir.widths[t.idx()] => {
+                map.insert(*t, CopySrc::Sig(*a));
+            }
+            IrExpr::Const(c) => {
+                map.insert(*t, CopySrc::Const(c.resize(ir.widths[t.idx()])));
+            }
+            _ => {}
+        }
+    }
+    // Resolve chains `t2 = t1 = a` to the root, with a cycle guard.
+    let resolved: HashMap<SigId, CopySrc> = map
+        .keys()
+        .map(|&t| {
+            let mut src = map[&t];
+            for _ in 0..n {
+                match src {
+                    CopySrc::Sig(s) => match map.get(&s) {
+                        Some(&next) if next != CopySrc::Sig(t) => src = next,
+                        _ => break,
+                    },
+                    CopySrc::Const(_) => break,
+                }
+            }
+            (t, src)
+        })
+        .collect();
+    resolved
+}
+
+fn count_lvalue(lv: &IrLValue, counts: &mut [usize]) {
+    match lv {
+        IrLValue::Whole(s) | IrLValue::Bit { sig: s, .. } | IrLValue::Part { sig: s, .. } => {
+            counts[s.idx()] += 1;
+        }
+        IrLValue::Concat(parts) => {
+            for p in parts {
+                count_lvalue(p, counts);
+            }
+        }
+        IrLValue::Unknown(_) => {}
+    }
+}
+
+fn count_stmt(s: &IrStmt, counts: &mut [usize]) {
+    match s {
+        IrStmt::Block(stmts) => stmts.iter().for_each(|st| count_stmt(st, counts)),
+        IrStmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            count_stmt(then_branch, counts);
+            if let Some(e) = else_branch {
+                count_stmt(e, counts);
+            }
+        }
+        IrStmt::Case { arms, default, .. } => {
+            arms.iter().for_each(|a| count_stmt(&a.body, counts));
+            if let Some(d) = default {
+                count_stmt(d, counts);
+            }
+        }
+        IrStmt::Assign { lhs, .. } => count_lvalue(lhs, counts),
+        IrStmt::Empty => {}
+    }
+}
+
+/// Replaces reads of copied signals inside *combinational* steps. A step
+/// that itself writes the copy's source keeps the original load (its
+/// blocking writes would otherwise be observed early); sequential blocks
+/// are never rewritten (their scratch state diverges from the settled
+/// state mid-execution).
+fn apply_copies(ir: &mut IrDesign, subst: &HashMap<SigId, CopySrc>) {
+    let mut comb = std::mem::take(&mut ir.comb);
+    for step in &mut comb {
+        let mut writes = vec![0usize; ir.names.len()];
+        match &*step {
+            IrCombStep::Assign { lhs, .. } => count_lvalue(lhs, &mut writes),
+            IrCombStep::Block(body) => count_stmt(body, &mut writes),
+        }
+        // Also never rewrite the defining copy itself (`t = a` keeps
+        // reading `a`, trivially, but `t = t2` where t2 maps to t would
+        // self-substitute into a stale read).
+        let usable: HashMap<SigId, CopySrc> = subst
+            .iter()
+            .filter(|(t, src)| {
+                writes[t.idx()] == 0
+                    && match src {
+                        CopySrc::Sig(a) => writes[a.idx()] == 0,
+                        CopySrc::Const(_) => true,
+                    }
+            })
+            .map(|(t, s)| (*t, *s))
+            .collect();
+        if usable.is_empty() {
+            continue;
+        }
+        let mut memo = HashMap::new();
+        let mut rule = |arena: &mut Arena, id: NodeId| -> NodeId {
+            if let IrExpr::Load(sig) = arena.node(id) {
+                if let Some(src) = usable.get(sig) {
+                    return match src {
+                        CopySrc::Sig(a) => arena.add(IrExpr::Load(*a)),
+                        CopySrc::Const(c) => arena.konst(*c),
+                    };
+                }
+            }
+            id
+        };
+        match step {
+            IrCombStep::Assign { lhs, rhs } => {
+                // The target is untouched; only the read side forwards.
+                *rhs = rewrite_node(&mut ir.arena, *rhs, &mut rule, &mut memo);
+                rewrite_lvalue(&mut ir.arena, lhs, &mut rule, &mut memo);
+            }
+            IrCombStep::Block(body) => {
+                rewrite_stmt(&mut ir.arena, body, &mut rule, &mut memo);
+            }
+        }
+    }
+    ir.comb = comb;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_verilog::compile as velab;
+
+    fn optimized(src: &str) -> IrDesign {
+        let mut ir = IrDesign::from_design(&velab(src).expect("compile"));
+        optimize(&mut ir, true);
+        ir
+    }
+
+    fn rhs_of(ir: &IrDesign, step: usize) -> NodeId {
+        match &ir.comb[step] {
+            IrCombStep::Assign { rhs, .. } => *rhs,
+            IrCombStep::Block(_) => panic!("expected assign"),
+        }
+    }
+
+    #[test]
+    fn constants_fold_through_operators() {
+        let ir = optimized(
+            "module m #(parameter W = 3)(input [7:0] a, output [7:0] y);\n\
+             assign y = a + (W * 8'd2 + 8'd1);\nendmodule",
+        );
+        let IrExpr::Binary(BinaryOp::Add, _, k) = ir.arena.node(rhs_of(&ir, 0)) else {
+            panic!("top add expected, got {:?}", ir.arena.node(rhs_of(&ir, 0)));
+        };
+        assert_eq!(ir.arena.as_const(*k).map(Value::bits), Some(7));
+    }
+
+    #[test]
+    fn erroring_folds_stay_lazy() {
+        let ir = optimized(
+            "module m(input s, input [3:0] a, output [3:0] y);\n\
+             assign y = s ? 4'd1 / 4'd0 : a;\nendmodule",
+        );
+        let IrExpr::Select { then_n, .. } = ir.arena.node(rhs_of(&ir, 0)) else {
+            panic!("select expected");
+        };
+        assert!(
+            matches!(ir.arena.node(*then_n), IrExpr::Fail(_)),
+            "constant division by zero folds to a lazy Fail, not a crash"
+        );
+    }
+
+    #[test]
+    fn strength_reduction_rewrites_mul_div_mod() {
+        let ir = optimized(
+            "module m(input [7:0] a, output [7:0] x, output [7:0] y, output [7:0] z);\n\
+             assign x = a * 8'd4;\nassign y = a / 8'd8;\nassign z = a % 8'd16;\nendmodule",
+        );
+        assert!(matches!(
+            ir.arena.node(rhs_of(&ir, 0)),
+            IrExpr::Binary(BinaryOp::Shl, _, _)
+        ));
+        assert!(matches!(
+            ir.arena.node(rhs_of(&ir, 1)),
+            IrExpr::Binary(BinaryOp::Shr, _, _)
+        ));
+        assert!(matches!(
+            ir.arena.node(rhs_of(&ir, 2)),
+            IrExpr::Binary(BinaryOp::BitAnd, _, _)
+        ));
+    }
+
+    #[test]
+    fn identities_respect_widths() {
+        // `a + 16'd0` must NOT fold: the constant is wider than `a`, so
+        // the addition widens the result.
+        let ir = optimized(
+            "module m(input [7:0] a, output [15:0] y, output [7:0] z);\n\
+             assign y = a + 16'd0;\nassign z = a + 8'd0;\nendmodule",
+        );
+        assert!(
+            matches!(ir.arena.node(rhs_of(&ir, 0)), IrExpr::Binary(..)),
+            "width-changing identity must not fold"
+        );
+        assert!(
+            matches!(ir.arena.node(rhs_of(&ir, 1)), IrExpr::Load(_)),
+            "width-preserving identity folds to the bare load"
+        );
+    }
+
+    #[test]
+    fn mux_of_equal_collapses_only_when_cond_is_pure() {
+        let ir = optimized(
+            "module m(input s, input [3:0] a, input [3:0] b, output [3:0] y, output [3:0] z);\n\
+             assign y = s ? a : a;\nassign z = (a / b > 4'd0) ? a : a;\nendmodule",
+        );
+        assert!(
+            matches!(ir.arena.node(rhs_of(&ir, 0)), IrExpr::Load(_)),
+            "pure condition collapses"
+        );
+        assert!(
+            matches!(ir.arena.node(rhs_of(&ir, 1)), IrExpr::Select { .. }),
+            "a condition that can divide by zero must keep evaluating"
+        );
+    }
+
+    #[test]
+    fn x_op_x_folds_on_shared_nodes() {
+        let ir = optimized(
+            "module m(input [3:0] a, input [3:0] b, output [3:0] y, output e);\n\
+             assign y = (a ^ b) ^ (a ^ b);\nassign e = (a + b) == (a + b);\nendmodule",
+        );
+        assert_eq!(ir.arena.as_const(rhs_of(&ir, 0)), Some(Value::zero(4)));
+        assert_eq!(ir.arena.as_const(rhs_of(&ir, 1)), Some(Value::bit(true)));
+    }
+
+    #[test]
+    fn copy_propagation_forwards_through_aliases() {
+        let ir = optimized(
+            "module m(input [3:0] a, output [3:0] y);\n\
+             wire [3:0] t, u;\n\
+             assign t = a;\nassign u = t;\nassign y = u & 4'hF;\nendmodule",
+        );
+        // y's rhs reads `a` directly (and the & ones(4) identity folded).
+        let y_idx = ir.names.iter().position(|n| n == "y").unwrap();
+        let a_idx = ir.names.iter().position(|n| n == "a").unwrap();
+        let step = ir
+            .comb
+            .iter()
+            .find_map(|s| match s {
+                IrCombStep::Assign {
+                    lhs: IrLValue::Whole(t),
+                    rhs,
+                } if t.idx() == y_idx => Some(*rhs),
+                _ => None,
+            })
+            .expect("driver of y");
+        assert_eq!(
+            ir.arena.node(step),
+            &IrExpr::Load(SigId(a_idx as u32)),
+            "chain t→u collapses to a direct read of a"
+        );
+    }
+
+    #[test]
+    fn copy_propagation_skips_width_changing_aliases() {
+        let ir = optimized(
+            "module m(input [7:0] a, output [4:0] y);\n\
+             wire [3:0] t;\n\
+             assign t = a;\nassign y = t + 5'd1;\nendmodule",
+        );
+        // t truncates a to 4 bits: forwarding would widen the read.
+        let IrExpr::Binary(BinaryOp::Add, lhs, _) = ir.arena.node(rhs_of(&ir, 1)) else {
+            panic!("add expected");
+        };
+        let t_idx = ir.names.iter().position(|n| n == "t").unwrap();
+        assert_eq!(ir.arena.node(*lhs), &IrExpr::Load(SigId(t_idx as u32)));
+    }
+}

@@ -53,6 +53,12 @@ impl Default for BmcOptions {
     }
 }
 
+/// Per-probe conflict budget during witness canonicalisation: bit-fixing
+/// probes after the main solve are near-pure propagation, so a small cap
+/// bounds the worst case without ever costing a verdict (the raw model's
+/// witness is kept as the fallback).
+const MINIMIZE_CONFLICT_BUDGET: u64 = 50_000;
+
 /// Result of a symbolic check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BmcVerdict {
@@ -386,6 +392,10 @@ struct Engine<'a> {
     rows: Vec<SymState>,
     /// Per frame, the symbolic free inputs in `free_inputs` order.
     frame_inputs: Vec<Vec<SymVec>>,
+    /// Dead-logic elimination masks for the unrolling: `(comb, seq)`
+    /// liveness from `CompiledDesign::sym_live` (None = blast everything,
+    /// as the `supports` probe and `OptLevel::None` designs do).
+    live: Option<(Vec<bool>, Vec<bool>)>,
 }
 
 impl<'a> Engine<'a> {
@@ -393,6 +403,7 @@ impl<'a> Engine<'a> {
         cd: &'a CompiledDesign,
         opts: BmcOptions,
         cancel: Option<&CancelToken>,
+        live: Option<(Vec<bool>, Vec<bool>)>,
     ) -> Result<Self, BmcError> {
         if !cd.is_levelized() {
             return Err(BmcError::Unsupported(
@@ -423,6 +434,7 @@ impl<'a> Engine<'a> {
             state: SymState::init(cd),
             rows: Vec::new(),
             frame_inputs: Vec::new(),
+            live,
         })
     }
 
@@ -451,10 +463,12 @@ impl<'a> Engine<'a> {
             frame.push(sv);
         }
         self.frame_inputs.push(frame);
-        settle_sym(&mut self.g, self.cd, &mut self.state)?;
+        let comb_live = self.live.as_ref().map(|l| l.0.as_slice());
+        let seq_live = self.live.as_ref().map(|l| l.1.as_slice());
+        settle_sym(&mut self.g, self.cd, &mut self.state, comb_live)?;
         self.rows.push(self.state.clone());
-        clock_edge_sym(&mut self.g, self.cd, &mut self.state)?;
-        settle_sym(&mut self.g, self.cd, &mut self.state)?;
+        clock_edge_sym(&mut self.g, self.cd, &mut self.state, seq_live)?;
+        settle_sym(&mut self.g, self.cd, &mut self.state, comb_live)?;
         if self.g.len() > self.opts.node_limit {
             return Err(BmcError::Resource(format!(
                 "AIG exceeded {} nodes",
@@ -546,6 +560,77 @@ impl<'a> Engine<'a> {
         Ok((self.g.and(enabled, fail), self.g.and(enabled, pass)))
     }
 
+    /// Canonicalises the current SAT model into the *lexicographically
+    /// smallest* violating input assignment: every free input bit, in
+    /// `(frame, input, bit)` order, is forced to 0 under assumptions when
+    /// the instance stays satisfiable, else fixed to 1. The result
+    /// depends only on the set of violating input sequences — not on the
+    /// CNF's shape, variable numbering or VSIDS history — so the witness
+    /// is identical across opt levels, engine revisions and portfolio
+    /// runs, and the differential suites can compare counterexamples
+    /// bit-for-bit.
+    ///
+    /// Minimisation probes run under their own small conflict budget
+    /// ([`MINIMIZE_CONFLICT_BUDGET`]): after the main solve, fixing bits
+    /// is almost always pure propagation, so a genuinely hard probe means
+    /// canonicalisation is not worth its cost. The caller keeps the raw
+    /// witness it stashed before the call, so abandoning here never loses
+    /// the counterexample.
+    ///
+    /// # Errors
+    ///
+    /// [`BmcError::Cancelled`] when the token is poisoned mid-probe;
+    /// exhausting the probe budget abandons canonicalisation (any other
+    /// error is treated the same way by the caller).
+    fn minimize_witness(&mut self, fail: Lit, len: usize) -> Result<(), BmcError> {
+        let saved = self.solver.conflict_budget;
+        self.solver.conflict_budget = Some(saved.map_or(MINIMIZE_CONFLICT_BUDGET, |b| {
+            b.min(MINIMIZE_CONFLICT_BUDGET)
+        }));
+        let r = self.minimize_witness_inner(fail, len);
+        self.solver.conflict_budget = saved;
+        r
+    }
+
+    fn minimize_witness_inner(&mut self, fail: Lit, len: usize) -> Result<(), BmcError> {
+        let mut assumps = vec![fail];
+        'bits: for t in 0..len {
+            for k in 0..self.free_inputs.len() {
+                let lits: Vec<NLit> = self.frame_inputs[t][k].lits().to_vec();
+                for l in lits {
+                    if l.as_const().is_some() {
+                        continue; // reset-frame constants
+                    }
+                    let sl = self.enc.lit(&self.g, &mut self.solver, l);
+                    assumps.push(!sl);
+                    match self.solver.solve(&assumps) {
+                        SolveResult::Sat => {}
+                        SolveResult::Unsat => {
+                            assumps.pop();
+                            assumps.push(sl);
+                        }
+                        SolveResult::Unknown => {
+                            assumps.pop();
+                            break 'bits;
+                        }
+                        SolveResult::Cancelled => return Err(BmcError::Cancelled),
+                    }
+                }
+            }
+        }
+        // Re-solve the fixed prefix so the model reflects it (the loop
+        // may have ended on an Unsat probe). The prefix was satisfiable
+        // at every step by construction.
+        match self.solver.solve(&assumps) {
+            SolveResult::Sat => Ok(()),
+            SolveResult::Unsat => Err(BmcError::Resource(
+                "witness minimisation lost satisfiability".into(),
+            )),
+            SolveResult::Unknown => Err(BmcError::Resource("conflict budget exhausted".into())),
+            SolveResult::Cancelled => Err(BmcError::Cancelled),
+        }
+    }
+
     /// Decodes the solver model (or the trivial all-zero assignment) into
     /// a concrete stimulus of length `len`, shaped exactly like
     /// `StimulusGen` output so replays drive the simulator identically.
@@ -612,9 +697,17 @@ impl<'a> Engine<'a> {
                     let q = self.enc.lit(&self.g, &mut self.solver, fail);
                     match self.solver.solve(&[q]) {
                         SolveResult::Sat => {
-                            return Ok(BmcVerdict::Fails {
-                                stimulus: self.extract_stimulus(len, true),
-                            });
+                            // A witness exists. Canonicalisation must
+                            // never lose it: stash the raw model's
+                            // stimulus first, and fall back to it if the
+                            // probe budget runs out mid-minimisation.
+                            let raw = self.extract_stimulus(len, true);
+                            let stimulus = match self.minimize_witness(q, len) {
+                                Ok(()) => self.extract_stimulus(len, true),
+                                Err(BmcError::Cancelled) => return Err(BmcError::Cancelled),
+                                Err(_) => raw,
+                            };
+                            return Ok(BmcVerdict::Fails { stimulus });
                         }
                         SolveResult::Unsat => continue,
                         SolveResult::Unknown => {
@@ -694,7 +787,90 @@ pub fn check_cancellable(
     cancel: Option<&CancelToken>,
 ) -> Result<BmcVerdict, BmcError> {
     let props = compile_props(cd)?;
-    Engine::new(cd, opts, cancel)?.run(&props)
+    // Dead-logic elimination: restrict the unrolling to the assertion
+    // cone. Gated on the opt level so `OptLevel::None` stays the
+    // untouched reference unrolling; steps that might not bit-blast are
+    // pinned live inside `sym_live`, so the accept/reject decision is
+    // identical either way.
+    let live =
+        (cd.opt_level() == asv_sim::OptLevel::Full).then(|| cd.sym_live(&prop_roots(&props)));
+    Engine::new(cd, opts, cancel, live)?.run(&props)
+}
+
+/// Observability roots of the properties: every signal any compiled
+/// property program (body atoms, disable guards, history sub-programs)
+/// reads.
+fn prop_roots(props: &[PropSym]) -> Vec<SigId> {
+    let mut roots = Vec::new();
+    let seq = |sp: &SeqProg, roots: &mut Vec<SigId>| {
+        for a in &sp.atoms {
+            a.prog.collect_sigs(roots);
+        }
+    };
+    for p in props {
+        if let Some(d) = &p.disable {
+            d.collect_sigs(&mut roots);
+        }
+        match &p.body {
+            PropBody::Seq(sp) => seq(sp, &mut roots),
+            PropBody::Implication {
+                antecedent,
+                consequent,
+                ..
+            } => {
+                seq(antecedent, &mut roots);
+                seq(consequent, &mut roots);
+            }
+        }
+    }
+    roots
+}
+
+/// Size metrics of a bounded unrolling (for `table_engines` and the
+/// README's before/after table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnrollStats {
+    /// AIG nodes after unrolling every frame and building the combined
+    /// fail cone.
+    pub aig_nodes: usize,
+    /// CNF variables after Tseitin-encoding the fail cone.
+    pub cnf_vars: usize,
+    /// CNF clauses after Tseitin-encoding the fail cone.
+    pub cnf_clauses: usize,
+}
+
+/// Unrolls the full bound (same schedule, cone restriction and property
+/// logic as [`check`]) and Tseitin-encodes the combined fail cone —
+/// without solving. The resulting sizes quantify what the IR pipeline
+/// saves the SAT engine per design.
+///
+/// # Errors
+///
+/// As [`check`], minus anything solver-related.
+pub fn unroll_stats(cd: &CompiledDesign, opts: BmcOptions) -> Result<UnrollStats, BmcError> {
+    let props = compile_props(cd)?;
+    let live =
+        (cd.opt_level() == asv_sim::OptLevel::Full).then(|| cd.sym_live(&prop_roots(&props)));
+    let mut engine = Engine::new(cd, opts, None, live)?;
+    let max_len = opts.reset_cycles + opts.depth;
+    for _ in 0..max_len {
+        engine.push_frame()?;
+    }
+    let mut fail = NLit::FALSE;
+    for prop in &props {
+        for s in 0..max_len {
+            let (f, _) = engine.attempt_lits(prop, s, max_len)?;
+            fail = engine.g.or(fail, f);
+        }
+    }
+    if fail.as_const().is_none() {
+        let _ = engine.enc.lit(&engine.g, &mut engine.solver, fail);
+    }
+    Ok(UnrollStats {
+        aig_nodes: engine.g.len(),
+        cnf_vars: engine.solver.num_vars(),
+        cnf_clauses: engine.solver.num_clauses(),
+    })
 }
 
 /// Cheap structural probe: does `cd` fall inside the symbolic engine's
@@ -719,7 +895,10 @@ pub fn supports(cd: &CompiledDesign) -> Result<(), BmcError> {
         conflict_budget: Some(0),
         ..BmcOptions::default()
     };
-    let mut engine = Engine::new(cd, probe, None)?;
+    // The probe blasts the FULL schedule (no cone restriction): the
+    // accept/reject answer must match what `check` would decide for the
+    // same design at `OptLevel::None`, where nothing is masked.
+    let mut engine = Engine::new(cd, probe, None, None)?;
     engine.push_frame()?;
     for prop in &props {
         engine.attempt_lits(prop, 0, 1)?;

@@ -265,6 +265,12 @@ pub fn exec_stmt_sym<'a>(
 /// Settles combinational logic symbolically: one pass over the levelized
 /// schedule.
 ///
+/// `live` optionally masks the steps to execute (dead-logic elimination
+/// for the symbolic path — see `CompiledDesign::sym_live`); `None` runs
+/// everything. Skipped steps are provably outside every assertion's cone
+/// *and* statically guaranteed to bit-blast, so skipping can change
+/// neither the verdict nor the engine's accept/reject decision.
+///
 /// # Errors
 ///
 /// [`BlastError`] when a step cannot be lowered. Must only be called on
@@ -274,9 +280,13 @@ pub fn settle_sym(
     g: &mut Aig,
     cd: &CompiledDesign,
     state: &mut SymState,
+    live: Option<&[bool]>,
 ) -> Result<(), BlastError> {
     debug_assert!(cd.is_levelized(), "symbolic settle requires levelization");
     for &i in cd.comb_order() {
+        if live.is_some_and(|m| !m[i]) {
+            continue;
+        }
         match &cd.comb_steps()[i] {
             CombStep::Assign { lhs, rhs } => {
                 let v = run_sym(g, rhs, &SliceEnv::new(&state.vals))?;
@@ -314,6 +324,8 @@ enum Commit<'a> {
 /// Executes every clocked block against the pre-edge state and commits
 /// updates atomically, mirroring `CompiledDesign::clock_edge`.
 ///
+/// `live` masks clocked blocks exactly like [`settle_sym`]'s comb mask.
+///
 /// # Errors
 ///
 /// [`BlastError`] when a statement cannot be lowered.
@@ -321,10 +333,14 @@ pub fn clock_edge_sym(
     g: &mut Aig,
     cd: &CompiledDesign,
     state: &mut SymState,
+    live: Option<&[bool]>,
 ) -> Result<(), BlastError> {
     let pre = state.clone();
     let mut commits: Vec<Commit<'_>> = Vec::new();
-    for block in cd.seq_blocks() {
+    for (bi, block) in cd.seq_blocks().iter().enumerate() {
+        if live.is_some_and(|m| !m[bi]) {
+            continue;
+        }
         let mut scratch = pre.clone();
         let mut nba = Vec::new();
         exec_stmt_sym(g, cd, block, NLit::TRUE, &mut scratch, &mut nba)?;
@@ -411,10 +427,10 @@ mod tests {
         for _ in 0..ticks {
             let bits: Vec<NLit> = (0..w).map(|_| g.input()).collect();
             state.vals[sig.idx()] = SymVec::new(bits);
-            settle_sym(&mut g, &cd, &mut state).expect("settle");
+            settle_sym(&mut g, &cd, &mut state, None).expect("settle");
             frames.push(state.clone());
-            clock_edge_sym(&mut g, &cd, &mut state).expect("edge");
-            settle_sym(&mut g, &cd, &mut state).expect("settle");
+            clock_edge_sym(&mut g, &cd, &mut state, None).expect("edge");
+            settle_sym(&mut g, &cd, &mut state, None).expect("settle");
         }
 
         // Enumerate all concrete input sequences and compare sampled rows.

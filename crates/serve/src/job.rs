@@ -27,13 +27,15 @@ pub struct VerifyJob {
 }
 
 /// Memo key of a job: a 128-bit fingerprint over `(design, property
-/// set, engine, budget)` — two independent 64-bit hashes of the full
-/// tuple, domain-separated so the halves never cancel together.
+/// set, engine, budget, OptLevel)` — two independent 64-bit hashes of
+/// the full tuple, domain-separated so the halves never cancel together.
 ///
 /// Two jobs share a key iff they would produce the same verdict: every
 /// engine is deterministic in `(design, Verifier)`, and the `Verifier`
 /// hash covers depth, reset protocol, enumeration limit, stimulus
-/// budget, seed and engine selection. The property set is hashed
+/// budget, seed, engine selection and IR optimization level (so a
+/// mixed-opt workload can never alias one level's verdict — or its
+/// cached compiled artifact — to the other's). The property set is hashed
 /// explicitly (directive names plus rendered inline bodies) on top of
 /// the structural design hash, so assertion-only edits never alias.
 /// A wrong verdict-memo hit would be an *unsound verification result*,
@@ -137,11 +139,19 @@ mod tests {
                 ..v
             },
         );
+        let other_opt = VerifyJob::new(
+            base.design.clone(),
+            Verifier {
+                opt: asv_sva::bmc::OptLevel::None,
+                ..v
+            },
+        );
         for (name, job) in [
             ("logic", &other_logic),
             ("property", &other_prop),
             ("engine", &other_engine),
             ("budget", &other_budget),
+            ("opt level", &other_opt),
         ] {
             assert_ne!(base.key(), job.key(), "{name} change must change the key");
         }

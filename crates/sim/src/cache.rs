@@ -15,7 +15,7 @@
 //! by full structural equality before an entry is reused, so a hit is
 //! always the *same* design.
 
-use crate::compile::CompiledDesign;
+use crate::compile::{CompiledDesign, OptLevel};
 use asv_verilog::sema::Design;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -44,9 +44,13 @@ pub fn design_hash(design: &Design) -> u64 {
 }
 
 /// One shard: a small MRU-ordered vector (most recently used last).
+///
+/// Entries are keyed on `(design hash, OptLevel)`: a mixed-opt workload
+/// (e.g. a differential run holding both forms of one design) must never
+/// alias to the other level's compiled artifact.
 #[derive(Default)]
 struct Shard {
-    entries: Vec<(u64, std::sync::Arc<CompiledDesign>)>,
+    entries: Vec<(u64, OptLevel, std::sync::Arc<CompiledDesign>)>,
 }
 
 /// A sharded LRU cache of compiled designs.
@@ -66,10 +70,21 @@ impl CompileCache {
         }
     }
 
-    /// Returns the compiled form of `design`, compiling and caching it on
-    /// the first request. Collisions fall back to structural equality, so
-    /// the returned design is always `design` itself.
+    /// [`CompileCache::get_or_compile_opt`] at the default opt level.
     pub fn get_or_compile(&self, design: &Design) -> std::sync::Arc<CompiledDesign> {
+        self.get_or_compile_opt(design, OptLevel::default())
+    }
+
+    /// Returns the compiled form of `design` at `opt`, compiling and
+    /// caching it on the first request. The cache key is
+    /// `(design hash, OptLevel)` — the two opt forms of one design are
+    /// distinct artifacts and never alias. Hash collisions fall back to
+    /// structural equality, so a hit is always `design` itself.
+    pub fn get_or_compile_opt(
+        &self,
+        design: &Design,
+        opt: OptLevel,
+    ) -> std::sync::Arc<CompiledDesign> {
         let key = design_hash(design);
         let shard = &self.shards[(key as usize) & (SHARDS - 1)];
         {
@@ -77,10 +92,10 @@ impl CompileCache {
             if let Some(pos) = s
                 .entries
                 .iter()
-                .position(|(k, cd)| *k == key && cd.design() == design)
+                .position(|(k, o, cd)| *k == key && *o == opt && cd.design() == design)
             {
                 let entry = s.entries.remove(pos);
-                let cd = std::sync::Arc::clone(&entry.1);
+                let cd = std::sync::Arc::clone(&entry.2);
                 s.entries.push(entry); // most recently used last
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return cd;
@@ -89,7 +104,7 @@ impl CompileCache {
         // Compile outside the shard lock: a slow compile of one design
         // must not block lookups of the other designs in its shard.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let cd = std::sync::Arc::new(CompiledDesign::compile(design));
+        let cd = std::sync::Arc::new(CompiledDesign::compile_opt(design, opt));
         let mut s = shard.lock().expect("compile cache shard poisoned");
         // A racing thread may have inserted the same design meanwhile;
         // keeping both copies is harmless (the duplicate ages out), but
@@ -97,14 +112,14 @@ impl CompileCache {
         if let Some(pos) = s
             .entries
             .iter()
-            .position(|(k, e)| *k == key && e.design() == design)
+            .position(|(k, o, e)| *k == key && *o == opt && e.design() == design)
         {
-            return std::sync::Arc::clone(&s.entries[pos].1);
+            return std::sync::Arc::clone(&s.entries[pos].2);
         }
         if s.entries.len() == SHARD_CAP {
             s.entries.remove(0); // least recently used first
         }
-        s.entries.push((key, std::sync::Arc::clone(&cd)));
+        s.entries.push((key, opt, std::sync::Arc::clone(&cd)));
         cd
     }
 
@@ -202,6 +217,29 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn opt_levels_never_alias() {
+        let cache = CompileCache::new();
+        let d = design(5);
+        let full = cache.get_or_compile_opt(&d, OptLevel::Full);
+        let none = cache.get_or_compile_opt(&d, OptLevel::None);
+        assert!(
+            !std::sync::Arc::ptr_eq(&full, &none),
+            "distinct artifacts per (hash, OptLevel)"
+        );
+        assert_eq!(full.opt_level(), OptLevel::Full);
+        assert_eq!(none.opt_level(), OptLevel::None);
+        // Re-requests hit the matching level.
+        assert!(std::sync::Arc::ptr_eq(
+            &none,
+            &cache.get_or_compile_opt(&d, OptLevel::None)
+        ));
+        assert!(std::sync::Arc::ptr_eq(
+            &full,
+            &cache.get_or_compile_opt(&d, OptLevel::Full)
+        ));
     }
 
     #[test]

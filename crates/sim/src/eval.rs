@@ -6,34 +6,12 @@
 //! the environment).
 
 use crate::value::Value;
-use asv_verilog::ast::{BinaryOp, Expr, LValue, UnaryOp};
-use std::fmt;
+use asv_verilog::ast::{Expr, LValue};
 
-/// Errors raised during expression evaluation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EvalError {
-    /// Identifier not bound in the environment.
-    UnknownSignal(String),
-    /// A system function unsupported in this context.
-    UnsupportedSysCall(String),
-    /// Division or modulo by zero.
-    DivideByZero,
-    /// Malformed construct (e.g. non-constant replication count).
-    Malformed(String),
-}
-
-impl fmt::Display for EvalError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EvalError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
-            EvalError::UnsupportedSysCall(s) => write!(f, "unsupported system call `${s}`"),
-            EvalError::DivideByZero => write!(f, "division by zero"),
-            EvalError::Malformed(m) => write!(f, "malformed expression: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for EvalError {}
+// The pure operator semantics live in `asv-ir` (the IR constant folder
+// must share them exactly); they are re-exported here so every historical
+// `asv_sim::eval::{unary, binary, …}` path keeps working.
+pub use asv_ir::eval::{binary, default_sys_call, unary, EvalError};
 
 /// Value-lookup environment for expression evaluation.
 pub trait Env {
@@ -44,22 +22,6 @@ pub trait Env {
     /// `$countones`/`$onehot`/`$onehot0`, which are purely combinational.
     fn sys_call(&self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
         default_sys_call(name, args)
-    }
-}
-
-/// The default system-call semantics shared by the AST interpreter and
-/// the compiled backend ([`crate::compile::ExecEnv`]).
-///
-/// # Errors
-///
-/// Returns [`EvalError::UnsupportedSysCall`] for anything but the purely
-/// combinational `$countones`/`$onehot`/`$onehot0`.
-pub fn default_sys_call(name: &str, args: &[Value]) -> Result<Value, EvalError> {
-    match (name, args) {
-        ("countones", [v]) => Ok(Value::new(u64::from(v.count_ones()), 32)),
-        ("onehot", [v]) => Ok(Value::bit(v.count_ones() == 1)),
-        ("onehot0", [v]) => Ok(Value::bit(v.count_ones() <= 1)),
-        _ => Err(EvalError::UnsupportedSysCall(name.to_string())),
     }
 }
 
@@ -147,85 +109,6 @@ pub fn eval<E: Env + ?Sized>(expr: &Expr, env: &E) -> Result<Value, EvalError> {
             env.sys_call(name, &vals)
         }
     }
-}
-
-/// Applies a unary operator (2-state semantics shared by both backends).
-pub fn unary(op: UnaryOp, v: Value) -> Value {
-    match op {
-        UnaryOp::Neg => Value::new(v.bits().wrapping_neg(), v.width()),
-        UnaryOp::LogicNot => Value::bit(!v.is_truthy()),
-        UnaryOp::BitNot => Value::new(!v.bits(), v.width()),
-        UnaryOp::RedAnd => Value::bit(v.reduce_and()),
-        UnaryOp::RedOr => Value::bit(v.reduce_or()),
-        UnaryOp::RedXor => Value::bit(v.reduce_xor()),
-        UnaryOp::RedNand => Value::bit(!v.reduce_and()),
-        UnaryOp::RedNor => Value::bit(!v.reduce_or()),
-        UnaryOp::RedXnor => Value::bit(!v.reduce_xor()),
-        UnaryOp::Plus => v,
-    }
-}
-
-/// Applies a binary operator (2-state semantics shared by both backends).
-///
-/// Both operands are always evaluated — `&&`/`||` are *not* short-circuit
-/// in this subset, matching event-driven simulators that evaluate whole
-/// expressions.
-///
-/// # Errors
-///
-/// Returns [`EvalError::DivideByZero`] for `/`/`%` with a zero divisor.
-pub fn binary(op: BinaryOp, a: Value, b: Value) -> Result<Value, EvalError> {
-    use BinaryOp as B;
-    let w = a.width().max(b.width());
-    let (x, y) = (a.bits(), b.bits());
-    Ok(match op {
-        B::Add => Value::new(x.wrapping_add(y), w),
-        B::Sub => Value::new(x.wrapping_sub(y), w),
-        B::Mul => Value::new(x.wrapping_mul(y), w),
-        B::Div => Value::new(x.checked_div(y).ok_or(EvalError::DivideByZero)?, w),
-        B::Mod => Value::new(x.checked_rem(y).ok_or(EvalError::DivideByZero)?, w),
-        B::Pow => Value::new(x.wrapping_pow(u32::try_from(y).unwrap_or(u32::MAX)), w),
-        B::BitAnd => Value::new(x & y, w),
-        B::BitOr => Value::new(x | y, w),
-        B::BitXor => Value::new(x ^ y, w),
-        B::BitXnor => Value::new(!(x ^ y), w),
-        B::LogicAnd => Value::bit(x != 0 && y != 0),
-        B::LogicOr => Value::bit(x != 0 || y != 0),
-        B::Eq | B::CaseEq => Value::bit(x == y),
-        B::Ne | B::CaseNe => Value::bit(x != y),
-        B::Lt => Value::bit(x < y),
-        B::Le => Value::bit(x <= y),
-        B::Gt => Value::bit(x > y),
-        B::Ge => Value::bit(x >= y),
-        B::Shl | B::AShl => Value::new(x.checked_shl(shift_amount(y)).unwrap_or(0), w),
-        B::Shr => Value::new(x.checked_shr(shift_amount(y)).unwrap_or(0), w),
-        // Arithmetic right shift on an unsigned domain: sign-extend from
-        // the operand's declared msb.
-        B::AShr => {
-            let sh = shift_amount(y);
-            let aw = a.width();
-            let sign = a.get_bit(aw - 1);
-            let mut bits = x.checked_shr(sh).unwrap_or(0);
-            if sign && sh > 0 {
-                let fill = if sh >= aw {
-                    if aw >= 64 {
-                        u64::MAX
-                    } else {
-                        (1u64 << aw) - 1
-                    }
-                } else {
-                    let ones = (1u64 << sh.min(63)) - 1;
-                    ones << (aw - sh.min(aw))
-                };
-                bits |= fill;
-            }
-            Value::new(bits, w)
-        }
-    })
-}
-
-fn shift_amount(y: u64) -> u32 {
-    u32::try_from(y).unwrap_or(u32::MAX)
 }
 
 /// Applies an assignment of `value` to `lv` over a mutable store via

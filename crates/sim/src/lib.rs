@@ -40,8 +40,9 @@ pub mod exec;
 pub mod interp;
 pub mod stimulus;
 pub mod trace;
-pub mod value;
+pub use asv_ir::value;
 
+pub use asv_ir::OptLevel;
 pub use cache::CompileCache;
 pub use cancel::CancelToken;
 pub use compile::{CompiledDesign, SigId};

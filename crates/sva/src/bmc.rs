@@ -57,6 +57,8 @@
 //! on the `AstSimulator` interpreter oracle, so `Fails` verdicts carry
 //! exactly the logs a concrete run produces.
 
+pub use asv_sim::compile::OptLevel;
+
 use crate::monitor::{AssertionFailure, CheckOutcome, CompiledChecker, MonitorError};
 use asv_fuzz::{AssertionOracle, FuzzError, FuzzOptions, FuzzVerdict};
 use asv_sat::engine::{BmcError, BmcOptions, BmcVerdict};
@@ -212,6 +214,13 @@ pub struct Verifier {
     pub seed: u64,
     /// Engine selection.
     pub engine: Engine,
+    /// IR optimization level the design is compiled at. `Full` (default)
+    /// runs the `asv-ir` pass pipeline; `None` keeps the raw lowering as
+    /// the differential reference. Verdicts are bit-identical either way
+    /// (enforced by `tests/differential_opt.rs`); compiled-design and
+    /// verdict caches key on the level, so mixed-opt workloads never
+    /// alias.
+    pub opt: OptLevel,
 }
 
 impl Default for Verifier {
@@ -223,6 +232,7 @@ impl Default for Verifier {
             random_runs: 48,
             seed: 0xA55E_7501,
             engine: Engine::Auto,
+            opt: OptLevel::Full,
         }
     }
 }
@@ -232,8 +242,8 @@ impl Default for Verifier {
 /// here, which re-lowered the same AST once per worker thread during
 /// parallel sampling/fuzzing/portfolio runs; the shared cache compiles
 /// each distinct design exactly once per process.
-fn compiled_for(design: &Design) -> Arc<CompiledDesign> {
-    asv_sim::cache::global().get_or_compile(design)
+fn compiled_for(design: &Design, opt: OptLevel) -> Arc<CompiledDesign> {
+    asv_sim::cache::global().get_or_compile_opt(design, opt)
 }
 
 /// Exact equality, except the one documented tolerance of the portfolio
@@ -306,7 +316,7 @@ impl Verifier {
         if design.module.assertions().count() == 0 {
             return Err(VerifyError::NoAssertions);
         }
-        let compiled = compiled_for(design);
+        let compiled = compiled_for(design, self.opt);
         // State index == trace column: the checker can be built from the
         // compiled design's interner before any trace exists.
         let col = |name: &str| compiled.sig(name).map(|s| s.idx());
@@ -733,7 +743,7 @@ impl Verifier {
     ///
     /// Propagates [`SimError`].
     pub fn simulate(&self, design: &Design, stim: &Stimulus) -> Result<Trace, VerifyError> {
-        let mut sim = Simulator::from_compiled(compiled_for(design));
+        let mut sim = Simulator::from_compiled(compiled_for(design, self.opt));
         for t in 0..stim.len() {
             sim.step(&stim.cycle(t))?;
         }
