@@ -58,6 +58,7 @@ fn bench_serve(c: &mut Criterion) {
         let service = VerifyService::new(ServeOptions {
             workers: 0,
             memoize: false,
+            ..ServeOptions::default()
         });
         b.iter(|| service.verify_batch(black_box(&portfolio_jobs)).len())
     });

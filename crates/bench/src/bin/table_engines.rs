@@ -197,6 +197,7 @@ fn verdict_cell(v: &Result<Verdict, asv_sva::bmc::VerifyError>) -> String {
             if vacuous.is_empty() { "" } else { ", vacuous!" }
         ),
         Ok(Verdict::Fails(_)) => "Fails(cex)".to_string(),
+        Ok(Verdict::Inconclusive { tried }) => format!("inconclusive({} rungs)", tried.len()),
         // Expected for the symbolic engine on out-of-subset scenarios;
         // anything else (oracle divergence, simulation errors) is a
         // harness failure the asserts below turn into a CI failure.
@@ -491,7 +492,11 @@ fn mixed_batch_comparison() {
         let t0 = Instant::now();
         sequential = auto_jobs
             .iter()
-            .map(|j| j.verifier.check(&j.design))
+            .map(|j| {
+                j.verifier
+                    .check(&j.design)
+                    .map_err(asv_serve::VerdictError::from)
+            })
             .collect();
         t_seq = t_seq.min(t0.elapsed());
 

@@ -311,6 +311,10 @@ mod tests {
                         "{arch}: golden design fails its own SVA: {:?}\n{}",
                         cex.logs, d.source
                     ),
+                    Verdict::Inconclusive { tried } => panic!(
+                        "{arch}: unbudgeted check came back inconclusive: {tried:?}\n{}",
+                        d.source
+                    ),
                 }
             }
         }

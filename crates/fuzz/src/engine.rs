@@ -9,7 +9,7 @@
 
 use crate::corpus::Corpus;
 use crate::mutate::Mutator;
-use asv_sim::cancel::CancelToken;
+use asv_sim::cancel::{Budget, CancelToken, Exhausted, Stop};
 use asv_sim::compile::CompiledDesign;
 use asv_sim::cover::{CovMap, CoverageReport};
 use asv_sim::exec::{SimError, Simulator};
@@ -113,6 +113,9 @@ pub enum FuzzError {
     /// The campaign's [`CancelToken`] was poisoned (this engine lost a
     /// portfolio race); no verdict, never a wrong one.
     Cancelled,
+    /// A [`Budget`] resource (deadline, fuzz-round cap) ran out before a
+    /// verdict.
+    Exhausted(Exhausted),
 }
 
 impl fmt::Display for FuzzError {
@@ -124,6 +127,7 @@ impl fmt::Display for FuzzError {
                 write!(f, "failure did not replay on the interpreter oracle")
             }
             FuzzError::Cancelled => write!(f, "fuzzing campaign cancelled"),
+            FuzzError::Exhausted(e) => write!(f, "fuzzing campaign {e}"),
         }
     }
 }
@@ -133,6 +137,15 @@ impl std::error::Error for FuzzError {}
 impl From<SimError> for FuzzError {
     fn from(e: SimError) -> Self {
         FuzzError::Sim(e)
+    }
+}
+
+impl From<Stop> for FuzzError {
+    fn from(s: Stop) -> Self {
+        match s {
+            Stop::Cancelled => FuzzError::Cancelled,
+            Stop::Exhausted(e) => FuzzError::Exhausted(e),
+        }
     }
 }
 
@@ -183,17 +196,18 @@ fn run_batch<O: AssertionOracle>(
     oracle: &O,
     batch: &[Stimulus],
     threads: usize,
+    budget: &Budget,
 ) -> (usize, Vec<Vec<RunOutcome>>) {
     let workers = threads.min(batch.len()).max(1);
     let chunk = batch.len().div_ceil(workers);
     if workers == 1 {
-        return (chunk, vec![run_chunk(compiled, oracle, batch)]);
+        return (chunk, vec![run_chunk(compiled, oracle, batch, budget)]);
     }
     let mut per_chunk = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for part in batch.chunks(chunk) {
-            handles.push(scope.spawn(move || run_chunk(compiled, oracle, part)));
+            handles.push(scope.spawn(move || run_chunk(compiled, oracle, part, budget)));
         }
         for h in handles {
             per_chunk.push(h.join().expect("fuzz worker panicked"));
@@ -206,9 +220,18 @@ fn run_chunk<O: AssertionOracle>(
     compiled: &Arc<CompiledDesign>,
     oracle: &O,
     part: &[Stimulus],
+    budget: &Budget,
 ) -> Vec<RunOutcome> {
     let mut out = Vec::with_capacity(part.len());
     for stim in part {
+        // Per-stimulus poll: a losing portfolio campaign cancelled
+        // mid-batch stops before the next simulation instead of
+        // finishing the whole chunk. In fault-free unbounded runs this
+        // never fires, so the merge stays bit-identical.
+        if let Err(stop) = budget.check() {
+            out.push(Err(stop.into()));
+            break;
+        }
         let r = run_one(compiled, oracle, stim);
         let stop = matches!(&r, Err(_) | Ok((_, true)));
         out.push(r);
@@ -235,7 +258,7 @@ pub fn fuzz<O: AssertionOracle>(
     oracle: &O,
     opts: &FuzzOptions,
 ) -> Result<FuzzResult, FuzzError> {
-    fuzz_cancellable(compiled, oracle, opts, None)
+    fuzz_budgeted(compiled, oracle, opts, &Budget::unbounded())
 }
 
 /// [`fuzz`] with a cooperative [`CancelToken`] polled at the top of every
@@ -253,6 +276,25 @@ pub fn fuzz_cancellable<O: AssertionOracle>(
     opts: &FuzzOptions,
     cancel: Option<&CancelToken>,
 ) -> Result<FuzzResult, FuzzError> {
+    fuzz_budgeted(compiled, oracle, opts, &Budget::from_cancel(cancel))
+}
+
+/// [`fuzz`] under a full resource [`Budget`]: the round loop polls the
+/// budget (token, deadline, fault probes) before every round and honours
+/// the fuzz-round cap; workers additionally poll the token before each
+/// stimulus so a cancelled campaign stops mid-batch.
+///
+/// # Errors
+///
+/// As [`fuzz_cancellable`], plus a structured [`FuzzError::Exhausted`]
+/// whenever a budget dimension runs out before the campaign's own
+/// stimulus budget.
+pub fn fuzz_budgeted<O: AssertionOracle>(
+    compiled: &Arc<CompiledDesign>,
+    oracle: &O,
+    opts: &FuzzOptions,
+    budget: &Budget,
+) -> Result<FuzzResult, FuzzError> {
     let gen = StimulusGen::new(compiled.design());
     let mutator = Mutator::new(compiled, opts.reset_cycles);
     let mut rng = StdRng::seed_from_u64(opts.seed);
@@ -265,15 +307,18 @@ pub fn fuzz_cancellable<O: AssertionOracle>(
     };
     let batch_size = opts.batch.max(1);
     let mut runs = 0usize;
+    let mut rounds = 0u64;
     let mut verdict = FuzzVerdict::NoFailure;
 
     'campaign: while runs < opts.budget {
-        if cancel.is_some_and(CancelToken::is_cancelled) {
-            return Err(FuzzError::Cancelled);
-        }
+        // Poll before scheduling the round, not only inside it, so a
+        // loser cancelled between rounds never starts another batch.
+        budget.check_fuzz_rounds(rounds)?;
+        budget.probe("fuzz.round")?;
+        rounds += 1;
         let n = batch_size.min(opts.budget - runs);
         let batch = schedule(&gen, &mutator, &mut corpus, &mut rng, n, opts);
-        let (chunk_size, per_chunk) = run_batch(compiled, oracle, &batch, threads);
+        let (chunk_size, per_chunk) = run_batch(compiled, oracle, &batch, threads, budget);
         for (c, chunk) in per_chunk.into_iter().enumerate() {
             for (j, result) in chunk.into_iter().enumerate() {
                 let (cov, failed) = result?;
@@ -487,6 +532,68 @@ mod tests {
         let a = fuzz_cancellable(&cd, &oracle, &small, Some(&live)).expect("runs");
         let b = fuzz(&cd, &oracle, &small).expect("runs");
         assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.corpus_fingerprint, b.corpus_fingerprint);
+    }
+
+    #[test]
+    fn round_cap_reports_structured_exhaustion() {
+        let cd = compiled(RARE);
+        let oracle = rare_oracle(&cd);
+        let opts = FuzzOptions {
+            budget: 1 << 20,
+            seed: 5,
+            ..FuzzOptions::default()
+        };
+        let budget = Budget::unbounded().with_max_fuzz_rounds(2);
+        match fuzz_budgeted(&cd, &oracle, &opts, &budget) {
+            Err(FuzzError::Exhausted(e)) => {
+                assert_eq!(e.resource, asv_sim::Resource::FuzzRounds);
+                assert_eq!(e.spent, 2);
+                assert_eq!(e.limit, 2);
+            }
+            other => panic!("expected round exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_manual_deadline_stops_within_one_round() {
+        // Injected clock ticks, no sleeps: the deadline is already
+        // expired when the campaign starts, so the very first round poll
+        // must stop it.
+        let cd = compiled(RARE);
+        let oracle = rare_oracle(&cd);
+        let clock = asv_sim::ManualClock::new();
+        let budget = Budget::unbounded().with_manual_deadline(clock.clone(), 7);
+        clock.advance(8);
+        let opts = FuzzOptions {
+            budget: 1 << 20,
+            seed: 5,
+            ..FuzzOptions::default()
+        };
+        match fuzz_budgeted(&cd, &oracle, &opts, &budget) {
+            Err(FuzzError::Exhausted(e)) => {
+                assert_eq!(e.resource, asv_sim::Resource::WallClock);
+                assert_eq!(e.spent, 8);
+                assert_eq!(e.limit, 7);
+            }
+            other => panic!("expected deadline exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roomy_budget_matches_unbounded_campaign() {
+        let cd = compiled(RARE);
+        let oracle = rare_oracle(&cd);
+        let opts = FuzzOptions {
+            budget: 64,
+            seed: 3,
+            ..FuzzOptions::default()
+        };
+        let roomy = Budget::unbounded().with_max_fuzz_rounds(1 << 30);
+        let a = fuzz_budgeted(&cd, &oracle, &opts, &roomy).expect("runs");
+        let b = fuzz(&cd, &oracle, &opts).expect("runs");
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.runs, b.runs);
         assert_eq!(a.corpus_fingerprint, b.corpus_fingerprint);
     }
 

@@ -21,7 +21,7 @@ use crate::aig::{Aig, NLit, Node};
 use crate::blast::{run_sym, BlastError, SymEnv, SymVec};
 use crate::solver::{Lit, SolveResult, Solver, Var};
 use crate::unroll::{clock_edge_sym, settle_sym, SymState};
-use asv_sim::cancel::CancelToken;
+use asv_sim::cancel::{Budget, CancelToken, Exhausted, Resource, Stop};
 use asv_sim::compile::{compile_expr, CompiledDesign, ExprProg, HistoryKind, NameRef, SigId};
 use asv_sim::stimulus::{InputVector, Stimulus};
 use asv_sim::value::Value;
@@ -82,8 +82,12 @@ pub enum BmcError {
     /// The design or its properties fall outside the encodable subset;
     /// callers fall back to the simulation oracle.
     Unsupported(String),
-    /// A resource budget (conflicts, AIG nodes) was exhausted.
+    /// An internal resource invariant failed (e.g. witness minimisation
+    /// lost satisfiability); callers treat this like exhaustion.
     Resource(String),
+    /// A resource budget (conflicts, AIG nodes, deadline) was exhausted;
+    /// the structured record says which and by how much.
+    Exhausted(Exhausted),
     /// A cooperative [`CancelToken`] was poisoned mid-check (this engine
     /// lost a portfolio race); the verdict is simply absent, never wrong.
     Cancelled,
@@ -94,7 +98,17 @@ impl fmt::Display for BmcError {
         match self {
             BmcError::Unsupported(m) => write!(f, "symbolic engine unsupported: {m}"),
             BmcError::Resource(m) => write!(f, "symbolic engine budget exhausted: {m}"),
+            BmcError::Exhausted(e) => write!(f, "symbolic engine {e}"),
             BmcError::Cancelled => write!(f, "symbolic check cancelled"),
+        }
+    }
+}
+
+impl From<Stop> for BmcError {
+    fn from(s: Stop) -> Self {
+        match s {
+            Stop::Cancelled => BmcError::Cancelled,
+            Stop::Exhausted(e) => BmcError::Exhausted(e),
         }
     }
 }
@@ -381,7 +395,7 @@ impl Encoder {
 struct Engine<'a> {
     cd: &'a CompiledDesign,
     opts: BmcOptions,
-    cancel: Option<CancelToken>,
+    budget: Budget,
     g: Aig,
     solver: Solver,
     enc: Encoder,
@@ -402,7 +416,7 @@ impl<'a> Engine<'a> {
     fn new(
         cd: &'a CompiledDesign,
         opts: BmcOptions,
-        cancel: Option<&CancelToken>,
+        budget: &Budget,
         live: Option<(Vec<bool>, Vec<bool>)>,
     ) -> Result<Self, BmcError> {
         if !cd.is_levelized() {
@@ -421,11 +435,12 @@ impl<'a> Engine<'a> {
         let reset = design.reset().map(|(n, al)| (n.to_string(), al));
         let mut solver = Solver::new();
         solver.conflict_budget = opts.conflict_budget;
-        solver.cancel = cancel.cloned();
+        solver.cancel = budget.cancel_token().cloned();
+        solver.deadline = budget.deadline().cloned();
         Ok(Engine {
             cd,
             opts,
-            cancel: cancel.cloned(),
+            budget: budget.clone(),
             g: Aig::new(),
             solver,
             enc: Encoder::default(),
@@ -436,6 +451,48 @@ impl<'a> Engine<'a> {
             frame_inputs: Vec::new(),
             live,
         })
+    }
+
+    /// Folds the engine-wide conflict cap into the solver's per-call
+    /// budget: the remaining allowance is the cap minus conflicts the
+    /// solver has already spent across previous depths.
+    fn refresh_conflict_budget(&mut self) {
+        let per_call = self.opts.conflict_budget;
+        let remaining = self
+            .budget
+            .max_conflicts()
+            .map(|m| m.saturating_sub(self.solver.conflicts));
+        self.solver.conflict_budget = match (per_call, remaining) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+    }
+
+    /// The structured error for a solver that reported
+    /// [`SolveResult::Unknown`] (conflict budget spent).
+    fn conflicts_exhausted(&self) -> BmcError {
+        if let Err(stop) = self.budget.check_conflicts(self.solver.conflicts) {
+            return stop.into();
+        }
+        BmcError::Exhausted(Exhausted {
+            resource: Resource::SatConflicts,
+            spent: self.solver.conflicts,
+            limit: self.opts.conflict_budget.unwrap_or(u64::MAX),
+        })
+    }
+
+    /// The structured error for a solver that reported
+    /// [`SolveResult::TimedOut`] (deadline expired mid-search).
+    fn timed_out(&self) -> BmcError {
+        match self.budget.check() {
+            Err(stop) => stop.into(),
+            Ok(()) => BmcError::Exhausted(Exhausted {
+                resource: Resource::WallClock,
+                spent: 0,
+                limit: 0,
+            }),
+        }
     }
 
     /// Unrolls one more frame: drive inputs, settle, sample, clock, settle
@@ -469,11 +526,18 @@ impl<'a> Engine<'a> {
         self.rows.push(self.state.clone());
         clock_edge_sym(&mut self.g, self.cd, &mut self.state, seq_live)?;
         settle_sym(&mut self.g, self.cd, &mut self.state, comb_live)?;
-        if self.g.len() > self.opts.node_limit {
-            return Err(BmcError::Resource(format!(
-                "AIG exceeded {} nodes",
-                self.opts.node_limit
-            )));
+        let node_cap = self
+            .budget
+            .max_aig_nodes()
+            .map_or(self.opts.node_limit as u64, |m| {
+                m.min(self.opts.node_limit as u64)
+            });
+        if self.g.len() as u64 > node_cap {
+            return Err(BmcError::Exhausted(Exhausted {
+                resource: Resource::AigNodes,
+                spent: self.g.len() as u64,
+                limit: node_cap,
+            }));
         }
         Ok(())
     }
@@ -609,7 +673,10 @@ impl<'a> Engine<'a> {
                             assumps.pop();
                             assumps.push(sl);
                         }
-                        SolveResult::Unknown => {
+                        SolveResult::Unknown | SolveResult::TimedOut => {
+                            // Out of probe budget (or time): abandon
+                            // canonicalisation; the caller keeps the raw
+                            // witness.
                             assumps.pop();
                             break 'bits;
                         }
@@ -626,7 +693,9 @@ impl<'a> Engine<'a> {
             SolveResult::Unsat => Err(BmcError::Resource(
                 "witness minimisation lost satisfiability".into(),
             )),
-            SolveResult::Unknown => Err(BmcError::Resource("conflict budget exhausted".into())),
+            SolveResult::Unknown | SolveResult::TimedOut => {
+                Err(BmcError::Resource("conflict budget exhausted".into()))
+            }
             SolveResult::Cancelled => Err(BmcError::Cancelled),
         }
     }
@@ -674,9 +743,10 @@ impl<'a> Engine<'a> {
             });
         }
         for len in 1..=max_len {
-            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-                return Err(BmcError::Cancelled);
-            }
+            // Poll before starting the depth, not just inside it: a
+            // portfolio loser cancelled between depths stops here
+            // immediately instead of burning a full check interval.
+            self.budget.probe("sat.depth")?;
             self.push_frame()?;
             let mut fail = NLit::FALSE;
             for prop in props {
@@ -694,6 +764,7 @@ impl<'a> Engine<'a> {
                     });
                 }
                 None => {
+                    self.refresh_conflict_budget();
                     let q = self.enc.lit(&self.g, &mut self.solver, fail);
                     match self.solver.solve(&[q]) {
                         SolveResult::Sat => {
@@ -710,9 +781,8 @@ impl<'a> Engine<'a> {
                             return Ok(BmcVerdict::Fails { stimulus });
                         }
                         SolveResult::Unsat => continue,
-                        SolveResult::Unknown => {
-                            return Err(BmcError::Resource("conflict budget exhausted".into()));
-                        }
+                        SolveResult::Unknown => return Err(self.conflicts_exhausted()),
+                        SolveResult::TimedOut => return Err(self.timed_out()),
                         SolveResult::Cancelled => return Err(BmcError::Cancelled),
                     }
                 }
@@ -723,6 +793,7 @@ impl<'a> Engine<'a> {
         // directive bearing it can complete a non-vacuous attempt).
         let mut pass_by_name: BTreeMap<&str, NLit> = BTreeMap::new();
         for prop in props {
+            self.budget.check().map_err(BmcError::from)?;
             let mut pass = NLit::FALSE;
             for s in 0..max_len {
                 let (_, pl) = self.attempt_lits(prop, s, max_len)?;
@@ -733,16 +804,20 @@ impl<'a> Engine<'a> {
         }
         let mut fired: BTreeSet<&str> = BTreeSet::new();
         for (name, lit) in &pass_by_name {
+            // Each vacuity query is its own SAT solve: poll between
+            // them so cancellation and deadlines land mid-phase, not
+            // only after the whole phase.
+            self.budget.probe("sat.vacuity")?;
             let can_fire = match lit.as_const() {
                 Some(b) => b,
                 None => {
+                    self.refresh_conflict_budget();
                     let q = self.enc.lit(&self.g, &mut self.solver, *lit);
                     match self.solver.solve(&[q]) {
                         SolveResult::Sat => true,
                         SolveResult::Unsat => false,
-                        SolveResult::Unknown => {
-                            return Err(BmcError::Resource("conflict budget exhausted".into()));
-                        }
+                        SolveResult::Unknown => return Err(self.conflicts_exhausted()),
+                        SolveResult::TimedOut => return Err(self.timed_out()),
                         SolveResult::Cancelled => return Err(BmcError::Cancelled),
                     }
                 }
@@ -766,10 +841,10 @@ impl<'a> Engine<'a> {
 ///
 /// [`BmcError::Unsupported`] when the design falls outside the encodable
 /// subset (non-levelizable logic, non-constant division, unsupported
-/// system calls); [`BmcError::Resource`] when a budget is exhausted. Both
-/// are signals to fall back to the simulation oracle.
+/// system calls); [`BmcError::Exhausted`] when a budget is exhausted.
+/// Both are signals to fall back to the simulation oracle.
 pub fn check(cd: &CompiledDesign, opts: BmcOptions) -> Result<BmcVerdict, BmcError> {
-    check_cancellable(cd, opts, None)
+    check_budgeted(cd, opts, &Budget::unbounded())
 }
 
 /// [`check`] with a cooperative [`CancelToken`] threaded into the CDCL
@@ -786,6 +861,23 @@ pub fn check_cancellable(
     opts: BmcOptions,
     cancel: Option<&CancelToken>,
 ) -> Result<BmcVerdict, BmcError> {
+    check_budgeted(cd, opts, &Budget::from_cancel(cancel))
+}
+
+/// [`check`] under a full resource [`Budget`]: the deadline and conflict
+/// cap are threaded into the CDCL inner loop, the AIG node cap tightens
+/// `BmcOptions::node_limit`, and the per-depth loop polls the budget (and
+/// its fault probes) before each unrolling step.
+///
+/// # Errors
+///
+/// As [`check_cancellable`], plus a structured [`BmcError::Exhausted`]
+/// whenever any budget dimension runs out.
+pub fn check_budgeted(
+    cd: &CompiledDesign,
+    opts: BmcOptions,
+    budget: &Budget,
+) -> Result<BmcVerdict, BmcError> {
     let props = compile_props(cd)?;
     // Dead-logic elimination: restrict the unrolling to the assertion
     // cone. Gated on the opt level so `OptLevel::None` stays the
@@ -794,7 +886,7 @@ pub fn check_cancellable(
     // identical either way.
     let live =
         (cd.opt_level() == asv_sim::OptLevel::Full).then(|| cd.sym_live(&prop_roots(&props)));
-    Engine::new(cd, opts, cancel, live)?.run(&props)
+    Engine::new(cd, opts, budget, live)?.run(&props)
 }
 
 /// Observability roots of the properties: every signal any compiled
@@ -851,7 +943,7 @@ pub fn unroll_stats(cd: &CompiledDesign, opts: BmcOptions) -> Result<UnrollStats
     let props = compile_props(cd)?;
     let live =
         (cd.opt_level() == asv_sim::OptLevel::Full).then(|| cd.sym_live(&prop_roots(&props)));
-    let mut engine = Engine::new(cd, opts, None, live)?;
+    let mut engine = Engine::new(cd, opts, &Budget::unbounded(), live)?;
     let max_len = opts.reset_cycles + opts.depth;
     for _ in 0..max_len {
         engine.push_frame()?;
@@ -898,7 +990,7 @@ pub fn supports(cd: &CompiledDesign) -> Result<(), BmcError> {
     // The probe blasts the FULL schedule (no cone restriction): the
     // accept/reject answer must match what `check` would decide for the
     // same design at `OptLevel::None`, where nothing is masked.
-    let mut engine = Engine::new(cd, probe, None, None)?;
+    let mut engine = Engine::new(cd, probe, &Budget::unbounded(), None)?;
     engine.push_frame()?;
     for prop in &props {
         engine.attempt_lits(prop, 0, 1)?;
@@ -1091,6 +1183,56 @@ endmodule
             supports(&compiled(div)).is_ok(),
             check(&compiled(div), BmcOptions::default()).is_ok(),
             "probe and full check must agree on non-constant division"
+        );
+    }
+
+    #[test]
+    fn expired_manual_deadline_reports_structured_exhaustion() {
+        // Injected clock ticks, no sleeps: an expired deadline surfaces
+        // as Exhausted{WallClock} from the per-depth poll / CDCL loop.
+        let cd = compiled(GOOD);
+        let clock = asv_sim::ManualClock::new();
+        let budget = Budget::unbounded().with_manual_deadline(clock.clone(), 3);
+        clock.advance(4);
+        match check_budgeted(&cd, BmcOptions::default(), &budget) {
+            Err(BmcError::Exhausted(e)) => {
+                assert_eq!(e.resource, Resource::WallClock);
+                assert_eq!(e.spent, 4);
+                assert_eq!(e.limit, 3);
+            }
+            other => panic!("expected wall-clock exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aig_node_cap_reports_structured_exhaustion() {
+        let cd = compiled(GOOD);
+        let budget = Budget::unbounded().with_max_aig_nodes(4);
+        match check_budgeted(&cd, BmcOptions::default(), &budget) {
+            Err(BmcError::Exhausted(e)) => {
+                assert_eq!(e.resource, Resource::AigNodes);
+                assert_eq!(e.limit, 4);
+                assert!(e.spent > 4);
+            }
+            other => panic!("expected AIG-node exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_check_with_headroom_matches_unbounded() {
+        let cd = compiled(GOOD);
+        let opts = BmcOptions {
+            depth: 6,
+            reset_cycles: 2,
+            ..BmcOptions::default()
+        };
+        let roomy = Budget::unbounded()
+            .with_max_conflicts(1 << 20)
+            .with_max_aig_nodes(4_000_000);
+        assert_eq!(
+            check_budgeted(&cd, opts, &roomy).expect("within budget"),
+            check(&cd, opts).expect("unbounded"),
+            "a budget with headroom must not change the verdict"
         );
     }
 

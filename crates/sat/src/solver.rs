@@ -12,7 +12,7 @@
 //! database reduction and preprocessing; the core loop is the textbook
 //! MiniSat shape.
 
-use asv_sim::cancel::CancelToken;
+use asv_sim::cancel::{CancelToken, Deadline};
 use std::fmt;
 use std::ops::Not;
 
@@ -95,6 +95,9 @@ pub enum SolveResult {
     /// clauses learned so far are kept, and a later `solve` call may
     /// resume the search.
     Cancelled,
+    /// [`Solver::deadline`] expired mid-search; like `Cancelled`, the
+    /// search unwinds cleanly and learned clauses are kept.
+    TimedOut,
 }
 
 /// Tri-state assignment value.
@@ -244,6 +247,9 @@ pub struct Solver {
     /// [`CANCEL_CHECK_INTERVAL`] propagate/decide rounds of the search
     /// loop (`None` = never cancelled).
     pub cancel: Option<CancelToken>,
+    /// Optional deadline, polled at the same stride as `cancel`; expiry
+    /// unwinds the search with [`SolveResult::TimedOut`].
+    pub deadline: Option<Deadline>,
 }
 
 const VAR_DECAY: f64 = 1.0 / 0.95;
@@ -547,13 +553,17 @@ impl Solver {
         let mut rounds = 0u64;
         loop {
             rounds += 1;
-            if rounds.is_multiple_of(CANCEL_CHECK_INTERVAL)
-                && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
-            {
-                // Unwind cleanly: learned clauses stay, the trail is
-                // rolled back, and a later call can resume the search.
-                self.cancel_until(0);
-                return SolveResult::Cancelled;
+            if rounds.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    // Unwind cleanly: learned clauses stay, the trail is
+                    // rolled back, and a later call can resume the search.
+                    self.cancel_until(0);
+                    return SolveResult::Cancelled;
+                }
+                if self.deadline.as_ref().is_some_and(|d| d.check().is_err()) {
+                    self.cancel_until(0);
+                    return SolveResult::TimedOut;
+                }
             }
             if let Some(confl) = self.propagate() {
                 self.conflicts += 1;
@@ -804,6 +814,36 @@ mod tests {
         // Un-poisoning resumes: the instance is still decidable and the
         // clauses learned before cancellation are still sound.
         s.cancel = None;
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn expired_manual_deadline_times_out_within_one_interval() {
+        // Deadline semantics with injected clock ticks (no sleeps): the
+        // clock is advanced past the limit "mid-flight" and the solver
+        // must unwind within one check interval, resumable afterwards.
+        let (mut s, _) = pigeonhole(8, 7);
+        let clock = asv_sim::ManualClock::new();
+        s.deadline = Some(asv_sim::Deadline::Manual {
+            clock: clock.clone(),
+            limit: 5,
+        });
+        assert_eq!(s.solve(&[]), SolveResult::Unsat, "clock at 0: no timeout");
+        let (mut s, _) = pigeonhole(8, 7);
+        s.deadline = Some(asv_sim::Deadline::Manual {
+            clock: clock.clone(),
+            limit: 5,
+        });
+        clock.advance(6);
+        assert_eq!(s.solve(&[]), SolveResult::TimedOut);
+        assert!(
+            s.conflicts <= CANCEL_CHECK_INTERVAL,
+            "search must stop within one check interval, saw {} conflicts",
+            s.conflicts
+        );
+        // Removing the deadline resumes the search with learned clauses
+        // intact.
+        s.deadline = None;
         assert_eq!(s.solve(&[]), SolveResult::Unsat);
     }
 

@@ -9,10 +9,27 @@
 //! The map is sharded by key so concurrent workers finishing different
 //! jobs never contend on one lock; each shard is a small MRU-ordered
 //! vector with LRU eviction, bounding memory under sustained traffic.
+//!
+//! The cache is *poison-proof*: shard locks recover from
+//! [`PoisonError`](std::sync::PoisonError) instead of propagating it.
+//! Every critical section leaves the shard structurally valid at every
+//! intermediate point (entries are removed and re-pushed whole), so a
+//! thread that panics while holding the lock — as injected faults under
+//! `fault-inject` deliberately do — can never wedge the cache for the
+//! rest of the service.
 
 use crate::job::{JobKey, JobOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a shard, recovering from poisoning: a panic in another worker
+/// must not take the memo down with it (the data is always structurally
+/// valid — see the module docs).
+fn lock_shard<T>(shard: &Mutex<T>) -> MutexGuard<'_, T> {
+    shard
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Number of independent shards (power of two).
 const SHARDS: usize = 16;
@@ -43,7 +60,7 @@ impl VerdictCache {
     /// Looks up a finished verdict, bumping the entry to
     /// most-recently-used on a hit.
     pub fn get(&self, key: JobKey) -> Option<JobOutcome> {
-        let mut shard = self.shard(key).lock().expect("verdict shard poisoned");
+        let mut shard = lock_shard(self.shard(key));
         if let Some(pos) = shard.iter().position(|(k, _)| *k == key) {
             let entry = shard.remove(pos);
             let outcome = entry.1.clone();
@@ -59,7 +76,7 @@ impl VerdictCache {
     /// Records a finished verdict (idempotent; later insertions of the
     /// same key are ignored since outcomes are deterministic in the key).
     pub fn insert(&self, key: JobKey, outcome: JobOutcome) {
-        let mut shard = self.shard(key).lock().expect("verdict shard poisoned");
+        let mut shard = lock_shard(self.shard(key));
         if shard.iter().any(|(k, _)| *k == key) {
             return;
         }
@@ -79,10 +96,7 @@ impl VerdictCache {
 
     /// Number of memoised verdicts.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("verdict shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// True when nothing is memoised.
@@ -94,7 +108,7 @@ impl VerdictCache {
     /// measurements; counters are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("verdict shard poisoned").clear();
+            lock_shard(shard).clear();
         }
     }
 }
@@ -134,6 +148,19 @@ mod tests {
         c.insert(JobKey(3), outcome(2));
         assert_eq!(c.get(JobKey(3)), Some(outcome(1)));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lock_shard_recovers_from_poisoning() {
+        let m = Mutex::new(vec![(JobKey(1), outcome(1))]);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("worker died holding the shard");
+        }));
+        assert!(unwound.is_err());
+        assert!(m.lock().is_err(), "mutex must actually be poisoned");
+        // The cache shrugs it off and the data is still there.
+        assert_eq!(lock_shard(&m).len(), 1);
     }
 
     #[test]

@@ -1,15 +1,64 @@
-//! Verification jobs and their cache keys.
+//! Verification jobs, their cache keys, and the job failure taxonomy.
 
+use asv_sim::cancel::Exhausted;
 use asv_sva::bmc::{Verdict, Verifier, VerifyError};
 use asv_verilog::ast::AssertTarget;
 use asv_verilog::sema::Design;
 use std::collections::hash_map::DefaultHasher;
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-/// What one job returns: exactly what `Verifier::check` returns, so the
-/// service is a drop-in replacement for the sequential call.
-pub type JobOutcome = Result<Verdict, VerifyError>;
+/// What one job returns: the verifier's verdict, or a structured failure.
+///
+/// Every job in a batch gets its own outcome — one job erroring (or
+/// panicking, or blowing its budget) never poisons its batch siblings.
+pub type JobOutcome = Result<Verdict, VerdictError>;
+
+/// Why a job produced no verdict: the service's failure taxonomy.
+///
+/// The split matters for memoisation: [`VerdictError::Verify`] failures
+/// are deterministic in the job key and may be cached; the other
+/// variants depend on the per-call budget, scheduling, or injected
+/// faults, and are never cached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerdictError {
+    /// The verifier itself failed deterministically (no assertions,
+    /// simulation/monitor error, forced engine out of subset).
+    Verify(VerifyError),
+    /// The engine panicked; the worker caught the unwind and isolated it
+    /// to this job. Carries the rendered panic payload.
+    Panic(String),
+    /// The job's cancellation token was poisoned before a verdict.
+    Cancelled,
+    /// The job ran out of a budgeted resource in a forced single-engine
+    /// mode (auto/portfolio jobs degrade to
+    /// [`Verdict::Inconclusive`](asv_sva::bmc::Verdict) instead).
+    Exhausted(Exhausted),
+}
+
+impl fmt::Display for VerdictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerdictError::Verify(e) => write!(f, "{e}"),
+            VerdictError::Panic(m) => write!(f, "verification panicked: {m}"),
+            VerdictError::Cancelled => write!(f, "job cancelled"),
+            VerdictError::Exhausted(e) => write!(f, "job {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerdictError {}
+
+impl From<VerifyError> for VerdictError {
+    fn from(e: VerifyError) -> Self {
+        match e {
+            VerifyError::Cancelled => VerdictError::Cancelled,
+            VerifyError::Exhausted(ex) => VerdictError::Exhausted(ex),
+            other => VerdictError::Verify(other),
+        }
+    }
+}
 
 /// One unit of verification work: a design plus the bounds and engine to
 /// check it with. The `verifier.engine` field is the job's mode —
@@ -70,6 +119,17 @@ impl VerifyJob {
             h.finish()
         };
         JobKey((u128::from(half(KEY_TAG_HI)) << 64) | u128::from(half(KEY_TAG_LO)))
+    }
+}
+
+impl JobKey {
+    /// The job's fault-injection salt: the XOR of the key's two 64-bit
+    /// halves. A [`FaultPlan`](asv_sim::FaultPlan) derives the job's
+    /// fault session from this value, so the fault schedule is a pure
+    /// function of `(plan, job)`. Chaos tests use the same value with
+    /// `FaultPlan::is_victim` to predict which jobs a plan targets.
+    pub fn fault_salt(self) -> u64 {
+        ((self.0 >> 64) as u64) ^ (self.0 as u64)
     }
 }
 

@@ -34,6 +34,15 @@
 //!   verdict wins and losers stop within one check interval. Verdicts
 //!   stay bit-identical to sequential `Engine::Auto` (see
 //!   `asv_sva::bmc` for the canonical-verdict rule).
+//! * **Fault tolerance** — each job runs under its own
+//!   [`Budget`](asv_sim::cancel::Budget) (deadline, SAT-conflict /
+//!   fuzz-round / AIG-node caps from [`ServeOptions`]) behind a
+//!   `catch_unwind` barrier: a job that panics, exhausts its budget or
+//!   is cancelled yields a [`VerdictError`] in its own slot while its
+//!   batch siblings finish normally. Only deterministic outcomes are
+//!   memoised, so degraded runs never poison the verdict cache, and the
+//!   whole schedule is reproducible under the seeded fault-injection
+//!   plans of the `fault-inject` feature (see `asv_sim::fault`).
 //!
 //! ```
 //! use asv_serve::{ServeOptions, VerifyJob, VerifyService};
@@ -59,5 +68,5 @@ pub mod job;
 pub mod service;
 
 pub use cache::VerdictCache;
-pub use job::{JobKey, JobOutcome, VerifyJob};
+pub use job::{JobKey, JobOutcome, VerdictError, VerifyJob};
 pub use service::{ServeOptions, ServeStats, VerifyService};

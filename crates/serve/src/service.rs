@@ -13,18 +13,49 @@
 //!    so a batch mixing microsecond enumerations with millisecond
 //!    symbolic proofs stays load-balanced without any up-front
 //!    partitioning (idle workers steal whatever is left);
-//! 4. results land in their submission slot and new verdicts are
+//! 4. results land in their submission slot and *cacheable* verdicts are
 //!    memoised.
 //!
 //! Every engine is deterministic in `(design, Verifier)`, outcomes are
 //! keyed per job, and the collection order is the submission order — so
 //! the returned vector is a pure function of the batch, whatever the
 //! worker count and however the OS schedules the race.
+//!
+//! ## Failure semantics
+//!
+//! The service is fault-tolerant per job:
+//!
+//! * each job runs under its own [`Budget`] built from the service's
+//!   [`ServeOptions`] (wall-clock deadline measured from the job's own
+//!   start, SAT-conflict / fuzz-round / AIG-node caps, and — under the
+//!   `fault-inject` feature — a per-job fault session salted by the job
+//!   key);
+//! * every engine invocation is wrapped in `catch_unwind`: a panicking
+//!   job yields [`VerdictError::Panic`] in its own slot and its batch
+//!   siblings are untouched;
+//! * only *deterministic* outcomes are memoised — verdicts and
+//!   [`VerdictError::Verify`] errors, which are pure functions of the
+//!   job key. `Inconclusive` verdicts, panics, cancellations and budget
+//!   exhaustion depend on the per-call budget or injected faults and are
+//!   never cached, so a degraded run can never poison a later, healthier
+//!   one;
+//! * concurrent submissions of the same key (within or across batches)
+//!   are collapsed through an in-flight table: one caller executes, the
+//!   rest wait and reuse the memoised outcome. If the owner's outcome
+//!   was not cacheable, a waiter re-executes rather than inheriting the
+//!   degraded result — and the table's leases are drop-guarded, so a
+//!   panicking owner always releases its claim and can never strand a
+//!   waiter.
 
 use crate::cache::VerdictCache;
-use crate::job::{JobKey, JobOutcome, VerifyJob};
-use std::collections::HashMap;
+use crate::job::{JobKey, JobOutcome, VerdictError, VerifyJob};
+use asv_sim::cancel::Budget;
+use asv_sim::FaultPlan;
+use asv_sva::bmc::Verdict;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// Service configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +69,23 @@ pub struct ServeOptions {
     /// Memoise verdicts across batches (disable for cache-cold
     /// benchmarking; in-batch deduplication always applies).
     pub memoize: bool,
+    /// Per-job wall-clock deadline, measured from the moment a worker
+    /// starts the job (`None` = unbounded). Auto/portfolio jobs that
+    /// run out degrade to `Verdict::Inconclusive`; forced single-engine
+    /// jobs report [`VerdictError::Exhausted`].
+    pub deadline: Option<Duration>,
+    /// Per-job cap on SAT solver conflicts (`None` = unbounded).
+    pub max_conflicts: Option<u64>,
+    /// Per-job cap on fuzzing rounds (`None` = unbounded).
+    pub max_fuzz_rounds: Option<u64>,
+    /// Per-job cap on symbolic-unrolling AIG nodes (`None` = unbounded).
+    pub max_aig_nodes: Option<u64>,
+    /// Deterministic fault-injection plan for the chaos suite. Each job
+    /// gets a session salted by [`JobKey::fault_salt`], so the fault
+    /// schedule is a pure function of `(plan, job)` — independent of
+    /// worker count and scheduling. Inert unless the `fault-inject`
+    /// feature is enabled (probes compile to plain budget polls).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServeOptions {
@@ -45,6 +93,11 @@ impl Default for ServeOptions {
         ServeOptions {
             workers: 0,
             memoize: true,
+            deadline: None,
+            max_conflicts: None,
+            max_fuzz_rounds: None,
+            max_aig_nodes: None,
+            fault_plan: None,
         }
     }
 }
@@ -63,14 +116,117 @@ pub struct ServeStats {
     pub deduped: u64,
 }
 
+/// Cross-batch in-flight job table: collapses concurrent executions of
+/// one key into a single engine run.
+///
+/// A worker either *claims* a key (getting a [`InflightLease`]) or
+/// waits on the condvar until the current owner finishes. Leases release
+/// on drop — including panic unwinds — so an owner can never strand its
+/// waiters; waiters re-check the verdict memo on wake-up and re-execute
+/// themselves if the owner's outcome was not cacheable.
+#[derive(Default)]
+struct InflightTable {
+    keys: Mutex<HashSet<JobKey>>,
+    done: Condvar,
+}
+
+/// What [`InflightTable::claim`] resolved to.
+enum Claim<'a> {
+    /// Another owner finished first; here is its memoised outcome.
+    Hit(JobOutcome),
+    /// The caller owns the key until the lease drops.
+    Claimed(InflightLease<'a>),
+}
+
+/// Drop-guarded ownership of an in-flight key.
+struct InflightLease<'a> {
+    table: &'a InflightTable,
+    key: JobKey,
+}
+
+impl InflightTable {
+    /// Claims `key` for execution, or waits for the current owner and
+    /// returns its memoised outcome. Recovers from lock poisoning: the
+    /// set is structurally valid at every point, and leases release on
+    /// unwind.
+    fn claim<'a>(&'a self, key: JobKey, memo: &VerdictCache) -> Claim<'a> {
+        let mut keys = lock_inflight(&self.keys);
+        loop {
+            if let Some(hit) = memo.get(key) {
+                return Claim::Hit(hit);
+            }
+            if keys.insert(key) {
+                return Claim::Claimed(InflightLease { table: self, key });
+            }
+            keys = self.done.wait(keys).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for InflightLease<'_> {
+    fn drop(&mut self) {
+        let mut keys = lock_inflight(&self.table.keys);
+        keys.remove(&self.key);
+        self.table.done.notify_all();
+    }
+}
+
+/// Locks the in-flight set, recovering from poisoning (a worker panic
+/// between `insert` and `remove` leaves the set valid — the lease's
+/// drop guard still runs and removes the key).
+fn lock_inflight(m: &Mutex<HashSet<JobKey>>) -> MutexGuard<'_, HashSet<JobKey>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A verification job service with sharded verdict memoisation.
 pub struct VerifyService {
     opts: ServeOptions,
     verdicts: VerdictCache,
+    inflight: InflightTable,
     submitted: AtomicU64,
     executed: AtomicU64,
     memo_hits: AtomicU64,
     deduped: AtomicU64,
+}
+
+/// True if `outcome` is a pure function of the job key and may be
+/// memoised. Degraded outcomes (inconclusive verdicts, panics,
+/// cancellations, budget exhaustion) depend on the per-call budget,
+/// scheduling, or injected faults — caching one would poison every
+/// later call with this key.
+fn cacheable(outcome: &JobOutcome) -> bool {
+    match outcome {
+        Ok(Verdict::Inconclusive { .. }) => false,
+        Ok(_) => true,
+        Err(VerdictError::Verify(_)) => true,
+        Err(_) => false,
+    }
+}
+
+/// Renders a caught panic payload for [`VerdictError::Panic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(injected) = payload.downcast_ref::<asv_sim::fault::InjectedPanic>() {
+        format!("injected fault at probe `{}`", injected.0)
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs one job under `budget`, catching panics so one bad job never
+/// takes down its worker (or the batch).
+fn run_job(job: &VerifyJob, budget: &Budget) -> JobOutcome {
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        job.verifier.check_budgeted(&job.design, budget)
+    }));
+    match unwound {
+        Ok(Ok(verdict)) => Ok(verdict),
+        Ok(Err(e)) => Err(VerdictError::from(e)),
+        Err(payload) => Err(VerdictError::Panic(panic_message(payload.as_ref()))),
+    }
 }
 
 impl VerifyService {
@@ -79,6 +235,7 @@ impl VerifyService {
         VerifyService {
             opts,
             verdicts: VerdictCache::new(),
+            inflight: InflightTable::default(),
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
@@ -103,11 +260,70 @@ impl VerifyService {
         }
     }
 
+    /// Builds the per-job budget from the service options. Called at
+    /// job start inside the worker, so a wall-clock deadline measures
+    /// the job's own runtime, not its queueing delay.
+    fn job_budget(&self, key: JobKey) -> Budget {
+        let mut budget = Budget::unbounded();
+        if let Some(limit) = self.opts.deadline {
+            budget = budget.with_deadline(limit);
+        }
+        if let Some(n) = self.opts.max_conflicts {
+            budget = budget.with_max_conflicts(n);
+        }
+        if let Some(n) = self.opts.max_fuzz_rounds {
+            budget = budget.with_max_fuzz_rounds(n);
+        }
+        if let Some(n) = self.opts.max_aig_nodes {
+            budget = budget.with_max_aig_nodes(n);
+        }
+        if let Some(plan) = self.opts.fault_plan {
+            budget = budget.with_fault(plan.session(key.fault_salt()));
+        }
+        budget
+    }
+
+    /// Executes one pending job: claims it in the in-flight table (when
+    /// memoising), runs the engine under the per-job budget, and
+    /// memoises cacheable outcomes before releasing the claim.
+    fn execute(&self, job: &VerifyJob, key: JobKey) -> JobOutcome {
+        if !self.opts.memoize {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            return run_job(job, &self.job_budget(key));
+        }
+        match self.inflight.claim(key, &self.verdicts) {
+            Claim::Hit(outcome) => {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                outcome
+            }
+            Claim::Claimed(lease) => {
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                let outcome = run_job(job, &self.job_budget(key));
+                // Memoise before releasing the claim so woken waiters
+                // find the result; a non-cacheable outcome leaves the
+                // memo untouched and waiters execute for themselves.
+                if cacheable(&outcome) {
+                    self.verdicts.insert(key, outcome.clone());
+                }
+                drop(lease);
+                outcome
+            }
+        }
+    }
+
     /// Verifies one job (a batch of one).
     pub fn verify_one(&self, job: &VerifyJob) -> JobOutcome {
         self.verify_batch(std::slice::from_ref(job))
             .pop()
             .expect("one job in, one outcome out")
+    }
+
+    /// Alias of [`VerifyService::verify_batch`]: submits a batch and
+    /// returns per-job outcomes in submission order. A job that errors
+    /// (panics, exhausts its budget, is cancelled) fills only its own
+    /// slot — the rest of the batch completes normally.
+    pub fn submit_batch(&self, jobs: &[VerifyJob]) -> Vec<JobOutcome> {
+        self.verify_batch(jobs)
     }
 
     /// Verifies a batch, returning outcomes in submission order.
@@ -151,6 +367,7 @@ impl VerifyService {
                 for _ in 0..workers {
                     let cursor = &cursor;
                     let pending = &pending;
+                    let keys = &keys;
                     handles.push(scope.spawn(move || {
                         let mut done = Vec::new();
                         loop {
@@ -158,21 +375,18 @@ impl VerifyService {
                             let Some(&job_idx) = pending.get(at) else {
                                 break;
                             };
-                            let job = &jobs[job_idx];
-                            done.push((job_idx, job.verifier.check(&job.design)));
+                            done.push((job_idx, self.execute(&jobs[job_idx], keys[job_idx])));
                         }
                         done
                     }));
                 }
                 for h in handles {
+                    // Engine panics are caught inside `execute`; a panic
+                    // escaping here is a bug in the service itself.
                     per_worker.push(h.join().expect("verification worker panicked"));
                 }
             });
             for (job_idx, outcome) in per_worker.into_iter().flatten() {
-                self.executed.fetch_add(1, Ordering::Relaxed);
-                if self.opts.memoize {
-                    self.verdicts.insert(keys[job_idx], outcome.clone());
-                }
                 results[job_idx] = Some(outcome);
             }
         }
@@ -219,7 +433,8 @@ impl Default for VerifyService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asv_sva::bmc::{Engine, Verdict, Verifier};
+    use asv_sim::cancel::Resource;
+    use asv_sva::bmc::{Engine, Verdict, Verifier, VerifyError};
     use asv_verilog::sema::Design;
 
     fn design(follow: bool, tag: u64) -> Design {
@@ -257,6 +472,7 @@ mod tests {
             match o.as_ref().expect("verdict") {
                 Verdict::Fails(_) => assert!(fails, "job {i} must hold"),
                 Verdict::Holds { .. } => assert!(!fails, "job {i} must fail"),
+                Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
             }
         }
     }
@@ -326,7 +542,111 @@ mod tests {
             asv_verilog::compile("module n(input a, output y); assign y = a; endmodule").unwrap();
         let service = VerifyService::default();
         let out = service.verify_one(&VerifyJob::new(d, Verifier::default()));
-        assert_eq!(out, Err(asv_sva::bmc::VerifyError::NoAssertions));
+        assert_eq!(out, Err(VerdictError::Verify(VerifyError::NoAssertions)));
+    }
+
+    #[test]
+    fn deterministic_errors_are_memoised_but_degraded_outcomes_are_not() {
+        let d =
+            asv_verilog::compile("module n(input a, output y); assign y = a; endmodule").unwrap();
+        let service = VerifyService::default();
+        let job = VerifyJob::new(d, Verifier::default());
+        let cold = service.verify_one(&job);
+        assert!(matches!(cold, Err(VerdictError::Verify(_))));
+        let warm = service.verify_one(&job);
+        assert_eq!(cold, warm);
+        assert!(
+            service.stats().memo_hits >= 1,
+            "deterministic errors memoise like verdicts"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_degrades_auto_jobs_without_caching() {
+        let service = VerifyService::new(ServeOptions {
+            deadline: Some(Duration::ZERO),
+            ..ServeOptions::default()
+        });
+        let jobs = batch(4, Engine::Auto);
+        let out = service.verify_batch(&jobs);
+        for (i, o) in out.iter().enumerate() {
+            assert!(
+                matches!(o, Ok(Verdict::Inconclusive { .. })),
+                "job {i}: expected inconclusive under an expired deadline, got {o:?}"
+            );
+        }
+        assert!(
+            service.verdict_cache().is_empty(),
+            "degraded outcomes must not be memoised"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_on_forced_engine_reports_structured_exhaustion() {
+        let service = VerifyService::new(ServeOptions {
+            deadline: Some(Duration::ZERO),
+            ..ServeOptions::default()
+        });
+        let out = service.verify_one(&batch(1, Engine::Symbolic).remove(0));
+        match out {
+            Err(VerdictError::Exhausted(e)) => assert_eq!(e.resource, Resource::WallClock),
+            other => panic!("expected wall-clock exhaustion, got {other:?}"),
+        }
+        assert!(service.verdict_cache().is_empty());
+    }
+
+    #[test]
+    fn mixed_ok_and_error_batches_fill_every_slot() {
+        let verifier = Verifier {
+            depth: 6,
+            ..Verifier::default()
+        };
+        let holds = VerifyJob::new(design(true, 0), verifier);
+        let empty =
+            asv_verilog::compile("module n(input a, output y); assign y = a; endmodule").unwrap();
+        let broken = VerifyJob::new(empty, verifier);
+        let service = VerifyService::default();
+        let out = service.submit_batch(&[holds.clone(), broken.clone(), holds, broken]);
+        assert_eq!(out.len(), 4);
+        assert!(matches!(&out[0], Ok(Verdict::Holds { .. })));
+        assert_eq!(out[1], Err(VerdictError::Verify(VerifyError::NoAssertions)));
+        assert_eq!(out[2], out[0]);
+        assert_eq!(out[3], out[1]);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_panics_in_forced_engines_are_isolated_per_job() {
+        use asv_sim::{FaultKinds, FaultPlan};
+        asv_sim::fault::silence_injected_panics();
+        let plan = FaultPlan {
+            rate_per_1024: 1024,
+            victims_per_16: 16,
+            kinds: FaultKinds::PANIC,
+            ..FaultPlan::new(11)
+        };
+        let service = VerifyService::new(ServeOptions {
+            fault_plan: Some(plan),
+            ..ServeOptions::default()
+        });
+        let jobs = batch(4, Engine::Fuzz);
+        let out = service.verify_batch(&jobs);
+        for (i, o) in out.iter().enumerate() {
+            match o {
+                Err(VerdictError::Panic(m)) => assert!(
+                    m.contains("injected fault at probe"),
+                    "job {i}: unexpected panic message {m:?}"
+                ),
+                other => panic!("job {i}: expected isolated panic, got {other:?}"),
+            }
+        }
+        assert!(
+            service.verdict_cache().is_empty(),
+            "panic outcomes must not be memoised"
+        );
+        // The service survives and still answers healthy jobs.
+        let healthy = VerifyService::default().verify_batch(&batch(2, Engine::Auto));
+        assert!(healthy.iter().all(|o| o.is_ok()));
     }
 
     #[test]

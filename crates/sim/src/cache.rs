@@ -14,6 +14,13 @@
 //! module source plus resolved parameters); hash collisions are resolved
 //! by full structural equality before an entry is reused, so a hit is
 //! always the *same* design.
+//!
+//! Shard locks are poison-proof: a verification job that panics (or has
+//! a panic injected by the chaos harness) while touching a shard never
+//! wedges the cache for later jobs. Recovering the poisoned guard is
+//! sound because every mutation keeps the MRU vector valid at all
+//! times — there is no multi-step invariant a mid-flight panic could
+//! tear.
 
 use crate::compile::{CompiledDesign, OptLevel};
 use asv_verilog::sema::Design;
@@ -88,7 +95,9 @@ impl CompileCache {
         let key = design_hash(design);
         let shard = &self.shards[(key as usize) & (SHARDS - 1)];
         {
-            let mut s = shard.lock().expect("compile cache shard poisoned");
+            let mut s = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(pos) = s
                 .entries
                 .iter()
@@ -105,7 +114,9 @@ impl CompileCache {
         // must not block lookups of the other designs in its shard.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let cd = std::sync::Arc::new(CompiledDesign::compile_opt(design, opt));
-        let mut s = shard.lock().expect("compile cache shard poisoned");
+        let mut s = shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // A racing thread may have inserted the same design meanwhile;
         // keeping both copies is harmless (the duplicate ages out), but
         // prefer the existing entry so Arc identity stays stable.
@@ -137,7 +148,7 @@ impl CompileCache {
         for shard in &self.shards {
             shard
                 .lock()
-                .expect("compile cache shard poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .entries
                 .clear();
         }
@@ -240,6 +251,29 @@ mod tests {
             &full,
             &cache.get_or_compile_opt(&d, OptLevel::Full)
         ));
+    }
+
+    #[test]
+    fn poisoned_shard_keeps_serving() {
+        let cache = CompileCache::new();
+        let d = design(1);
+        let a = cache.get_or_compile(&d);
+        // Poison every shard mutex by panicking while holding the guard.
+        for shard in &cache.shards {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                panic!("poison");
+            }));
+        }
+        let b = cache.get_or_compile(&d);
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "poisoned shard must still answer with the cached entry"
+        );
+        let e = design(99);
+        assert_eq!(cache.get_or_compile(&e).design(), &e);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod compile;
 pub mod cover;
 pub mod eval;
 pub mod exec;
+pub mod fault;
 pub mod interp;
 pub mod stimulus;
 pub mod trace;
@@ -44,11 +45,12 @@ pub use asv_ir::value;
 
 pub use asv_ir::OptLevel;
 pub use cache::CompileCache;
-pub use cancel::CancelToken;
+pub use cancel::{Budget, CancelToken, Deadline, Exhausted, ManualClock, Resource, Stop};
 pub use compile::{CompiledDesign, SigId};
 pub use cover::{CovMap, CoverageReport};
 pub use eval::{Env, EvalError};
 pub use exec::{SimError, Simulator};
+pub use fault::{FaultKind, FaultKinds, FaultPlan, FaultSession};
 pub use interp::AstSimulator;
 pub use stimulus::{Stimulus, StimulusGen};
 pub use trace::Trace;

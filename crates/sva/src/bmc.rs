@@ -56,13 +56,27 @@
 //! before being reported, and every fuzzer finding additionally replays
 //! on the `AstSimulator` interpreter oracle, so `Fails` verdicts carry
 //! exactly the logs a concrete run produces.
+//!
+//! ## Budgets and the degradation ladder
+//!
+//! [`Verifier::check_budgeted`] threads a full [`Budget`] — cancellation
+//! token, wall-clock (or injected-clock) deadline, and per-resource caps
+//! — into every engine's hot loop. Forced single-engine modes surface a
+//! blown budget as the structured [`VerifyError::Exhausted`];
+//! [`Engine::Auto`] and [`Engine::Portfolio`] instead *degrade* down a
+//! deterministic ladder (symbolic → exhaustive enumeration →
+//! coverage-guided fuzzing → random sampling), isolating per-rung panics
+//! and halving the stimulus budget per exhausted rung, and report
+//! [`Verdict::Inconclusive`] with the full attempt trace only when every
+//! rung fails. Fault-free unbudgeted checks take exactly the pre-ladder
+//! path, so their verdicts are bit-identical to the sequential chain.
 
 pub use asv_sim::compile::OptLevel;
 
 use crate::monitor::{AssertionFailure, CheckOutcome, CompiledChecker, MonitorError};
 use asv_fuzz::{AssertionOracle, FuzzError, FuzzOptions, FuzzVerdict};
 use asv_sat::engine::{BmcError, BmcOptions, BmcVerdict};
-use asv_sim::cancel::CancelToken;
+use asv_sim::cancel::{Budget, CancelToken, Exhausted, Stop};
 use asv_sim::compile::CompiledDesign;
 use asv_sim::cover::CovMap;
 use asv_sim::exec::{SimError, Simulator};
@@ -93,12 +107,44 @@ pub enum Verdict {
     },
     /// A counterexample was found.
     Fails(CounterExample),
+    /// No engine produced a verdict within its budget: every rung of the
+    /// [`Engine::Auto`]/[`Engine::Portfolio`] degradation ladder failed
+    /// recoverably (resource exhaustion, an isolated panic, a spurious
+    /// cancellation). Never cached, never produced by a fault-free
+    /// unbudgeted check.
+    Inconclusive {
+        /// Every engine attempt, in the order the ladder ran them.
+        tried: Vec<TriedEngine>,
+    },
+}
+
+/// One failed rung of the degradation ladder, recorded in
+/// [`Verdict::Inconclusive`] so callers can see how far the check got
+/// and why each engine gave up.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TriedEngine {
+    /// The engine that ran.
+    pub engine: Engine,
+    /// Human-readable failure description: the exhaustion record, a
+    /// caught panic payload, a spurious cancellation, or the
+    /// out-of-subset reason.
+    pub reason: String,
+    /// Structured record when the rung ran out of a budgeted resource
+    /// (`None` for panics, spurious cancellations and out-of-subset
+    /// designs).
+    pub exhausted: Option<Exhausted>,
 }
 
 impl Verdict {
     /// True for [`Verdict::Fails`].
     pub fn is_failure(&self) -> bool {
         matches!(self, Verdict::Fails(_))
+    }
+
+    /// True for [`Verdict::Inconclusive`] — no engine decided the check
+    /// within its budget.
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, Verdict::Inconclusive { .. })
     }
 
     /// True when the design holds and every assertion fired at least once
@@ -144,6 +190,11 @@ pub enum VerifyError {
     /// caller tore the work down; losing portfolio engines surface this
     /// internally and it never escapes a portfolio check).
     Cancelled,
+    /// A budgeted resource ran out before a verdict. Forced single-engine
+    /// modes surface this directly; [`Engine::Auto`] and
+    /// [`Engine::Portfolio`] degrade down the ladder instead and only
+    /// report [`Verdict::Inconclusive`] when every rung is exhausted.
+    Exhausted(Exhausted),
 }
 
 impl fmt::Display for VerifyError {
@@ -155,6 +206,7 @@ impl fmt::Display for VerifyError {
             VerifyError::Symbolic(m) => write!(f, "symbolic engine unavailable: {m}"),
             VerifyError::Fuzz(m) => write!(f, "fuzzing engine failed: {m}"),
             VerifyError::Cancelled => write!(f, "verification cancelled"),
+            VerifyError::Exhausted(e) => write!(f, "verification {e}"),
         }
     }
 }
@@ -171,6 +223,176 @@ impl From<MonitorError> for VerifyError {
     fn from(e: MonitorError) -> Self {
         VerifyError::Monitor(e)
     }
+}
+
+impl From<Stop> for VerifyError {
+    fn from(stop: Stop) -> Self {
+        match stop {
+            Stop::Cancelled => VerifyError::Cancelled,
+            Stop::Exhausted(e) => VerifyError::Exhausted(e),
+        }
+    }
+}
+
+/// Why the symbolic engine produced no verdict: the `Err` side of
+/// [`Verifier::check_symbolic`], carrying enough structure for the ladder
+/// to decide between a free fallback and a backed-off one.
+#[derive(Debug, Clone)]
+struct RungFailure {
+    /// Human-readable description (the [`VerifyError::Symbolic`] message
+    /// when the symbolic engine is forced).
+    reason: String,
+    /// Structured record when a budgeted resource ran out.
+    exhausted: Option<Exhausted>,
+    /// True when the design is outside the engine's subset: the fallback
+    /// is the design's *canonical* engine, not a degraded one, so the
+    /// stimulus budget is not backed off (today's silent `Auto` path).
+    unsupported: bool,
+}
+
+impl RungFailure {
+    /// A free-fallback failure (no structured exhaustion, no backoff):
+    /// out-of-subset designs and witness-replay harness failures.
+    fn fallback(reason: String) -> Self {
+        RungFailure {
+            reason,
+            exhausted: None,
+            unsupported: true,
+        }
+    }
+
+    /// The forced-engine ([`Engine::Symbolic`]) error for this failure.
+    fn into_error(self) -> VerifyError {
+        match self.exhausted {
+            Some(e) => VerifyError::Exhausted(e),
+            None => VerifyError::Symbolic(self.reason),
+        }
+    }
+
+    /// The ladder-trace record for this failure.
+    fn tried(self, engine: Engine) -> TriedEngine {
+        TriedEngine {
+            engine,
+            reason: self.reason,
+            exhausted: self.exhausted,
+        }
+    }
+}
+
+/// Outcome of one degradation-ladder rung.
+enum RungOutcome {
+    /// The engine decided the check.
+    Verdict(Verdict),
+    /// Unrecoverable — propagate immediately: simulation/monitor errors
+    /// (the design itself is broken, no engine will do better) and an
+    /// external cancellation (the caller tore the work down).
+    Hard(VerifyError),
+    /// Recoverable with budget backoff: resource exhaustion, an isolated
+    /// panic, or a spurious cancellation.
+    Exhausted(TriedEngine),
+    /// Recoverable without backoff: the engine cannot handle the design
+    /// at all, so the next rung is the canonical one.
+    Unsupported(TriedEngine),
+}
+
+/// Routes a failed symbolic racer to the concrete racer's result; when
+/// the concrete ladder itself ended [`Verdict::Inconclusive`], the
+/// symbolic attempt is prepended so the trace matches what sequential
+/// [`Engine::Auto`] would have recorded.
+fn merge_sym_failure(
+    sym: TriedEngine,
+    conc: &Result<Verdict, VerifyError>,
+) -> Result<Verdict, VerifyError> {
+    match conc {
+        Ok(Verdict::Inconclusive { tried }) => {
+            let mut full = vec![sym];
+            full.extend(tried.iter().cloned());
+            Ok(Verdict::Inconclusive { tried: full })
+        }
+        other => other.clone(),
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(p) = payload.downcast_ref::<asv_sim::fault::InjectedPanic>() {
+        return format!("injected fault at probe `{}`", p.0);
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "opaque panic payload".into()
+}
+
+/// Runs one ladder rung with panic isolation and classifies the result.
+///
+/// The closure only touches per-call state (the rung rebuilds everything
+/// it needs from the compiled design), so unwinding out of it leaves no
+/// broken invariants behind — `AssertUnwindSafe` is sound here.
+fn run_rung(
+    engine: Engine,
+    budget: &Budget,
+    body: impl FnOnce() -> Result<Verdict, VerifyError>,
+) -> RungOutcome {
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    classify_rung(engine, budget, res)
+}
+
+/// Sorts a rung result into the [`RungOutcome`] taxonomy.
+fn classify_rung(
+    engine: Engine,
+    budget: &Budget,
+    res: std::thread::Result<Result<Verdict, VerifyError>>,
+) -> RungOutcome {
+    match res {
+        Ok(Ok(v)) => RungOutcome::Verdict(v),
+        Ok(Err(VerifyError::Exhausted(e))) => RungOutcome::Exhausted(TriedEngine {
+            engine,
+            reason: e.to_string(),
+            exhausted: Some(e),
+        }),
+        // `Cancelled` without an actually poisoned caller token is
+        // spurious (fault injection or an engine bug): degrade instead
+        // of reporting a cancellation that never happened.
+        Ok(Err(VerifyError::Cancelled)) if !budget.is_cancelled() => {
+            RungOutcome::Exhausted(TriedEngine {
+                engine,
+                reason: "spurious cancellation".into(),
+                exhausted: None,
+            })
+        }
+        Ok(Err(e)) => RungOutcome::Hard(e),
+        Err(payload) => RungOutcome::Exhausted(TriedEngine {
+            engine,
+            reason: format!("panicked: {}", panic_message(payload.as_ref())),
+            exhausted: None,
+        }),
+    }
+}
+
+/// Stimulus budget for a fallback rung: halved per previously exhausted
+/// rung (a budget that just ran out should not be re-spent at full
+/// size), floored at one run. Zero penalties pass the budget through
+/// untouched, so fault-free fallbacks are bit-identical to the
+/// pre-ladder chain (including the degenerate `random_runs: 0`).
+fn backoff(runs: usize, penalties: u32) -> usize {
+    if penalties == 0 {
+        return runs;
+    }
+    (runs >> penalties.min(usize::BITS - 1)).max(1)
+}
+
+/// Backoff increment for an exhausted rung. Under a *plain* budget the
+/// only possible exhaustion is an engine-internal cap (SAT conflict
+/// budget, AIG node limit) — the pre-ladder chain always fell back at
+/// full stimulus budget there, and the portfolio's concrete racer (which
+/// starts before the symbolic outcome is known) still does, so backoff
+/// applies only when the caller set a budget or armed fault injection.
+fn penalty_step(budget: &Budget) -> u32 {
+    u32::from(!budget.is_plain())
 }
 
 /// Which verification engine [`Verifier::check`] runs.
@@ -297,7 +519,7 @@ impl Verifier {
     /// [`Engine::Symbolic`] is forced on an out-of-subset design, and
     /// propagates simulation/monitoring errors.
     pub fn check(&self, design: &Design) -> Result<Verdict, VerifyError> {
-        self.check_cancellable(design, None)
+        self.check_budgeted(design, &Budget::unbounded())
     }
 
     /// [`Verifier::check`] with a cooperative [`CancelToken`] threaded
@@ -313,6 +535,25 @@ impl Verifier {
         design: &Design,
         cancel: Option<&CancelToken>,
     ) -> Result<Verdict, VerifyError> {
+        self.check_budgeted(design, &Budget::from_cancel(cancel))
+    }
+
+    /// [`Verifier::check`] under a full resource [`Budget`]: cancellation
+    /// token, wall-clock or injected-clock deadline, and per-resource
+    /// caps (SAT conflicts, fuzz rounds, AIG nodes), all polled inside
+    /// every engine's hot loop. The budget is *per call* — it is not part
+    /// of the verifier's identity, so verdict caches keyed on
+    /// [`Verifier`] stay valid across differently-budgeted calls.
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::check`], plus [`VerifyError::Cancelled`] for a
+    /// poisoned token and [`VerifyError::Exhausted`] when a forced
+    /// single-engine mode runs out of a budgeted resource.
+    /// [`Engine::Auto`]/[`Engine::Portfolio`] degrade down the ladder
+    /// instead and report [`Verdict::Inconclusive`] when every rung
+    /// fails.
+    pub fn check_budgeted(&self, design: &Design, budget: &Budget) -> Result<Verdict, VerifyError> {
         if design.module.assertions().count() == 0 {
             return Err(VerifyError::NoAssertions);
         }
@@ -322,24 +563,27 @@ impl Verifier {
         let col = |name: &str| compiled.sig(name).map(|s| s.idx());
         let checker = CompiledChecker::new(&design.module, col)?;
         match self.engine {
-            Engine::Simulation => self.check_simulation(design, &compiled, &checker, cancel),
-            Engine::Fuzz => self.check_fuzz(design, &compiled, &checker, cancel, false),
-            Engine::Symbolic => match self.check_symbolic(&compiled, &checker, cancel) {
+            Engine::Simulation => self.check_simulation(design, &compiled, &checker, budget),
+            Engine::Fuzz => {
+                self.check_fuzz(design, &compiled, &checker, budget, false, self.random_runs)
+            }
+            Engine::Symbolic => match self.check_symbolic(&compiled, &checker, budget) {
                 Ok(verdict) => verdict,
-                Err(reason) => Err(VerifyError::Symbolic(reason)),
+                Err(fall) => Err(fall.into_error()),
             },
-            Engine::Auto => self.check_auto(design, &compiled, &checker, cancel),
+            Engine::Auto => self.check_auto(design, &compiled, &checker, budget),
             Engine::Portfolio => {
-                let res = self.check_portfolio(design, &compiled, &checker, cancel);
+                let res = self.check_portfolio(design, &compiled, &checker, budget);
                 // The cross-check the portfolio contract promises: in
                 // debug builds every portfolio verdict is re-derived by
-                // the sequential Auto chain and compared. Skipped when an
-                // external token is live — the caller may poison it
-                // between the two runs, which would make the comparison
-                // race against itself.
+                // the sequential Auto chain and compared. Skipped unless
+                // the budget is plain — a live token could be poisoned
+                // between the two runs, a deadline burns down across
+                // them, and armed fault injection makes either run
+                // diverge by design.
                 #[cfg(debug_assertions)]
-                if cancel.is_none() {
-                    let auto = self.check_auto(design, &compiled, &checker, None);
+                if budget.is_plain() {
+                    let auto = self.check_auto(design, &compiled, &checker, budget);
                     debug_assert!(
                         portfolio_matches_auto(&res, &auto),
                         "portfolio verdict diverged from Engine::Auto: {res:?} vs {auto:?}"
@@ -350,22 +594,54 @@ impl Verifier {
         }
     }
 
-    /// The sequential [`Engine::Auto`] chain: symbolic, then the concrete
-    /// fallback. The portfolio mode reproduces exactly this verdict.
+    /// The sequential [`Engine::Auto`] chain, now the top of the
+    /// degradation ladder: symbolic first, then the concrete rungs. A
+    /// fault-free unbudgeted run takes exactly the pre-ladder path
+    /// (symbolic, else enumeration, else fuzzing at full budget); the
+    /// portfolio mode reproduces exactly this verdict.
     fn check_auto(
         &self,
         design: &Design,
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
-        cancel: Option<&CancelToken>,
+        budget: &Budget,
     ) -> Result<Verdict, VerifyError> {
-        match self.check_symbolic(compiled, checker, cancel) {
-            Ok(verdict) => verdict,
-            Err(_) => self.check_concrete(design, compiled, checker, cancel),
+        let mut tried: Vec<TriedEngine> = Vec::new();
+        let mut penalties = 0u32;
+        match self.symbolic_rung(compiled, checker, budget) {
+            RungOutcome::Verdict(v) => return Ok(v),
+            RungOutcome::Hard(e) => return Err(e),
+            RungOutcome::Exhausted(t) => {
+                tried.push(t);
+                penalties += penalty_step(budget);
+            }
+            RungOutcome::Unsupported(t) => tried.push(t),
+        }
+        self.check_concrete_ladder(design, compiled, checker, budget, tried, penalties)
+    }
+
+    /// The symbolic rung: [`Verifier::check_symbolic`] with panic
+    /// isolation, classified for the ladder.
+    fn symbolic_rung(
+        &self,
+        compiled: &Arc<CompiledDesign>,
+        checker: &CompiledChecker,
+        budget: &Budget,
+    ) -> RungOutcome {
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.check_symbolic(compiled, checker, budget)
+        }));
+        match res {
+            Ok(Ok(inner)) => classify_rung(Engine::Symbolic, budget, Ok(inner)),
+            Ok(Err(fall)) if fall.unsupported => {
+                RungOutcome::Unsupported(fall.tried(Engine::Symbolic))
+            }
+            Ok(Err(fall)) => RungOutcome::Exhausted(fall.tried(Engine::Symbolic)),
+            Err(payload) => classify_rung(Engine::Symbolic, budget, Err(payload)),
         }
     }
 
-    /// The concrete fallback of [`Engine::Auto`]: exhaustive enumeration
+    /// The concrete portion of [`Engine::Auto`]: exhaustive enumeration
     /// when the bounded input space is small enough, coverage-guided
     /// fuzzing (never blind sampling) otherwise.
     fn check_concrete(
@@ -373,37 +649,105 @@ impl Verifier {
         design: &Design,
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
-        cancel: Option<&CancelToken>,
+        budget: &Budget,
+    ) -> Result<Verdict, VerifyError> {
+        self.check_concrete_ladder(design, compiled, checker, budget, Vec::new(), 0)
+    }
+
+    /// The concrete rungs of the degradation ladder: enumeration (when
+    /// feasible) → coverage-guided fuzzing → blind random sampling, each
+    /// panic-isolated, the stimulus budget halved per exhausted rung.
+    /// Returns [`Verdict::Inconclusive`] with the attempt trace when
+    /// every rung fails recoverably.
+    fn check_concrete_ladder(
+        &self,
+        design: &Design,
+        compiled: &Arc<CompiledDesign>,
+        checker: &CompiledChecker,
+        budget: &Budget,
+        mut tried: Vec<TriedEngine>,
+        mut penalties: u32,
     ) -> Result<Verdict, VerifyError> {
         let gen = StimulusGen::new(design);
-        match gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
-            Some(all) => self.check_enumerated(design, compiled, checker, all, cancel),
-            None => self.check_fuzz(design, compiled, checker, cancel, false),
+        if let Some(all) = gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
+            match run_rung(Engine::Simulation, budget, || {
+                self.check_enumerated(design, compiled, checker, all, budget)
+            }) {
+                RungOutcome::Verdict(v) => return Ok(v),
+                RungOutcome::Hard(e) => return Err(e),
+                RungOutcome::Exhausted(t) => {
+                    tried.push(t);
+                    penalties += penalty_step(budget);
+                }
+                RungOutcome::Unsupported(t) => tried.push(t),
+            }
+        }
+        let runs = backoff(self.random_runs, penalties);
+        match run_rung(Engine::Fuzz, budget, || {
+            self.check_fuzz(design, compiled, checker, budget, false, runs)
+        }) {
+            RungOutcome::Verdict(v) => return Ok(v),
+            RungOutcome::Hard(e) => return Err(e),
+            RungOutcome::Exhausted(t) => {
+                tried.push(t);
+                penalties += penalty_step(budget);
+            }
+            RungOutcome::Unsupported(t) => tried.push(t),
+        }
+        // Last resort: blind sampling shares no infrastructure with the
+        // fuzzer (no corpus, no coverage maps), so it survives failure
+        // modes that take the fuzzer down.
+        let runs = backoff(self.random_runs, penalties);
+        match run_rung(Engine::Simulation, budget, || {
+            self.check_sampled(design, compiled, checker, budget, runs)
+        }) {
+            RungOutcome::Verdict(v) => Ok(v),
+            RungOutcome::Hard(e) => Err(e),
+            RungOutcome::Exhausted(t) | RungOutcome::Unsupported(t) => {
+                tried.push(t);
+                Ok(Verdict::Inconclusive { tried })
+            }
         }
     }
 
-    /// Runs the symbolic engine. The outer `Err(String)` means the engine
-    /// could not produce a verdict (out-of-subset design or budget) — the
-    /// caller decides between fallback and a hard error.
+    /// Runs the symbolic engine. The outer [`RungFailure`] means the
+    /// engine could not produce a verdict (out-of-subset design or an
+    /// exhausted budget) — the caller decides between fallback and a
+    /// hard error.
     #[allow(clippy::result_large_err)]
     fn check_symbolic(
         &self,
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
-        cancel: Option<&CancelToken>,
-    ) -> Result<Result<Verdict, VerifyError>, String> {
+        budget: &Budget,
+    ) -> Result<Result<Verdict, VerifyError>, RungFailure> {
         let opts = BmcOptions {
             depth: self.depth,
             reset_cycles: self.reset_cycles,
             ..BmcOptions::default()
         };
-        let bmc = match asv_sat::engine::check_cancellable(compiled, opts, cancel) {
+        let bmc = match asv_sat::engine::check_budgeted(compiled, opts, budget) {
             Ok(v) => v,
             // Cancellation is a hard stop, never a fallback trigger: a
             // cancelled Auto/portfolio check must not silently run the
-            // (expensive) concrete chain instead.
+            // (expensive) concrete chain instead. (The ladder re-checks
+            // the caller's token and degrades when the cancellation was
+            // spurious.)
             Err(BmcError::Cancelled) => return Ok(Err(VerifyError::Cancelled)),
-            Err(e) => return Err(e.to_string()),
+            Err(BmcError::Exhausted(e)) => {
+                return Err(RungFailure {
+                    reason: e.to_string(),
+                    exhausted: Some(e),
+                    unsupported: false,
+                })
+            }
+            Err(e) => {
+                return Err(RungFailure {
+                    reason: e.to_string(),
+                    exhausted: None,
+                    unsupported: true,
+                })
+            }
         };
         match bmc {
             BmcVerdict::Holds { vacuous } => Ok(Ok(Verdict::Holds {
@@ -417,13 +761,19 @@ impl Verifier {
                 let mut sim = Simulator::from_compiled(Arc::clone(compiled));
                 for t in 0..stimulus.len() {
                     if let Err(e) = sim.step(&stimulus.cycle(t)) {
-                        return Err(format!("witness replay raised `{e}`"));
+                        return Err(RungFailure::fallback(format!(
+                            "witness replay raised `{e}`"
+                        )));
                     }
                 }
                 let trace = sim.into_trace();
                 let results = match checker.outcomes(&trace) {
                     Ok(r) => r,
-                    Err(e) => return Err(format!("witness monitoring raised `{e}`")),
+                    Err(e) => {
+                        return Err(RungFailure::fallback(format!(
+                            "witness monitoring raised `{e}`"
+                        )))
+                    }
                 };
                 let mut failures = Vec::new();
                 for (_, outcome) in results {
@@ -432,7 +782,9 @@ impl Verifier {
                     }
                 }
                 if failures.is_empty() {
-                    return Err("witness did not replay to a concrete failure".into());
+                    return Err(RungFailure::fallback(
+                        "witness did not replay to a concrete failure".into(),
+                    ));
                 }
                 let logs = failures.iter().map(ToString::to_string).collect();
                 Ok(Ok(Verdict::Fails(CounterExample {
@@ -450,36 +802,53 @@ impl Verifier {
         design: &Design,
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
-        cancel: Option<&CancelToken>,
+        budget: &Budget,
     ) -> Result<Verdict, VerifyError> {
         let gen = StimulusGen::new(design);
         match gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
-            Some(all) => self.check_enumerated(design, compiled, checker, all, cancel),
-            None => {
-                // Per-stimulus RNG streams (SplitMix64-expanded seeds) are
-                // decorrelated but can still collide on narrow inputs;
-                // identical stimuli are deduplicated so no run repeats
-                // across worker threads.
-                let mut seen: std::collections::HashSet<Stimulus> =
-                    std::collections::HashSet::with_capacity(self.random_runs);
-                let stimuli: Vec<Stimulus> = (0..self.random_runs)
-                    .map(|i| {
-                        gen.random_seeded(
-                            self.depth,
-                            self.reset_cycles,
-                            self.seed.wrapping_add(i as u64),
-                        )
-                    })
-                    .filter(|s| seen.insert(s.clone()))
-                    .collect();
-                let count = stimuli.len();
-                let fired = match check_stimuli_parallel(compiled, checker, stimuli, cancel)? {
-                    Ok(fired) => fired,
-                    Err(cex) => return Ok(Verdict::Fails(cex)),
-                };
-                Ok(self.holds(design, false, count, fired))
-            }
+            Some(all) => self.check_enumerated(design, compiled, checker, all, budget),
+            None => self.check_sampled(design, compiled, checker, budget, self.random_runs),
         }
+    }
+
+    /// Seeded random sampling: the non-exhaustive half of the simulation
+    /// oracle and the ladder's last rung, at an explicit run count so
+    /// fallback rungs can back the stimulus budget off.
+    fn check_sampled(
+        &self,
+        design: &Design,
+        compiled: &Arc<CompiledDesign>,
+        checker: &CompiledChecker,
+        budget: &Budget,
+        runs: usize,
+    ) -> Result<Verdict, VerifyError> {
+        // The one sequential point of the sampling rung — fault probes
+        // must not run inside the worker threads (concurrent draws would
+        // make per-probe hit counters order-dependent).
+        budget.probe("sva.sample")?;
+        let gen = StimulusGen::new(design);
+        // Per-stimulus RNG streams (SplitMix64-expanded seeds) are
+        // decorrelated but can still collide on narrow inputs;
+        // identical stimuli are deduplicated so no run repeats
+        // across worker threads.
+        let mut seen: std::collections::HashSet<Stimulus> =
+            std::collections::HashSet::with_capacity(runs);
+        let stimuli: Vec<Stimulus> = (0..runs)
+            .map(|i| {
+                gen.random_seeded(
+                    self.depth,
+                    self.reset_cycles,
+                    self.seed.wrapping_add(i as u64),
+                )
+            })
+            .filter(|s| seen.insert(s.clone()))
+            .collect();
+        let count = stimuli.len();
+        let fired = match check_stimuli_parallel(compiled, checker, stimuli, budget)? {
+            Ok(fired) => fired,
+            Err(cex) => return Ok(Verdict::Fails(cex)),
+        };
+        Ok(self.holds(design, false, count, fired))
     }
 
     /// Checks a fully enumerated stimulus set (exhaustive coverage).
@@ -489,14 +858,14 @@ impl Verifier {
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
         all: Vec<Stimulus>,
-        cancel: Option<&CancelToken>,
+        budget: &Budget,
     ) -> Result<Verdict, VerifyError> {
         let count = all.len();
         let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         for stim in all {
-            if cancel.is_some_and(CancelToken::is_cancelled) {
-                return Err(VerifyError::Cancelled);
-            }
+            // Poll *before* each stimulus, so a poisoned token or a blown
+            // deadline stops the rung without starting more work.
+            budget.probe("sva.enum")?;
             match run_stimulus(compiled, checker, stim)? {
                 StimulusOutcome::Fails(cex) => return Ok(Verdict::Fails(cex)),
                 StimulusOutcome::Passes(names) => fired.extend(names),
@@ -515,14 +884,15 @@ impl Verifier {
         design: &Design,
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
-        cancel: Option<&CancelToken>,
+        budget: &Budget,
         single_thread: bool,
+        runs: usize,
     ) -> Result<Verdict, VerifyError> {
         let oracle = CheckerOracle { checker };
         let opts = FuzzOptions {
             cycles: self.depth,
             reset_cycles: self.reset_cycles,
-            budget: self.random_runs,
+            budget: runs,
             seed: self.seed,
             // A portfolio racer must not multiply the service's worker
             // threads by the fuzzer's own pool (verdicts are
@@ -531,9 +901,10 @@ impl Verifier {
             ..FuzzOptions::default()
         };
         let res =
-            asv_fuzz::fuzz_cancellable(compiled, &oracle, &opts, cancel).map_err(|e| match e {
+            asv_fuzz::fuzz_budgeted(compiled, &oracle, &opts, budget).map_err(|e| match e {
                 FuzzError::Sim(s) => VerifyError::Sim(s),
                 FuzzError::Cancelled => VerifyError::Cancelled,
+                FuzzError::Exhausted(ex) => VerifyError::Exhausted(ex),
                 other => VerifyError::Fuzz(other.to_string()),
             })?;
         match res.verdict {
@@ -589,44 +960,63 @@ impl Verifier {
         design: &Design,
         compiled: &Arc<CompiledDesign>,
         checker: &CompiledChecker,
-        cancel: Option<&CancelToken>,
+        budget: &Budget,
     ) -> Result<Verdict, VerifyError> {
-        if cancel.is_some_and(CancelToken::is_cancelled) {
-            return Err(VerifyError::Cancelled);
-        }
+        budget.check()?;
         // Out-of-subset designs have no competing complete engine: the
         // canonical concrete chain runs directly, exactly like Auto.
         if asv_sat::engine::supports(compiled).is_err() {
-            return self.check_concrete(design, compiled, checker, cancel);
+            return self.check_concrete(design, compiled, checker, budget);
         }
         // Feasibility only — the stimulus set itself is materialised
         // inside the concrete racer thread, off the decision path.
         let enumerable =
             StimulusGen::new(design).exhaustive_feasible(self.depth, self.exhaustive_limit);
 
+        // Each racer gets the caller's limits and fault session under its
+        // own cancellation token, so losers can be stopped without
+        // poisoning the caller's token. Concurrent racers draw from
+        // disjoint fault-probe prefixes (`sat.*` vs `sva.*`/`fuzz.*`), so
+        // per-probe hit sequences stay deterministic per racer.
         let sym_cancel = CancelToken::new();
         let conc_cancel = CancelToken::new();
+        let sym_budget = budget.derive_with_cancel(sym_cancel.clone());
+        let conc_budget = budget.derive_with_cancel(conc_cancel.clone());
         enum Msg {
-            Sym(Result<Result<Verdict, VerifyError>, String>),
+            Sym(Result<Result<Verdict, VerifyError>, RungFailure>),
             Conc(Result<Verdict, VerifyError>),
         }
         let (tx, rx) = mpsc::channel::<Msg>();
         std::thread::scope(|scope| {
             let tx_sym = tx.clone();
-            let sym_token = &sym_cancel;
+            let sym_budget = &sym_budget;
             scope.spawn(move || {
-                let r = self.check_symbolic(compiled, checker, Some(sym_token));
+                // A panic inside the prover (injected or genuine) must
+                // not strand the decision loop or tear the scope down:
+                // it is exactly a rung failure — the concrete racer
+                // decides.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.check_symbolic(compiled, checker, sym_budget)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(RungFailure {
+                        reason: format!("panicked: {}", panic_message(payload.as_ref())),
+                        exhausted: None,
+                        unsupported: false,
+                    })
+                });
                 let _ = tx_sym.send(Msg::Sym(r));
             });
-            let conc_token = &conc_cancel;
+            let conc_budget = &conc_budget;
             scope.spawn(move || {
                 // Auto's exact concrete chain: enumeration when feasible,
-                // the (single-threaded) fuzzer beyond it.
-                let r = self.check_concrete(design, compiled, checker, Some(conc_token));
+                // the (single-threaded) fuzzer beyond it. Rung panics are
+                // isolated inside the ladder itself.
+                let r = self.check_concrete(design, compiled, checker, conc_budget);
                 let _ = tx.send(Msg::Conc(r));
             });
 
-            let mut sym: Option<Result<Result<Verdict, VerifyError>, String>> = None;
+            let mut sym: Option<Result<Result<Verdict, VerifyError>, RungFailure>> = None;
             let mut conc: Option<Result<Verdict, VerifyError>> = None;
             // Set once an enumeration Holds-proof has pre-empted the
             // symbolic racer (its vacuity set); the loop then only waits
@@ -638,7 +1028,7 @@ impl Verifier {
                 let msg = match rx.recv_timeout(Duration::from_millis(20)) {
                     Ok(msg) => msg,
                     Err(mpsc::RecvTimeoutError::Timeout) => {
-                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                        if budget.is_cancelled() {
                             break Err(VerifyError::Cancelled);
                         }
                         continue;
@@ -650,7 +1040,7 @@ impl Verifier {
                         break Err(VerifyError::Cancelled);
                     }
                 };
-                if cancel.is_some_and(CancelToken::is_cancelled) {
+                if budget.is_cancelled() {
                     break Err(VerifyError::Cancelled);
                 }
                 match msg {
@@ -682,13 +1072,29 @@ impl Verifier {
                     continue; // waiting for the symbolic racer's message
                 }
                 match &sym {
+                    // A spurious cancellation (fault injection) without a
+                    // poisoned caller token is a rung failure, not a
+                    // decision: fall through to the concrete racer like
+                    // any other symbolic failure.
+                    Some(Ok(Err(VerifyError::Cancelled))) if !budget.is_cancelled() => {
+                        if let Some(c) = &conc {
+                            break merge_sym_failure(
+                                TriedEngine {
+                                    engine: Engine::Symbolic,
+                                    reason: "spurious cancellation".into(),
+                                    exhausted: None,
+                                },
+                                c,
+                            );
+                        }
+                    }
                     // The canonical engine reported: decisive.
                     Some(Ok(verdict)) => break verdict.clone(),
                     // Symbolic fell over (budget): the concrete racer is
                     // now canonical; use its result once present.
-                    Some(Err(_fallback)) => {
+                    Some(Err(fall)) => {
                         if let Some(c) = &conc {
-                            break c.clone();
+                            break merge_sym_failure(fall.clone().tried(Engine::Symbolic), c);
                         }
                     }
                     None => {
@@ -836,7 +1242,7 @@ fn check_stimuli_parallel(
     compiled: &Arc<CompiledDesign>,
     checker: &CompiledChecker,
     stimuli: Vec<Stimulus>,
-    cancel: Option<&CancelToken>,
+    budget: &Budget,
 ) -> Result<Result<std::collections::BTreeSet<String>, CounterExample>, VerifyError> {
     if stimuli.is_empty() {
         // `random_runs: 0` — the sequential loop checked nothing and held.
@@ -862,7 +1268,10 @@ fn check_stimuli_parallel(
                 let mut fired = std::collections::BTreeSet::new();
                 let mut event: Option<WorkerEvent> = None;
                 for (idx, stim) in part {
-                    if cancel.is_some_and(CancelToken::is_cancelled) {
+                    // Plain poll, never a fault probe: concurrent workers
+                    // drawing from one per-probe hit counter would be
+                    // order-dependent.
+                    if budget.check().is_err() {
                         break; // the whole check is being torn down
                     }
                     if *idx >= best.load(Ordering::Relaxed) {
@@ -891,11 +1300,9 @@ fn check_stimuli_parallel(
             fired_sets.push(fired);
         }
     });
-    if cancel.is_some_and(CancelToken::is_cancelled) {
-        // A poisoned token means this engine lost its race: whatever was
-        // merged so far is a partial view and must not be reported.
-        return Err(VerifyError::Cancelled);
-    }
+    // A poisoned token or blown deadline means whatever was merged so far
+    // is a partial view and must not be reported.
+    budget.check()?;
     let earliest = events.into_iter().flatten().min_by_key(|(idx, _)| *idx);
     match earliest {
         Some((_, Ok(cex))) => Ok(Err(cex)),
@@ -958,6 +1365,7 @@ endmodule
                 assert!(vacuous.is_empty());
             }
             Verdict::Fails(cex) => panic!("unexpected failure: {:?}", cex.logs),
+            Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
         }
     }
 
@@ -980,6 +1388,7 @@ endmodule
                 assert!(vacuous.is_empty());
             }
             Verdict::Fails(cex) => panic!("unexpected failure: {:?}", cex.logs),
+            Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
         }
     }
 
@@ -1055,6 +1464,7 @@ endmodule
                 assert_eq!(stimuli, 0, "no simulation needed for the proof");
             }
             Verdict::Fails(cex) => panic!("unexpected failure: {:?}", cex.logs),
+            Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
         }
         let sampled = Verifier {
             engine: Engine::Simulation,
@@ -1070,6 +1480,7 @@ endmodule
                 assert_eq!(stimuli, 8);
             }
             Verdict::Fails(cex) => panic!("unexpected failure: {:?}", cex.logs),
+            Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
         }
     }
 
@@ -1104,6 +1515,7 @@ endmodule
                 );
             }
             Verdict::Fails(_) => panic!("8 random runs cannot hit a 1/256 trigger with this seed"),
+            Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
         }
         let auto = Verifier {
             depth: 8,
@@ -1170,6 +1582,7 @@ endmodule
                 assert_eq!(vacuous, vec!["p".to_string()]);
             }
             Verdict::Fails(cex) => panic!("nothing was checked: {:?}", cex.logs),
+            Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
         }
     }
 
@@ -1216,6 +1629,7 @@ endmodule
         match sampled.check(&d).expect("verify") {
             Verdict::Holds { vacuous, .. } => assert_eq!(vacuous, vec!["p_rare".to_string()]),
             Verdict::Fails(_) => panic!("sampling cannot hit a 1/65536 trigger at budget 64"),
+            Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
         }
         // ...the dictionary-guided fuzzer refutes it at the same budget.
         let fuzzed = Verifier {
@@ -1273,6 +1687,7 @@ endmodule
                 );
             }
             Verdict::Fails(cex) => panic!("safe design failed: {:?}", cex.logs),
+            Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
         }
     }
 
@@ -1329,6 +1744,124 @@ endmodule
     }
 
     #[test]
+    fn expired_deadline_degrades_to_inconclusive() {
+        // Deadline semantics without sleeps: an injected clock already
+        // past its limit exhausts every ladder rung before it simulates
+        // or solves anything, and Auto reports the full attempt trace.
+        use asv_sim::cancel::{ManualClock, Resource};
+        let d = compile(BAD).expect("compile");
+        let clock = ManualClock::new();
+        let budget = Budget::unbounded().with_manual_deadline(clock.clone(), 3);
+        clock.advance(4);
+        let v = Verifier {
+            depth: 6,
+            ..Verifier::default()
+        };
+        let verdict = v.check_budgeted(&d, &budget).expect("degrades, not errors");
+        let Verdict::Inconclusive { tried } = &verdict else {
+            panic!("expired deadline must be inconclusive, got {verdict:?}");
+        };
+        let engines: Vec<Engine> = tried.iter().map(|t| t.engine).collect();
+        assert_eq!(
+            engines,
+            vec![
+                Engine::Symbolic,
+                Engine::Simulation,
+                Engine::Fuzz,
+                Engine::Simulation
+            ],
+            "ladder order: symbolic, enumeration, fuzzing, sampling"
+        );
+        for t in tried {
+            match t.exhausted {
+                Some(e) => assert_eq!(e.resource, Resource::WallClock, "{t:?}"),
+                None => panic!("every rung must report structured exhaustion: {t:?}"),
+            }
+        }
+        // Same expired budget, same trace: the ladder is deterministic.
+        assert_eq!(v.check_budgeted(&d, &budget), Ok(verdict));
+    }
+
+    #[test]
+    fn forced_engines_surface_structured_exhaustion() {
+        use asv_sim::cancel::{ManualClock, Resource};
+        let d = compile(BAD).expect("compile");
+        let clock = ManualClock::new();
+        let budget = Budget::unbounded().with_manual_deadline(clock.clone(), 2);
+        clock.advance(3);
+        for engine in [Engine::Symbolic, Engine::Simulation, Engine::Fuzz] {
+            let v = Verifier {
+                depth: 6,
+                engine,
+                ..Verifier::default()
+            };
+            match v.check_budgeted(&d, &budget) {
+                Err(VerifyError::Exhausted(e)) => {
+                    assert_eq!(e.resource, Resource::WallClock, "{engine:?}");
+                    assert_eq!((e.spent, e.limit), (3, 2), "{engine:?}");
+                }
+                other => panic!("{engine:?} must exhaust, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn roomy_budget_matches_unbudgeted_verdict() {
+        // A budget with headroom must not perturb any verdict.
+        for src in [GOOD, BAD] {
+            let d = compile(src).expect("compile");
+            let budget = Budget::unbounded()
+                .with_deadline(Duration::from_secs(3600))
+                .with_max_conflicts(1 << 30)
+                .with_max_fuzz_rounds(1 << 20)
+                .with_max_aig_nodes(1 << 30);
+            for engine in [Engine::Auto, Engine::Portfolio, Engine::Simulation] {
+                let v = Verifier {
+                    depth: 6,
+                    engine,
+                    ..Verifier::default()
+                };
+                assert_eq!(v.check_budgeted(&d, &budget), v.check(&d), "{engine:?}");
+            }
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_panics_degrade_every_rung_to_inconclusive() {
+        // A plan that fires a panic at every probe takes out all four
+        // rungs; the ladder isolates each one and reports the trace
+        // instead of unwinding.
+        use asv_sim::fault::{FaultKinds, FaultPlan};
+        asv_sim::fault::silence_injected_panics();
+        let d = compile(BAD).expect("compile");
+        let plan = FaultPlan {
+            rate_per_1024: 1024,
+            victims_per_16: 16,
+            kinds: FaultKinds::PANIC,
+            ..FaultPlan::new(7)
+        };
+        let budget = Budget::unbounded().with_fault(plan.session(1));
+        let v = Verifier {
+            depth: 6,
+            ..Verifier::default()
+        };
+        let verdict = v.check_budgeted(&d, &budget).expect("degrades, not errors");
+        let Verdict::Inconclusive { tried } = &verdict else {
+            panic!("all-panic plan must be inconclusive, got {verdict:?}");
+        };
+        assert_eq!(tried.len(), 4, "{tried:?}");
+        for t in tried {
+            assert!(
+                t.reason.contains("injected fault at probe"),
+                "panic payloads must be preserved: {t:?}"
+            );
+        }
+        // Same plan, same seed: the chaos outcome is reproducible.
+        assert_eq!(v.check_budgeted(&d, &budget), Ok(verdict));
+    }
+
+    #[test]
     fn sampling_deduplicates_repeated_stimuli() {
         // One 1-bit input over 2 cycles: only 4 distinct stimuli exist, so
         // 32 sampled runs must collapse below 32 (no repeated runs across
@@ -1352,6 +1885,7 @@ endmodule
                 assert!(stimuli >= 2, "dedup must not collapse everything");
             }
             Verdict::Fails(cex) => panic!("design holds: {:?}", cex.logs),
+            Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
         }
     }
 

@@ -212,6 +212,7 @@ endmodule
             );
         }
         Verdict::Fails(_) => panic!("48 seeded runs must not hit a 1/256-per-cycle trigger"),
+        Verdict::Inconclusive { tried } => panic!("unexpected inconclusive: {tried:?}"),
     }
     let auto = Verifier {
         depth: 8,

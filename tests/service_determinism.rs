@@ -86,7 +86,10 @@ fn portfolio_service_matches_sequential_auto() {
     let designs = archetype_designs();
     // Sequential reference: one Auto check per design, no service.
     let auto = bounds(Engine::Auto);
-    let sequential: Vec<_> = designs.iter().map(|(_, d)| auto.check(d)).collect();
+    let sequential: Vec<_> = designs
+        .iter()
+        .map(|(_, d)| auto.check(d).map_err(asv_serve::VerdictError::from))
+        .collect();
     assert!(
         sequential
             .iter()
@@ -104,6 +107,53 @@ fn portfolio_service_matches_sequential_auto() {
         assert_eq!(
             batch, seq,
             "{name}: portfolio verdict must be bit-identical to sequential Auto"
+        );
+    }
+}
+
+#[test]
+fn mixed_ok_and_error_batches_report_per_job() {
+    use asv_serve::VerdictError;
+    use asv_sva::bmc::VerifyError;
+
+    // Interleave healthy archetype jobs with jobs that error
+    // deterministically (a design without assertions): every slot must
+    // be filled, errors land only in their own slots, and the vector
+    // stays deterministic across worker counts.
+    let no_assertions =
+        asv_verilog::compile("module bare(input a, output y); assign y = a; endmodule")
+            .expect("compiles");
+    let healthy = jobs(Engine::Portfolio);
+    let step = 3;
+    let mut batch = Vec::new();
+    for chunk in healthy.chunks(step) {
+        batch.push(VerifyJob::new(
+            no_assertions.clone(),
+            bounds(Engine::Portfolio),
+        ));
+        batch.extend_from_slice(chunk);
+    }
+    let reference = VerifyService::with_workers(1).submit_batch(&batch);
+    assert_eq!(reference.len(), batch.len());
+    for (i, outcome) in reference.iter().enumerate() {
+        if i % (step + 1) == 0 {
+            assert_eq!(
+                outcome,
+                &Err(VerdictError::Verify(VerifyError::NoAssertions)),
+                "slot {i} must hold the broken job's own error"
+            );
+        } else {
+            assert!(
+                outcome.is_ok(),
+                "slot {i}: healthy job degraded by a failing sibling: {outcome:?}"
+            );
+        }
+    }
+    for workers in [2, 8] {
+        let out = VerifyService::with_workers(workers).submit_batch(&batch);
+        assert_eq!(
+            out, reference,
+            "mixed batch with {workers} workers changed the outcome vector"
         );
     }
 }
