@@ -12,12 +12,37 @@
 //!   memo: every job answers in O(hash) (key computation + one sharded
 //!   lookup), not O(solve). The gap to the cold bench is the point of
 //!   the cache.
+//! * `serve_warm_disk_reverify` — the same batch through a *fresh*
+//!   service (cold memo, cold compile cache — a new process) over a
+//!   warmed `asv-store` directory: every verdict answers from disk, so
+//!   the iteration pays compile + cone hashing + store reads but zero
+//!   engine executions. The gap to the cold bench is the point of the
+//!   persistent tier.
 
 use asv_datagen::corpus::{Archetype, CorpusGen};
 use asv_mutation::inject::{apply, enumerate};
 use asv_serve::{ServeOptions, VerifyJob, VerifyService};
 use asv_sva::bmc::{Engine, Verifier};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+
+/// A scratch store directory, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new() -> Self {
+        let dir = std::env::temp_dir().join(format!("asv-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
 
 fn bounds(engine: Engine) -> Verifier {
     Verifier {
@@ -84,6 +109,32 @@ fn bench_serve(c: &mut Criterion) {
         memoized.verdict_cache().len() as u64,
         "re-verification must never re-run an engine"
     );
+
+    // Warm a store directory once, then measure what a fresh process
+    // pays to re-verify the batch: compile + cone hashing + disk reads,
+    // zero engine executions.
+    let scratch = ScratchDir::new();
+    let stored_opts = || ServeOptions {
+        workers: 0,
+        store_dir: Some(scratch.0.clone()),
+        ..ServeOptions::default()
+    };
+    let warmer = VerifyService::new(stored_opts());
+    assert_eq!(warmer.verify_batch(&auto_jobs).len(), 64);
+    drop(warmer);
+    c.bench_function("serve_warm_disk_reverify", |b| {
+        b.iter(|| {
+            asv_serve::clear_design_cache();
+            let fresh = VerifyService::new(stored_opts());
+            let n = fresh.verify_batch(black_box(&auto_jobs)).len();
+            assert_eq!(
+                fresh.stats().executed,
+                0,
+                "warm disk replay must run no engine"
+            );
+            n
+        })
+    });
 }
 
 criterion_group!(benches, bench_serve);

@@ -1,0 +1,233 @@
+//! Incremental re-verification: per-assertion job splitting.
+//!
+//! The repair loop's dominant cost is re-verifying candidate patches,
+//! and almost all of that work is redundant: a candidate edits one
+//! expression, but [`evaluate_with_service`](crate::evaluate_with_service)
+//! re-checks *every* assertion of the patched design. This module splits
+//! each candidate into one [`VerifyJob`] per assertion (via
+//! [`Design::with_single_assertion`]), so that with a store-backed
+//! service ([`ServeOptions::store_dir`](asv_serve::ServeOptions)) the
+//! assertions whose cone the patch cannot reach are answered from
+//! cone-keyed store entries and only the affected assertions run an
+//! engine — O(diff) instead of O(design), provable from
+//! [`ServeStats::executed`](asv_serve::ServeStats).
+//!
+//! ## When splitting applies
+//!
+//! Splitting one multi-assertion check into per-assertion checks is
+//! verdict-preserving only for the symbolic engine, whose verdict for an
+//! assertion is a pure function of that assertion's cone. Fuzzing is
+//! coverage-guided across the whole assertion set, so splitting would
+//! change its search trajectory (and possibly its verdict). Candidates
+//! are therefore split only when they pass the same gate the store's
+//! cone keys use (`asv_serve::persist::cone_outcome_key`): symbolic
+//! subset, full opt, symbolic-canonical engine. Everything else falls
+//! back to one whole-design job — same verdicts, just without the
+//! incremental win.
+//!
+//! Effectiveness folds identically in both shapes: a candidate counts
+//! iff *every* one of its jobs holds non-vacuously, which for the split
+//! shape is exactly the whole-design `holds_non_vacuously` (a failing
+//! assertion fails its own job; a vacuous one reports vacuity in its own
+//! job).
+
+use crate::runner::{BenchCase, CaseResult, EvalConfig, EvalRun};
+use assertsolver_core::{RepairEngine, RepairTask, Response};
+use asv_serve::persist::cone_outcome_key;
+use asv_serve::{VerifyJob, VerifyService};
+use asv_sva::bmc::Verifier;
+use asv_verilog::sema::Design;
+use std::sync::Arc;
+
+/// How one response resolves (split shape: one slot may await many jobs).
+enum Resolution {
+    /// Textual golden match: effective with no verification.
+    Golden,
+    /// Does not compile: ineffective with no verification.
+    NoCompile,
+    /// Effective iff every listed job holds non-vacuously.
+    Pending(Vec<usize>),
+}
+
+/// Turns one compiled candidate into its verification jobs: one per
+/// assertion when splitting is verdict-preserving, one whole-design job
+/// otherwise.
+fn candidate_jobs(design: Design, verifier: Verifier, jobs: &mut Vec<VerifyJob>) -> Vec<usize> {
+    let design = Arc::new(design);
+    let n_assert = design.module.assertions().count();
+    let whole = VerifyJob::new(Arc::clone(&design), verifier);
+    if n_assert < 2 || cone_outcome_key(&whole).is_none() {
+        jobs.push(whole);
+        return vec![jobs.len() - 1];
+    }
+    (0..n_assert)
+        .map(|a| {
+            let single = design
+                .with_single_assertion(a)
+                .expect("assertion index in range");
+            jobs.push(VerifyJob::new(single, verifier));
+            jobs.len() - 1
+        })
+        .collect()
+}
+
+/// [`evaluate_with_service`](crate::evaluate_with_service) with
+/// per-assertion job splitting. Produces the same [`EvalRun`] (the test
+/// suite asserts equality); with a store-backed service, re-evaluating
+/// after a patch re-runs only the assertions whose cone hash moved.
+pub fn evaluate_incremental(
+    engine: &dyn RepairEngine,
+    benchmark: &[BenchCase],
+    config: &EvalConfig,
+    verifier: Verifier,
+    service: &VerifyService,
+) -> EvalRun {
+    // Phase 1: sample responses, compile candidates, split into jobs.
+    let mut jobs: Vec<VerifyJob> = Vec::new();
+    let mut per_case: Vec<(usize, Vec<Resolution>)> = Vec::with_capacity(benchmark.len());
+    for (i, bc) in benchmark.iter().enumerate() {
+        let task = RepairTask::from(&bc.entry);
+        let responses: Vec<Response> =
+            engine.respond(&task, config.n, config.seed.wrapping_add(i as u64));
+        let mut resolutions = Vec::with_capacity(responses.len());
+        for r in &responses {
+            if r.patched_source == bc.entry.golden_source {
+                resolutions.push(Resolution::Golden);
+            } else if let Ok(design) = asv_verilog::compile(&r.patched_source) {
+                resolutions.push(Resolution::Pending(candidate_jobs(
+                    design, verifier, &mut jobs,
+                )));
+            } else {
+                resolutions.push(Resolution::NoCompile);
+            }
+        }
+        per_case.push((i, resolutions));
+    }
+    // Phase 2: one batch — per-assertion jobs of all candidates fan out
+    // together, and identical single-assertion jobs (candidates agreeing
+    // outside the patched cone still differ textually, but candidates
+    // repeating *exactly* are common) dedup by job key.
+    let verdicts = service.verify_batch(&jobs);
+    // Phase 3: fold each candidate's jobs back into effectiveness.
+    let mut cases = Vec::with_capacity(benchmark.len());
+    for (i, resolutions) in per_case {
+        let bc = &benchmark[i];
+        let c = resolutions
+            .iter()
+            .filter(|res| match res {
+                Resolution::Golden => true,
+                Resolution::NoCompile => false,
+                Resolution::Pending(idxs) => idxs
+                    .iter()
+                    .all(|j| matches!(&verdicts[*j], Ok(v) if v.holds_non_vacuously())),
+            })
+            .count();
+        cases.push(CaseResult {
+            module: bc.entry.module_name.clone(),
+            categories: bc.entry.class.categories(),
+            bin: bc.entry.length_bin,
+            human: bc.human,
+            c,
+            n: config.n,
+        });
+    }
+    EvalRun {
+        engine: engine.name().to_string(),
+        cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::judge::Judge;
+    use crate::runner::{benchmark, evaluate_with_service};
+    use assertsolver_core::prelude::*;
+    use asv_datagen::pipeline::{run as run_pipeline, PipelineConfig};
+
+    fn small_eval() -> (Vec<BenchCase>, EvalConfig) {
+        let ds = run_pipeline(&PipelineConfig::quick());
+        let bench: Vec<BenchCase> = benchmark(&ds.sva_eval_machine, &ds.sva_eval_human)
+            .into_iter()
+            .take(10)
+            .collect();
+        (bench, EvalConfig { n: 8, seed: 3 })
+    }
+
+    #[test]
+    fn split_evaluation_matches_the_whole_design_path() {
+        let (bench, cfg) = small_eval();
+        let engine = Solver::new(base_model(&[]));
+        let verifier = Judge::fast().verifier();
+        let whole = evaluate_with_service(
+            &engine,
+            &bench,
+            &cfg,
+            verifier,
+            &VerifyService::with_workers(2),
+        );
+        let split = evaluate_incremental(
+            &engine,
+            &bench,
+            &cfg,
+            verifier,
+            &VerifyService::with_workers(2),
+        );
+        assert_eq!(
+            split, whole,
+            "per-assertion splitting must not change any case result"
+        );
+    }
+
+    #[test]
+    fn splitting_is_deterministic_across_worker_counts() {
+        let (bench, cfg) = small_eval();
+        let engine = Solver::new(base_model(&[]));
+        let verifier = Judge::fast().verifier();
+        let reference = evaluate_incremental(
+            &engine,
+            &bench,
+            &cfg,
+            verifier,
+            &VerifyService::with_workers(1),
+        );
+        for workers in [2, 8] {
+            let run = evaluate_incremental(
+                &engine,
+                &bench,
+                &cfg,
+                verifier,
+                &VerifyService::with_workers(workers),
+            );
+            assert_eq!(run, reference, "worker count {workers} changed results");
+        }
+    }
+
+    #[test]
+    fn single_assertion_split_keeps_logic_and_drops_siblings() {
+        let d = asv_verilog::compile(
+            "module m(input clk, input rst, input a, input b, output reg qa, output reg qb);\n\
+             always @(posedge clk) begin\n\
+               if (rst) begin qa <= 1'b0; qb <= 1'b0; end\n\
+               else begin qa <= a; qb <= b; end\n\
+             end\n\
+             p_a: assert property (@(posedge clk) disable iff (rst) a |-> ##1 qa);\n\
+             p_b: assert property (@(posedge clk) disable iff (rst) b |-> ##1 qb);\n\
+             endmodule",
+        )
+        .expect("compile");
+        let only_a = d.with_single_assertion(0).expect("index 0");
+        let only_b = d.with_single_assertion(1).expect("index 1");
+        assert!(d.with_single_assertion(2).is_none());
+        assert_eq!(only_a.module.assertions().count(), 1);
+        assert_eq!(only_a.module.assertions().next().unwrap().log_name(), "p_a");
+        assert_eq!(only_b.module.assertions().next().unwrap().log_name(), "p_b");
+        // Logic and signal table are untouched.
+        assert_eq!(only_a.signals, d.signals);
+        assert_eq!(
+            only_a.module.items.len() + 1,
+            d.module.items.len(),
+            "exactly one assert directive removed"
+        );
+    }
+}

@@ -31,10 +31,12 @@
 pub mod eval;
 pub mod ir;
 pub mod opt;
+pub mod stablehash;
 pub mod value;
 
 pub use eval::EvalError;
 pub use ir::{Arena, IrCaseArm, IrCombStep, IrDesign, IrExpr, IrLValue, IrStmt, NodeId};
+pub use stablehash::StableHasher;
 pub use value::Value;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,175 @@
+//! A process- and platform-stable hasher for on-disk keys.
+//!
+//! `std::collections::hash_map::DefaultHasher` is only documented to be
+//! deterministic *within* one compilation of the standard library — fine
+//! for the in-memory verdict memo, useless for `asv-store`, whose keys
+//! and content hashes must survive a process restart and agree between
+//! the writer and every later reader. [`StableHasher`] is the workspace's
+//! one stable hash function: two independent 64-bit FNV-1a lanes over the
+//! byte stream, each finished through a splitmix64-style avalanche, glued
+//! into a 128-bit digest. The two lanes start from different offset
+//! bases and mix a different odd multiplier per finalisation, so the
+//! halves never cancel together — the same construction the serve
+//! layer's `JobKey` uses for its in-memory 128-bit key.
+//!
+//! The function is *not* cryptographic: an accidental collision across
+//! 128 bits is beyond plausibility, a deliberate one is outside the
+//! threat model of a local artifact cache (the store additionally
+//! verifies content hashes on read, so a forged object is a cache miss,
+//! never a wrong verdict).
+//!
+//! [`StableHasher`] implements [`std::hash::Hasher`], so any `#[derive(Hash)]`
+//! type can feed it. Note the usual caveat: `Hash` impls of std types may
+//! change across Rust releases; on-disk keys additionally mix the store's
+//! `SCHEMA_VERSION`, which must be bumped with the toolchain pin.
+
+use std::hash::Hasher;
+
+/// FNV-1a 64-bit offset basis (lane 0).
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// An independent offset basis for lane 1 (the FNV basis xored with a
+/// golden-ratio constant).
+const FNV_OFFSET_B: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+/// FNV 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// splitmix64 finaliser: full-avalanche bit mixing of one lane.
+#[inline]
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A 128-bit stable streaming hasher (see the module docs).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    lane_a: u64,
+    lane_b: u64,
+}
+
+impl StableHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        StableHasher {
+            lane_a: FNV_OFFSET_A,
+            lane_b: FNV_OFFSET_B,
+        }
+    }
+
+    /// A fresh hasher with a domain-separation tag mixed in first, so
+    /// hashes of different key kinds can never collide by construction.
+    pub fn with_domain(tag: &str) -> Self {
+        let mut h = Self::new();
+        h.write(tag.as_bytes());
+        h.write_u8(0xff);
+        h
+    }
+
+    /// The full 128-bit digest of everything written so far.
+    pub fn finish128(&self) -> u128 {
+        let hi = avalanche(self.lane_a);
+        let lo = avalanche(self.lane_b.wrapping_mul(0xff51_afd7_ed55_8ccd));
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lane_a = (self.lane_a ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.lane_b = (self.lane_b ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            // Decorrelate the lanes: rotate lane B's accumulator so the
+            // two streams diverge beyond their differing bases.
+            self.lane_b = self.lane_b.rotate_left(7);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        avalanche(self.lane_a)
+    }
+}
+
+/// One-shot 128-bit digest of a byte slice.
+pub fn hash128(bytes: &[u8]) -> u128 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish128()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn equal_input_equal_digest() {
+        assert_eq!(hash128(b"design"), hash128(b"design"));
+        assert_ne!(hash128(b"design"), hash128(b"design!"));
+        assert_ne!(hash128(b""), hash128(b"\0"));
+    }
+
+    #[test]
+    fn digest_is_pinned() {
+        // The whole point of this hasher is cross-process stability: a
+        // changed constant here silently invalidates (or worse, aliases)
+        // every on-disk store. Pin one digest as the canary.
+        assert_eq!(
+            hash128(b"asv-store"),
+            0xc534_73aa_55db_58d5_9343_efb2_d349_8585
+        );
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // If the two halves ever collapsed to one function, the key
+        // width would silently drop to 64 bits.
+        for input in [&b"a"[..], b"ab", b"abc", b"verdict", b"\x00\x01\x02"] {
+            let d = hash128(input);
+            assert_ne!((d >> 64) as u64, d as u64, "lanes collapsed for {input:?}");
+        }
+    }
+
+    #[test]
+    fn domain_tags_separate() {
+        let mut a = StableHasher::with_domain("verdict");
+        let mut b = StableHasher::with_domain("coverage");
+        7u64.hash(&mut a);
+        7u64.hash(&mut b);
+        assert_ne!(a.finish128(), b.finish128());
+    }
+
+    #[test]
+    fn hasher_trait_composes_with_derive_hash() {
+        #[derive(Hash)]
+        struct Key<'a> {
+            name: &'a str,
+            depth: usize,
+        }
+        let digest = |k: &Key| {
+            let mut h = StableHasher::new();
+            k.hash(&mut h);
+            h.finish128()
+        };
+        let a = Key {
+            name: "p",
+            depth: 8,
+        };
+        let b = Key {
+            name: "p",
+            depth: 9,
+        };
+        assert_eq!(digest(&a), digest(&a));
+        assert_ne!(digest(&a), digest(&b));
+    }
+}

@@ -127,19 +127,22 @@ impl From<BlastError> for BmcError {
 
 /// One boolean of a linear sequence, evaluated `tick_off` ticks after the
 /// attempt start.
-struct Atom {
+#[derive(Debug)]
+pub(crate) struct Atom {
     tick_off: u32,
     prog: ExprProg,
 }
 
 /// A flattened linear sequence: atoms in evaluation order plus the end
 /// offset (`SeqExpr::duration`).
-struct SeqProg {
+#[derive(Debug)]
+pub(crate) struct SeqProg {
     atoms: Vec<Atom>,
     end_off: u32,
 }
 
-enum PropBody {
+#[derive(Debug)]
+pub(crate) enum PropBody {
     Seq(SeqProg),
     Implication {
         antecedent: SeqProg,
@@ -149,9 +152,15 @@ enum PropBody {
 }
 
 /// A directive compiled against the design's signal interning.
-struct PropSym {
+///
+/// `Debug` output doubles as the property's canonical form for the cone
+/// hash (`crate::cone`): it renders the full compiled program — tick
+/// offsets, postfix ops, interned `SigId`s — and nothing position- or
+/// span-dependent.
+#[derive(Debug)]
+pub(crate) struct PropSym {
     /// `AssertDirective::log_name`.
-    name: String,
+    pub(crate) name: String,
     disable: Option<ExprProg>,
     body: PropBody,
     /// Ticks beyond the start the attempt may observe (the monitor's
@@ -197,7 +206,7 @@ fn resolve_property(module: &Module, dir_idx: usize) -> Option<&PropertyDecl> {
     }
 }
 
-fn compile_props(cd: &CompiledDesign) -> Result<Vec<PropSym>, BmcError> {
+pub(crate) fn compile_props(cd: &CompiledDesign) -> Result<Vec<PropSym>, BmcError> {
     let module = &cd.design().module;
     let resolve = |name: &str| match cd.sig(name) {
         Some(sig) => NameRef::Sig(sig),
@@ -892,7 +901,7 @@ pub fn check_budgeted(
 /// Observability roots of the properties: every signal any compiled
 /// property program (body atoms, disable guards, history sub-programs)
 /// reads.
-fn prop_roots(props: &[PropSym]) -> Vec<SigId> {
+pub(crate) fn prop_roots(props: &[PropSym]) -> Vec<SigId> {
     let mut roots = Vec::new();
     let seq = |sp: &SeqProg, roots: &mut Vec<SigId>| {
         for a in &sp.atoms {

@@ -36,11 +36,26 @@ const SHARDS: usize = 16;
 /// Entries per shard; total capacity is `SHARDS * SHARD_CAP`.
 const SHARD_CAP: usize = 512;
 
+/// A point-in-time snapshot of [`VerdictCache`] activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a memoised outcome.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Outcomes newly memoised (idempotent re-inserts excluded).
+    pub inserts: u64,
+    /// Entries dropped by per-shard LRU eviction.
+    pub evictions: u64,
+}
+
 /// A sharded LRU verdict memo.
 pub struct VerdictCache {
     shards: Vec<Mutex<Vec<(JobKey, JobOutcome)>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl VerdictCache {
@@ -50,6 +65,8 @@ impl VerdictCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -82,16 +99,20 @@ impl VerdictCache {
         }
         if shard.len() == SHARD_CAP {
             let _evicted = shard.remove(0); // least recently used first
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         shard.push((key, outcome));
+        self.inserts.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// `(hits, misses)` so far.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    /// Activity counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of memoised verdicts.
@@ -138,7 +159,15 @@ mod tests {
         assert_eq!(c.get(JobKey(7)), None);
         c.insert(JobKey(7), outcome(1));
         assert_eq!(c.get(JobKey(7)), Some(outcome(1)));
-        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                inserts: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -174,5 +203,18 @@ mod tests {
         // The most recent entries survive.
         let last = u128::from((4 * SHARD_CAP - 1) as u64 * SHARDS as u64);
         assert_eq!(c.get(JobKey(last)), Some(outcome(0)));
+        let stats = c.stats();
+        assert_eq!(stats.inserts, 4 * SHARD_CAP as u64);
+        assert_eq!(stats.evictions, 3 * SHARD_CAP as u64);
+    }
+
+    #[test]
+    fn duplicate_insert_counts_neither_insert_nor_eviction() {
+        let c = VerdictCache::new();
+        c.insert(JobKey(5), outcome(1));
+        c.insert(JobKey(5), outcome(2));
+        let stats = c.stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.evictions, 0);
     }
 }

@@ -106,13 +106,23 @@ impl VerifyJob {
         }
     }
 
-    /// The job's memo key (see [`JobKey`]).
+    /// The job's memo key (see [`JobKey`]), under the current on-disk
+    /// schema version. The schema is mixed into both halves so bumping
+    /// [`asv_store::SCHEMA_VERSION`] retires every key derived under the
+    /// old encoding — in-memory and on disk alike.
     pub fn key(&self) -> JobKey {
+        self.key_with_schema(asv_store::SCHEMA_VERSION)
+    }
+
+    /// [`VerifyJob::key`] under an explicit schema version (tests use
+    /// this to prove a bump actually separates keys).
+    pub fn key_with_schema(&self, schema: u32) -> JobKey {
         let design = asv_sim::cache::design_hash(&self.design);
         let props = property_set_hash(&self.design);
         let half = |tag: u64| {
             let mut h = DefaultHasher::new();
             tag.hash(&mut h);
+            schema.hash(&mut h);
             design.hash(&mut h);
             props.hash(&mut h);
             self.verifier.hash(&mut h);
@@ -215,5 +225,16 @@ mod tests {
         ] {
             assert_ne!(base.key(), job.key(), "{name} change must change the key");
         }
+    }
+
+    #[test]
+    fn schema_bump_retires_every_key() {
+        let job = VerifyJob::new(design("d", "d |-> ##1 q"), Verifier::default());
+        assert_eq!(job.key(), job.key_with_schema(asv_store::SCHEMA_VERSION));
+        let bumped = job.key_with_schema(asv_store::SCHEMA_VERSION + 1);
+        assert_ne!(job.key(), bumped, "a schema bump must separate keys");
+        // Both halves move independently — neither half may survive.
+        assert_ne!((job.key().0 >> 64) as u64, (bumped.0 >> 64) as u64);
+        assert_ne!(job.key().0 as u64, bumped.0 as u64);
     }
 }

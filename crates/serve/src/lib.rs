@@ -43,6 +43,15 @@
 //!   memoised, so degraded runs never poison the verdict cache, and the
 //!   whole schedule is reproducible under the seeded fault-injection
 //!   plans of the `fault-inject` feature (see `asv_sim::fault`).
+//! * **Persistence** — with [`ServeOptions::store_dir`] set, cacheable
+//!   outcomes also land in an on-disk content-addressed
+//!   [`ArtifactStore`](asv_store::ArtifactStore), making it a second
+//!   cache tier under the in-memory memo: a fresh process re-verifying
+//!   known work answers from disk without running an engine. Symbolic
+//!   verdicts are additionally stored under *cone keys* that survive
+//!   edits outside every assertion cone, so incremental re-verification
+//!   of a patched design re-runs only what the patch can affect (see
+//!   [`persist`]).
 //!
 //! ```
 //! use asv_serve::{ServeOptions, VerifyJob, VerifyService};
@@ -65,8 +74,21 @@
 
 pub mod cache;
 pub mod job;
+pub mod persist;
 pub mod service;
 
-pub use cache::VerdictCache;
+pub use cache::{CacheStats, VerdictCache};
 pub use job::{JobKey, JobOutcome, VerdictError, VerifyJob};
 pub use service::{ServeOptions, ServeStats, VerifyService};
+
+/// Clears the process-wide compiled-design cache (`asv_sim::cache`).
+///
+/// Benchmarks measuring *cold* verification call this between runs: a
+/// warm compile cache would let a "cold" run skip design lowering and
+/// understate the speedup of the persistent store tier. Verdict memos
+/// are per-service (drop the service or use
+/// [`VerifyService::verdict_cache`]`().clear()`); the compile cache is
+/// the one shared piece of process state, and this is its one reset.
+pub fn clear_design_cache() {
+    asv_sim::cache::global().clear();
+}

@@ -49,16 +49,19 @@
 
 use crate::cache::VerdictCache;
 use crate::job::{JobKey, JobOutcome, VerdictError, VerifyJob};
+use crate::persist;
 use asv_sim::cancel::Budget;
 use asv_sim::FaultPlan;
+use asv_store::{ArtifactStore, StoreKey};
 use asv_sva::bmc::Verdict;
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Service configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeOptions {
     /// Worker threads; 0 means `std::thread::available_parallelism`.
     ///
@@ -86,6 +89,15 @@ pub struct ServeOptions {
     /// worker count and scheduling. Inert unless the `fault-inject`
     /// feature is enabled (probes compile to plain budget polls).
     pub fault_plan: Option<FaultPlan>,
+    /// Root directory of the persistent artifact store (`None` = no
+    /// second tier). When set, deterministic outcomes survive process
+    /// restarts: misses in the in-memory memo fall through to the
+    /// [`ArtifactStore`] before any engine runs, and store hits are
+    /// promoted back into the memo. The directory is created on demand;
+    /// a store that fails to open is a hard error at service
+    /// construction (a silently absent tier would turn every warm
+    /// restart into a cold one).
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -98,6 +110,7 @@ impl Default for ServeOptions {
             max_fuzz_rounds: None,
             max_aig_nodes: None,
             fault_plan: None,
+            store_dir: None,
         }
     }
 }
@@ -114,6 +127,13 @@ pub struct ServeStats {
     pub memo_hits: u64,
     /// Jobs answered by in-batch deduplication.
     pub deduped: u64,
+    /// Jobs answered from the persistent store tier (subset of
+    /// `executed`'s complement: a store hit runs no engine).
+    pub store_hits: u64,
+    /// Store lookups that found nothing (the job went to an engine).
+    pub store_misses: u64,
+    /// Outcomes written to the persistent store.
+    pub store_puts: u64,
 }
 
 /// Cross-batch in-flight job table: collapses concurrent executions of
@@ -182,11 +202,15 @@ fn lock_inflight(m: &Mutex<HashSet<JobKey>>) -> MutexGuard<'_, HashSet<JobKey>> 
 pub struct VerifyService {
     opts: ServeOptions,
     verdicts: VerdictCache,
+    store: Option<ArtifactStore>,
     inflight: InflightTable,
     submitted: AtomicU64,
     executed: AtomicU64,
     memo_hits: AtomicU64,
     deduped: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_puts: AtomicU64,
 }
 
 /// True if `outcome` is a pure function of the job key and may be
@@ -231,15 +255,30 @@ fn run_job(job: &VerifyJob, budget: &Budget) -> JobOutcome {
 
 impl VerifyService {
     /// Creates a service.
+    ///
+    /// # Panics
+    ///
+    /// When `opts.store_dir` is set but the store cannot be opened
+    /// (unwritable directory, undeletable corruption). Persistence is
+    /// opt-in; asking for it and silently not getting it would be worse
+    /// than failing loudly.
     pub fn new(opts: ServeOptions) -> Self {
+        let store = opts.store_dir.as_deref().map(|dir| {
+            ArtifactStore::open(dir)
+                .unwrap_or_else(|e| panic!("opening artifact store at {}: {e}", dir.display()))
+        });
         VerifyService {
             opts,
             verdicts: VerdictCache::new(),
+            store,
             inflight: InflightTable::default(),
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             deduped: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_puts: AtomicU64::new(0),
         }
     }
 
@@ -283,11 +322,57 @@ impl VerifyService {
         budget
     }
 
+    /// Looks up `job` in the persistent store tier: the cone key first
+    /// (maximal reuse — it survives edits outside every assertion
+    /// cone), then the exact key. Returns `None` on miss *or* when no
+    /// store is configured; counters move only when a store exists.
+    fn store_get(&self, job: &VerifyJob) -> Option<JobOutcome> {
+        let store = self.store.as_ref()?;
+        let stored = persist::cone_outcome_key(job)
+            .and_then(|k| store.get_outcome(k))
+            .or_else(|| store.get_outcome(persist::exact_outcome_key(job)));
+        match stored {
+            Some(outcome) => {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                Some(persist::from_persisted(outcome))
+            }
+            None => {
+                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists a deterministic outcome. Symbolic-shaped outcomes of
+    /// cone-eligible jobs go under the cone key (warm hits stay
+    /// bit-identical to a cold symbolic solve — see `persist`);
+    /// everything else deterministic goes under the exact key. Write
+    /// errors are swallowed: persistence is an accelerator, and a full
+    /// disk must degrade to cold verification, not failed verification.
+    fn store_put(&self, job: &VerifyJob, outcome: &JobOutcome) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        let Some(persisted) = persist::to_persisted(outcome) else {
+            return;
+        };
+        let key: StoreKey = persist::symbolic_shaped(outcome)
+            .then(|| persist::cone_outcome_key(job))
+            .flatten()
+            .unwrap_or_else(|| persist::exact_outcome_key(job));
+        if let Ok(Some(_)) = store.put_outcome(key, &persisted) {
+            self.store_puts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Executes one pending job: claims it in the in-flight table (when
-    /// memoising), runs the engine under the per-job budget, and
-    /// memoises cacheable outcomes before releasing the claim.
+    /// memoising), consults the persistent store tier, runs the engine
+    /// under the per-job budget, and memoises/persists cacheable
+    /// outcomes before releasing the claim.
     fn execute(&self, job: &VerifyJob, key: JobKey) -> JobOutcome {
         if !self.opts.memoize {
+            // `memoize: false` means *always execute* — both cache
+            // tiers are bypassed (cache-cold benchmarking relies on it).
             self.executed.fetch_add(1, Ordering::Relaxed);
             return run_job(job, &self.job_budget(key));
         }
@@ -297,6 +382,14 @@ impl VerifyService {
                 outcome
             }
             Claim::Claimed(lease) => {
+                // Second tier: the persistent store. A hit is promoted
+                // into the in-memory memo (waiters and repeat batches
+                // then hit tier one) and runs no engine.
+                if let Some(outcome) = self.store_get(job) {
+                    self.verdicts.insert(key, outcome.clone());
+                    drop(lease);
+                    return outcome;
+                }
                 self.executed.fetch_add(1, Ordering::Relaxed);
                 let outcome = run_job(job, &self.job_budget(key));
                 // Memoise before releasing the claim so woken waiters
@@ -304,6 +397,7 @@ impl VerifyService {
                 // memo untouched and waiters execute for themselves.
                 if cacheable(&outcome) {
                     self.verdicts.insert(key, outcome.clone());
+                    self.store_put(job, &outcome);
                 }
                 drop(lease);
                 outcome
@@ -415,12 +509,21 @@ impl VerifyService {
             executed: self.executed.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             deduped: self.deduped.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
+            store_puts: self.store_puts.load(Ordering::Relaxed),
         }
     }
 
     /// The verdict memo (benchmarks clear it between cold runs).
     pub fn verdict_cache(&self) -> &VerdictCache {
         &self.verdicts
+    }
+
+    /// The persistent store tier, when configured (eval's incremental
+    /// path garbage-collects and inspects it through this).
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
     }
 }
 
@@ -652,5 +755,108 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(VerifyService::default().verify_batch(&[]).is_empty());
+    }
+
+    /// A scratch store directory, removed on drop.
+    struct ScratchDir(std::path::PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::AtomicU32;
+            static SEQ: AtomicU32 = AtomicU32::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "asv-serve-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            ScratchDir(dir)
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn stored_service(dir: &ScratchDir) -> VerifyService {
+        VerifyService::new(ServeOptions {
+            store_dir: Some(dir.0.clone()),
+            ..ServeOptions::default()
+        })
+    }
+
+    #[test]
+    fn store_tier_answers_a_fresh_service_without_executing() {
+        let dir = ScratchDir::new("warm");
+        let jobs = batch(6, Engine::Auto);
+        let cold = stored_service(&dir);
+        let first = cold.verify_batch(&jobs);
+        let cold_stats = cold.stats();
+        assert_eq!(cold_stats.store_hits, 0);
+        assert!(cold_stats.store_puts > 0, "cacheable verdicts must persist");
+        drop(cold);
+        // A fresh service on the same directory: everything answers from
+        // disk, bit-identically, with zero engine executions.
+        let warm = stored_service(&dir);
+        let second = warm.verify_batch(&jobs);
+        assert_eq!(first, second, "disk-warm verdicts must be bit-identical");
+        let warm_stats = warm.stats();
+        assert_eq!(warm_stats.executed, 0, "warm batch must run no engine");
+        assert!(warm_stats.store_hits > 0);
+        // Store hits are promoted to tier one: a repeat batch on the
+        // same service is pure memo.
+        let third = warm.verify_batch(&jobs);
+        assert_eq!(second, third);
+        assert_eq!(warm.stats().store_hits, warm_stats.store_hits);
+        assert!(warm.stats().memo_hits > 0);
+    }
+
+    #[test]
+    fn store_tier_persists_deterministic_errors() {
+        let dir = ScratchDir::new("errs");
+        let empty =
+            asv_verilog::compile("module n(input a, output y); assign y = a; endmodule").unwrap();
+        let job = VerifyJob::new(empty, Verifier::default());
+        let cold = stored_service(&dir);
+        let out = cold.verify_one(&job);
+        assert!(matches!(out, Err(VerdictError::Verify(_))));
+        drop(cold);
+        let warm = stored_service(&dir);
+        assert_eq!(warm.verify_one(&job), out);
+        assert_eq!(warm.stats().executed, 0);
+    }
+
+    #[test]
+    fn degraded_outcomes_never_reach_the_store() {
+        let dir = ScratchDir::new("degraded");
+        let service = VerifyService::new(ServeOptions {
+            deadline: Some(Duration::ZERO),
+            store_dir: Some(dir.0.clone()),
+            ..ServeOptions::default()
+        });
+        let out = service.verify_batch(&batch(3, Engine::Auto));
+        assert!(out
+            .iter()
+            .all(|o| matches!(o, Ok(Verdict::Inconclusive { .. }))));
+        assert_eq!(service.stats().store_puts, 0);
+        assert!(service.store().expect("store configured").is_empty());
+    }
+
+    #[test]
+    fn memoize_false_bypasses_the_store_tier() {
+        let dir = ScratchDir::new("bypass");
+        let service = VerifyService::new(ServeOptions {
+            memoize: false,
+            store_dir: Some(dir.0.clone()),
+            ..ServeOptions::default()
+        });
+        let jobs = batch(3, Engine::Auto);
+        service.verify_batch(&jobs);
+        let stats = service.stats();
+        assert_eq!(stats.store_puts, 0);
+        assert_eq!(stats.store_hits, 0);
+        assert_eq!(stats.store_misses, 0);
     }
 }

@@ -1,0 +1,379 @@
+//! The manifest: a crash-safe, append-only map from [`StoreKey`] to
+//! object [`ContentHash`].
+//!
+//! Each record is framed `[len: u32 LE][payload][digest: u128 LE]` where
+//! `digest = hash128(payload)`; the payload is an upsert or a tombstone:
+//!
+//! ```text
+//!   op: u8 (0 = put, 1 = delete)
+//!   key: 22 bytes          (StoreKey::to_bytes)
+//!   hash: u128 LE          (object hash; 0 for a tombstone)
+//!   at_secs: u64 LE        (insertion time, for the GC age policy)
+//! ```
+//!
+//! Load replays the log in order, later records winning. The first
+//! frame that is short, over-long or checksum-mismatched marks a torn
+//! tail — everything before it is intact (append-only ⇒ prefix-valid),
+//! so the file is truncated there and the store carries on. This is the
+//! same recovery contract as the object layer: corruption is a bounded
+//! data loss, never a panic and never a wrong mapping.
+//!
+//! [`Manifest::compact`] rewrites the live set through a temp file +
+//! fsync + atomic rename, bounding the log's size after GC.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use asv_ir::stablehash::hash128;
+
+use crate::{ContentHash, StoreKey, KEY_BYTES};
+
+/// Payload width of one record (op + key + hash + timestamp).
+const RECORD_BYTES: usize = 1 + KEY_BYTES + 16 + 8;
+/// Frame overhead (length prefix + checksum).
+const FRAME_BYTES: usize = 4 + 16;
+
+/// One live manifest entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The object this key maps to.
+    pub hash: ContentHash,
+    /// Seconds since the Unix epoch when the mapping was written (drives
+    /// the GC age/LRU-approximation policy).
+    pub at_secs: u64,
+}
+
+/// The key → object map, live in memory, durable as an append-only log.
+#[derive(Debug)]
+pub struct Manifest {
+    path: PathBuf,
+    file: File,
+    entries: BTreeMap<[u8; KEY_BYTES], Entry>,
+    /// Records replayed minus live entries: the log's garbage fraction,
+    /// exposed so callers can decide when compaction pays.
+    dead_records: usize,
+}
+
+fn frame(op: u8, key: &[u8; KEY_BYTES], hash: u128, at_secs: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(RECORD_BYTES);
+    payload.push(op);
+    payload.extend_from_slice(key);
+    payload.extend_from_slice(&hash.to_le_bytes());
+    payload.extend_from_slice(&at_secs.to_le_bytes());
+    let mut rec = Vec::with_capacity(FRAME_BYTES + RECORD_BYTES);
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec.extend_from_slice(&hash128(&payload).to_le_bytes());
+    rec
+}
+
+impl Manifest {
+    /// Opens (creating if needed) the log at `path`, replaying every
+    /// intact record and truncating a torn tail in place.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut raw = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut raw)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+
+        let mut entries = BTreeMap::new();
+        let mut replayed = 0usize;
+        let mut good = 0usize;
+        while raw.len() - good >= 4 {
+            let len = u32::from_le_bytes(raw[good..good + 4].try_into().unwrap()) as usize;
+            // Reject absurd lengths before doing arithmetic with them; a
+            // torn length prefix can hold any value.
+            if len != RECORD_BYTES || raw.len() - good < FRAME_BYTES + len {
+                break;
+            }
+            let payload = &raw[good + 4..good + 4 + len];
+            let digest = u128::from_le_bytes(
+                raw[good + 4 + len..good + FRAME_BYTES + len]
+                    .try_into()
+                    .unwrap(),
+            );
+            if hash128(payload) != digest {
+                break;
+            }
+            let op = payload[0];
+            let key: [u8; KEY_BYTES] = payload[1..1 + KEY_BYTES].try_into().unwrap();
+            let hash = u128::from_le_bytes(
+                payload[1 + KEY_BYTES..1 + KEY_BYTES + 16]
+                    .try_into()
+                    .unwrap(),
+            );
+            let at_secs = u64::from_le_bytes(payload[1 + KEY_BYTES + 16..].try_into().unwrap());
+            match op {
+                0 => {
+                    entries.insert(
+                        key,
+                        Entry {
+                            hash: ContentHash(hash),
+                            at_secs,
+                        },
+                    );
+                }
+                1 => {
+                    entries.remove(&key);
+                }
+                // An unknown op is as fatal as a bad checksum: stop here.
+                _ => break,
+            }
+            replayed += 1;
+            good += FRAME_BYTES + len;
+        }
+
+        if good < raw.len() {
+            // Torn or corrupt tail: drop it so the next append starts at
+            // a frame boundary.
+            // Keep the good prefix: set_len does the (partial) truncation.
+            let f = OpenOptions::new()
+                .write(true)
+                .truncate(false)
+                .create(true)
+                .open(path)?;
+            f.set_len(good as u64)?;
+            f.sync_all()?;
+        }
+
+        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        Ok(Manifest {
+            path: path.to_path_buf(),
+            file,
+            dead_records: replayed - entries.len(),
+            entries,
+        })
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: StoreKey) -> Option<Entry> {
+        self.entries.get(&key.to_bytes()).copied()
+    }
+
+    /// Upserts a mapping, durably.
+    pub fn put(&mut self, key: StoreKey, hash: ContentHash, at_secs: u64) -> io::Result<()> {
+        let kb = key.to_bytes();
+        self.file.write_all(&frame(0, &kb, hash.0, at_secs))?;
+        self.file.sync_all()?;
+        if self.entries.insert(kb, Entry { hash, at_secs }).is_some() {
+            self.dead_records += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes a mapping (appends a tombstone), durably. No-op when the
+    /// key is absent.
+    pub fn remove(&mut self, key: StoreKey) -> io::Result<()> {
+        let kb = key.to_bytes();
+        if self.entries.remove(&kb).is_none() {
+            return Ok(());
+        }
+        self.file.write_all(&frame(1, &kb, 0, 0))?;
+        self.file.sync_all()?;
+        self.dead_records += 2; // the original put and the tombstone
+        Ok(())
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Superseded + tombstoned records still occupying the log.
+    pub fn dead_records(&self) -> usize {
+        self.dead_records
+    }
+
+    /// Iterates live entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (StoreKey, Entry)> + '_ {
+        self.entries
+            .iter()
+            .filter_map(|(kb, e)| Some((StoreKey::from_bytes(kb)?, *e)))
+    }
+
+    /// Drops every entry matching `predicate`, returning how many were
+    /// dropped. In-memory only — pair with [`Manifest::compact`] to make
+    /// the removal durable in one rewrite instead of N tombstones.
+    pub fn retain(&mut self, mut predicate: impl FnMut(StoreKey, Entry) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|kb, e| match StoreKey::from_bytes(kb) {
+            Some(k) => predicate(k, *e),
+            // Undecodable keys (future schema) are kept: not ours to drop.
+            None => true,
+        });
+        let dropped = before - self.entries.len();
+        self.dead_records += dropped;
+        dropped
+    }
+
+    /// Rewrites the log to exactly the live set (temp file + fsync +
+    /// atomic rename), resetting the garbage fraction to zero.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            for (kb, e) in &self.entries {
+                f.write_all(&frame(0, kb, e.hash.0, e.at_secs))?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.dead_records = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArtifactKind;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch_log(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "asv-manifest-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("manifest.log")
+    }
+
+    fn k(n: u128) -> StoreKey {
+        StoreKey::exact(ArtifactKind::Outcome, n)
+    }
+
+    #[test]
+    fn put_get_survives_reopen() {
+        let path = scratch_log("reopen");
+        {
+            let mut m = Manifest::open(&path).unwrap();
+            m.put(k(1), ContentHash(0xaa), 100).unwrap();
+            m.put(k(2), ContentHash(0xbb), 200).unwrap();
+            m.put(k(1), ContentHash(0xcc), 300).unwrap(); // upsert wins
+        }
+        let m = Manifest::open(&path).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(k(1)).unwrap().hash, ContentHash(0xcc));
+        assert_eq!(m.get(k(1)).unwrap().at_secs, 300);
+        assert_eq!(m.get(k(2)).unwrap().hash, ContentHash(0xbb));
+        assert_eq!(m.dead_records(), 1);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn tombstone_survives_reopen() {
+        let path = scratch_log("tomb");
+        {
+            let mut m = Manifest::open(&path).unwrap();
+            m.put(k(1), ContentHash(1), 0).unwrap();
+            m.remove(k(1)).unwrap();
+            m.remove(k(9)).unwrap(); // absent: no-op, no record
+        }
+        let m = Manifest::open(&path).unwrap();
+        assert!(m.is_empty());
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = scratch_log("torn");
+        {
+            let mut m = Manifest::open(&path).unwrap();
+            m.put(k(1), ContentHash(1), 10).unwrap();
+            m.put(k(2), ContentHash(2), 20).unwrap();
+        }
+        // Simulate a crash mid-append: chop the last record in half.
+        let raw = fs::read(&path).unwrap();
+        let one = FRAME_BYTES + RECORD_BYTES;
+        fs::write(&path, &raw[..one + one / 2]).unwrap();
+
+        let m = Manifest::open(&path).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(m.get(k(1)).is_some());
+        assert!(m.get(k(2)).is_none());
+        // And the file itself was healed to a frame boundary.
+        assert_eq!(fs::metadata(&path).unwrap().len() as usize, one);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn corrupt_checksum_cuts_from_that_record() {
+        let path = scratch_log("cksum");
+        {
+            let mut m = Manifest::open(&path).unwrap();
+            m.put(k(1), ContentHash(1), 10).unwrap();
+            m.put(k(2), ContentHash(2), 20).unwrap();
+            m.put(k(3), ContentHash(3), 30).unwrap();
+        }
+        let mut raw = fs::read(&path).unwrap();
+        let one = FRAME_BYTES + RECORD_BYTES;
+        raw[one + 10] ^= 0x40; // flip a bit inside record 2's payload
+        fs::write(&path, &raw).unwrap();
+
+        let m = Manifest::open(&path).unwrap();
+        assert_eq!(m.len(), 1); // records 2 and 3 both dropped (prefix rule)
+        assert!(m.get(k(1)).is_some());
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn compact_shrinks_log_and_preserves_entries() {
+        let path = scratch_log("compact");
+        let mut m = Manifest::open(&path).unwrap();
+        for round in 0..10u128 {
+            m.put(k(round % 2), ContentHash(round), round as u64)
+                .unwrap();
+        }
+        let before = fs::metadata(&path).unwrap().len();
+        assert_eq!(m.dead_records(), 8);
+        m.compact().unwrap();
+        assert_eq!(m.dead_records(), 0);
+        let after = fs::metadata(&path).unwrap().len();
+        assert!(after < before, "{after} !< {before}");
+        assert_eq!(m.len(), 2);
+
+        // Still appendable and still replayable after compaction.
+        m.put(k(7), ContentHash(7), 7).unwrap();
+        drop(m);
+        let m = Manifest::open(&path).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(k(0)).unwrap().hash, ContentHash(8));
+        assert_eq!(m.get(k(1)).unwrap().hash, ContentHash(9));
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn retain_drops_matching_entries() {
+        let path = scratch_log("retain");
+        let mut m = Manifest::open(&path).unwrap();
+        for n in 0..6u128 {
+            m.put(k(n), ContentHash(n), n as u64).unwrap();
+        }
+        let dropped = m.retain(|_, e| e.at_secs >= 3);
+        assert_eq!(dropped, 3);
+        assert_eq!(m.len(), 3);
+        m.compact().unwrap();
+        drop(m);
+        assert_eq!(Manifest::open(&path).unwrap().len(), 3);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -1,0 +1,238 @@
+//! The object layer: content-addressed payload files with crash-safe
+//! writes and verify-on-read.
+//!
+//! An object is an immutable payload named by its own [`ContentHash`]:
+//! `objects/<first two hex digits>/<32 hex digits>.obj`. The two-digit
+//! fan-out keeps directory listings short at millions of objects.
+//!
+//! * **Write** (`put`): payload → `tmp/<unique>` → `File::sync_all` →
+//!   atomic `rename` into place → best-effort directory fsync. A crash
+//!   before the rename leaves only a `tmp/` straggler (cleaned by the
+//!   next [`ObjectStore::open`]); a crash after it leaves a complete,
+//!   named object. No reader can ever observe a half-written object.
+//! * **Read** (`get`): the payload's digest is recomputed and compared to
+//!   the file name. A mismatch — truncation, bit rot, a torn write from
+//!   a pre-rename-era file system — deletes the file and reports a miss.
+//!   Corruption is therefore *self-healing* and can never surface as a
+//!   wrong artifact.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ContentHash;
+
+/// Monotonic discriminator for temp-file names, so concurrent writers in
+/// one process never collide (cross-process uniqueness comes from the
+/// pid component).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of content-addressed objects (see the module docs).
+#[derive(Debug)]
+pub struct ObjectStore {
+    objects: PathBuf,
+    tmp: PathBuf,
+}
+
+impl ObjectStore {
+    /// Opens (creating if needed) the object layer under `root`, and
+    /// clears `tmp/` stragglers left by a crash mid-`put`.
+    pub fn open(root: &Path) -> io::Result<Self> {
+        let objects = root.join("objects");
+        let tmp = root.join("tmp");
+        fs::create_dir_all(&objects)?;
+        fs::create_dir_all(&tmp)?;
+        if let Ok(entries) = fs::read_dir(&tmp) {
+            for entry in entries.flatten() {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(ObjectStore { objects, tmp })
+    }
+
+    /// The on-disk path of an object.
+    pub fn path_of(&self, hash: ContentHash) -> PathBuf {
+        let hex = hash.to_hex();
+        self.objects.join(&hex[..2]).join(format!("{hex}.obj"))
+    }
+
+    /// Stores a payload, returning its content hash. Idempotent: an
+    /// object that already exists is not rewritten (equal payloads have
+    /// equal names), so concurrent `put`s of the same content are safe.
+    pub fn put(&self, payload: &[u8]) -> io::Result<ContentHash> {
+        let hash = ContentHash::of(payload);
+        let path = self.path_of(hash);
+        if path.exists() {
+            return Ok(hash);
+        }
+        let tmp_path = self.tmp.join(format!(
+            "{}-{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+        }
+        let parent = path.parent().expect("object path has a fan-out parent");
+        fs::create_dir_all(parent)?;
+        if let Err(e) = fs::rename(&tmp_path, &path) {
+            let _ = fs::remove_file(&tmp_path);
+            // A concurrent writer may have won the rename race; that's
+            // success (the bytes are identical by construction).
+            if path.exists() {
+                return Ok(hash);
+            }
+            return Err(e);
+        }
+        // Make the rename itself durable. Failure here only weakens
+        // crash-durability of this one object, never integrity.
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+        Ok(hash)
+    }
+
+    /// Reads and *verifies* an object. `None` when absent, truncated or
+    /// corrupt; corrupt files are deleted so the slot can be rewritten.
+    pub fn get(&self, hash: ContentHash) -> Option<Vec<u8>> {
+        let path = self.path_of(hash);
+        let mut payload = Vec::new();
+        File::open(&path).ok()?.read_to_end(&mut payload).ok()?;
+        if ContentHash::of(&payload) != hash {
+            let _ = fs::remove_file(&path);
+            return None;
+        }
+        Some(payload)
+    }
+
+    /// True when a (possibly unverified) object file exists.
+    pub fn contains(&self, hash: ContentHash) -> bool {
+        self.path_of(hash).exists()
+    }
+
+    /// Deletes an object if present.
+    pub fn remove(&self, hash: ContentHash) -> io::Result<()> {
+        match fs::remove_file(self.path_of(hash)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Size in bytes of an object file, if present.
+    pub fn size_of(&self, hash: ContentHash) -> Option<u64> {
+        fs::metadata(self.path_of(hash)).ok().map(|m| m.len())
+    }
+
+    /// Every object hash currently on disk (files with unparsable names
+    /// are skipped). Used by the GC sweep.
+    pub fn list(&self) -> Vec<ContentHash> {
+        let mut out = Vec::new();
+        let Ok(buckets) = fs::read_dir(&self.objects) else {
+            return out;
+        };
+        for bucket in buckets.flatten() {
+            let Ok(files) = fs::read_dir(bucket.path()) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let name = file.file_name();
+                let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".obj")) else {
+                    continue;
+                };
+                if let Some(h) = ContentHash::from_hex(stem) {
+                    out.push(h);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// Hand-rolled unique tempdir (no `tempfile` crate offline).
+    pub(crate) fn scratch_dir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "asv-store-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let dir = scratch_dir("rt");
+        let os = ObjectStore::open(&dir).unwrap();
+        let h = os.put(b"hello world").unwrap();
+        assert_eq!(os.get(h).as_deref(), Some(&b"hello world"[..]));
+        assert!(os.contains(h));
+        assert_eq!(os.size_of(h), Some(11));
+        assert_eq!(os.list(), vec![h]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_is_idempotent() {
+        let dir = scratch_dir("idem");
+        let os = ObjectStore::open(&dir).unwrap();
+        let a = os.put(b"same").unwrap();
+        let b = os.put(b"same").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(os.list().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_object_is_a_miss_and_self_heals() {
+        let dir = scratch_dir("corrupt");
+        let os = ObjectStore::open(&dir).unwrap();
+        let h = os.put(b"precious bytes").unwrap();
+        fs::write(os.path_of(h), b"precious bytez").unwrap();
+        assert_eq!(os.get(h), None);
+        // The corrupt file was deleted: the slot can be rewritten.
+        assert!(!os.contains(h));
+        os.put(b"precious bytes").unwrap();
+        assert_eq!(os.get(h).as_deref(), Some(&b"precious bytes"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_object_is_a_miss() {
+        let dir = scratch_dir("trunc");
+        let os = ObjectStore::open(&dir).unwrap();
+        let h = os.put(b"0123456789").unwrap();
+        fs::write(os.path_of(h), b"01234").unwrap();
+        assert_eq!(os.get(h), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_clears_tmp_stragglers() {
+        let dir = scratch_dir("straggler");
+        fs::create_dir_all(dir.join("tmp")).unwrap();
+        fs::write(dir.join("tmp/123-0.tmp"), b"half a write").unwrap();
+        let os = ObjectStore::open(&dir).unwrap();
+        assert_eq!(fs::read_dir(dir.join("tmp")).unwrap().count(), 0);
+        assert_eq!(os.list(), vec![]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_object_is_a_miss() {
+        let dir = scratch_dir("missing");
+        let os = ObjectStore::open(&dir).unwrap();
+        assert_eq!(os.get(ContentHash(42)), None);
+        assert!(os.remove(ContentHash(42)).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

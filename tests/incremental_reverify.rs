@@ -1,0 +1,244 @@
+//! Incremental re-verification suite: cone hashes are stable under
+//! out-of-cone edits across **all 12 datagen archetypes**, and the
+//! store-backed per-assertion path re-runs O(diff) engines, proven from
+//! the service's execution counters.
+
+use asv_datagen::corpus::{Archetype, CorpusGen};
+use asv_mutation::inject::{apply, enumerate};
+use asv_sat::cone::{assertion_cones, design_cone_hash};
+use asv_serve::{ServeOptions, VerifyJob, VerifyService};
+use asv_sim::compile::CompiledDesign;
+use asv_sva::bmc::{Engine, Verifier};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A scratch store directory, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "asv-incr-suite-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Appends dead logic (a probe wire over constants) before `endmodule`.
+/// Both variants declare the same probe, so the signal table is
+/// identical and the only difference is *inside* the dead logic — an
+/// edit outside every assertion's cone.
+fn with_dead_logic(src: &str, expr: &str) -> String {
+    src.replace(
+        "endmodule",
+        &format!("  wire cone_probe;\n  assign cone_probe = {expr};\nendmodule"),
+    )
+}
+
+#[test]
+fn out_of_cone_edits_move_no_hash_across_all_archetypes() {
+    let designs = CorpusGen::new(0x14C0_u64).generate(Archetype::ALL.len());
+    let mut archetypes_seen = std::collections::BTreeSet::new();
+    let mut checked = 0usize;
+    for gd in &designs {
+        archetypes_seen.insert(gd.archetype.to_string());
+        let a = with_dead_logic(&gd.source, "1'b0");
+        let b = with_dead_logic(&gd.source, "1'b1");
+        let (Ok(da), Ok(db)) = (asv_verilog::compile(&a), asv_verilog::compile(&b)) else {
+            panic!("{}: probe-augmented golden must compile", gd.name);
+        };
+        let (ca, cb) = (CompiledDesign::compile(&da), CompiledDesign::compile(&db));
+        let (Ok(ha), Ok(hb)) = (assertion_cones(&ca), assertion_cones(&cb)) else {
+            continue; // out of the symbolic subset: no cone keys exist
+        };
+        assert_eq!(
+            ha, hb,
+            "{}: a dead-logic edit moved an assertion cone hash",
+            gd.name
+        );
+        assert_eq!(
+            design_cone_hash(&ca).unwrap(),
+            design_cone_hash(&cb).unwrap(),
+            "{}: a dead-logic edit moved the design cone hash",
+            gd.name
+        );
+        checked += 1;
+    }
+    assert_eq!(
+        archetypes_seen.len(),
+        Archetype::ALL.len(),
+        "fixture must cover all 12 archetypes"
+    );
+    assert!(
+        checked >= Archetype::ALL.len() / 2,
+        "most archetypes must be cone-hashable (got {checked})"
+    );
+}
+
+#[test]
+fn injected_bugs_move_at_least_one_cone_hash() {
+    let designs = CorpusGen::new(0xB06_u64).generate(Archetype::ALL.len());
+    let mut moved = 0usize;
+    for gd in &designs {
+        let golden = asv_verilog::compile(&gd.source).expect("golden compiles");
+        let cg = CompiledDesign::compile(&golden);
+        let Ok(golden_cones) = assertion_cones(&cg) else {
+            continue;
+        };
+        let Some(mutant) = enumerate(&golden).into_iter().find_map(|m| {
+            let injection = apply(&golden, &m).ok()?;
+            asv_verilog::compile(&injection.buggy_source).ok()
+        }) else {
+            continue;
+        };
+        let cm = CompiledDesign::compile(&mutant);
+        let Ok(mutant_cones) = assertion_cones(&cm) else {
+            continue;
+        };
+        if golden_cones != mutant_cones {
+            moved += 1;
+        } else if asv_sat::engine::supports(&cg).is_ok() {
+            // Same cone hashes must mean same symbolic result: an
+            // injected bug invisible to every cone must be invisible to
+            // the engine cone keys certify. (Out-of-subset designs are
+            // excluded — fuzzing legitimately observes non-cone logic,
+            // which is exactly why they never get cone keys.)
+            let v = Verifier {
+                depth: 8,
+                reset_cycles: 2,
+                ..Verifier::default()
+            };
+            assert_eq!(
+                v.check(&golden).map(|x| x.is_failure()),
+                v.check(&mutant).map(|x| x.is_failure()),
+                "{}: cone hashes agree but verdicts differ",
+                gd.name
+            );
+        }
+    }
+    assert!(
+        moved > 0,
+        "at least some injected bugs must land inside an assertion cone"
+    );
+}
+
+/// A two-register module where each assertion observes only its own
+/// cone. Patching the `b` logic must re-run only `p_b`.
+fn two_cone_source(a_rhs: &str, b_rhs: &str) -> String {
+    format!(
+        r#"
+module two(input clk, input rst, input da, input db,
+           output reg qa, output reg qb);
+  always @(posedge clk) begin
+    if (rst) qa <= 1'b0; else qa <= {a_rhs};
+  end
+  always @(posedge clk) begin
+    if (rst) qb <= 1'b0; else qb <= {b_rhs};
+  end
+  p_a: assert property (@(posedge clk) disable iff (rst) da |-> ##1 qa);
+  p_b: assert property (@(posedge clk) disable iff (rst) db |-> ##1 qb);
+endmodule
+"#
+    )
+}
+
+fn per_assertion_jobs(src: &str, verifier: Verifier) -> Vec<VerifyJob> {
+    let d = asv_verilog::compile(src).expect("compile");
+    let n = d.module.assertions().count();
+    (0..n)
+        .map(|i| {
+            VerifyJob::new(
+                d.with_single_assertion(i).expect("index in range"),
+                verifier,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn patched_design_reruns_only_the_affected_assertion() {
+    let verifier = Verifier {
+        depth: 6,
+        reset_cycles: 2,
+        engine: Engine::Auto,
+        ..Verifier::default()
+    };
+    let dir = ScratchDir::new("odiff");
+    let stored = |dir: &ScratchDir| {
+        VerifyService::new(ServeOptions {
+            workers: 2,
+            store_dir: Some(dir.0.clone()),
+            ..ServeOptions::default()
+        })
+    };
+
+    // Baseline: verify both assertions of the unpatched design.
+    let base = stored(&dir);
+    let baseline = base.verify_batch(&per_assertion_jobs(&two_cone_source("da", "db"), verifier));
+    assert_eq!(base.stats().executed, 2, "cold baseline runs both cones");
+    assert!(baseline.iter().all(|o| o.is_ok()));
+    drop(base);
+
+    // A candidate patch touching only the b-cone (`db | da` still
+    // satisfies `p_b`, and the optimizer cannot fold it away): a fresh
+    // service on the same store re-runs exactly the affected assertion.
+    let patched = stored(&dir);
+    let out = patched.verify_batch(&per_assertion_jobs(
+        &two_cone_source("da", "db | da"),
+        verifier,
+    ));
+    assert!(out.iter().all(|o| o.is_ok()));
+    let stats = patched.stats();
+    assert_eq!(
+        stats.executed, 1,
+        "only the patched cone may run an engine (O(diff), not O(design))"
+    );
+    assert_eq!(stats.store_hits, 1, "the untouched cone answers from disk");
+    drop(patched);
+
+    // Re-verifying the patched design is now fully warm.
+    let warm = stored(&dir);
+    let again = warm.verify_batch(&per_assertion_jobs(
+        &two_cone_source("da", "db | da"),
+        verifier,
+    ));
+    assert_eq!(again, out);
+    assert_eq!(warm.stats().executed, 0, "both cones answer from disk now");
+}
+
+#[test]
+fn per_assertion_verdicts_agree_with_the_whole_design() {
+    // Conjunction equivalence on a design with one failing assertion.
+    let verifier = Verifier {
+        depth: 6,
+        reset_cycles: 2,
+        ..Verifier::default()
+    };
+    let src = two_cone_source("da", "!db"); // p_b is refuted
+    let whole = asv_verilog::compile(&src).expect("compile");
+    let service = VerifyService::with_workers(2);
+    let whole_verdict = service
+        .verify_one(&VerifyJob::new(whole, verifier))
+        .expect("verdict");
+    assert!(whole_verdict.is_failure());
+    let split = service.verify_batch(&per_assertion_jobs(&src, verifier));
+    let split_ok: Vec<bool> = split
+        .iter()
+        .map(|o| matches!(o, Ok(v) if v.holds_non_vacuously()))
+        .collect();
+    assert_eq!(
+        split_ok,
+        vec![true, false],
+        "exactly the refuted assertion's job must fail"
+    );
+}

@@ -163,12 +163,33 @@ fn warm_resubmission_runs_no_engine() {
     let batch = jobs(Engine::Portfolio);
     let service = VerifyService::with_workers(8);
     let cold = service.verify_batch(&batch);
-    let executed = service.stats().executed;
+    let cold_stats = service.stats();
+    let cold_cache = service.verdict_cache().stats();
+    assert_eq!(cold_stats.memo_hits, 0, "first submission cannot warm-hit");
+    assert_eq!(
+        cold_cache.inserts, cold_stats.executed,
+        "every cold execution must memoise its (cacheable) verdict"
+    );
+    assert_eq!(cold_cache.evictions, 0, "suite fits the memo capacity");
     let warm = service.verify_batch(&batch);
     assert_eq!(cold, warm, "memoised verdicts must be bit-identical");
+    let warm_stats = service.stats();
     assert_eq!(
-        service.stats().executed,
-        executed,
+        warm_stats.executed, cold_stats.executed,
         "warm batch must be answered entirely from the verdict memo"
+    );
+    assert_eq!(
+        warm_stats.memo_hits, cold_stats.executed,
+        "each unique job must hit the memo exactly once on resubmission"
+    );
+    let warm_cache = service.verdict_cache().stats();
+    assert_eq!(
+        warm_cache.hits - cold_cache.hits,
+        warm_stats.memo_hits,
+        "service memo hits and cache-level hits must agree on the warm path"
+    );
+    assert_eq!(
+        warm_cache.inserts, cold_cache.inserts,
+        "a warm batch must memoise nothing new"
     );
 }
