@@ -4,6 +4,8 @@
 use crate::runner::EvalRun;
 use asv_datagen::dataset::LengthBin;
 use asv_mutation::BugCategory;
+use asv_serve::VerifyService;
+use asv_trace::EngineTag;
 use std::fmt::Write;
 
 /// One table column: header plus the metric extracted per run.
@@ -103,6 +105,57 @@ pub fn grouped(title: &str, k: usize, runs: &[&EvalRun]) -> String {
     out
 }
 
+/// Percentage of `part` in `whole`, 0 when the denominator is empty.
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// Renders the service-side observability table: how a batch's jobs were
+/// answered (memo / store / engine, with tier hit rates) and how many
+/// degradation-ladder rungs each engine ran. Counts come straight from
+/// the service's metrics registry — the same values a Prometheus scrape
+/// sees. Rung counts need an attached tracer (they read the span-derived
+/// `asv_rung_*` counters) and render as 0 without one.
+pub fn service_stats_table(title: &str, service: &VerifyService) -> String {
+    let stats = service.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "jobs      submitted {:>6}  executed {:>6}  deduped {:>6}",
+        stats.submitted, stats.executed, stats.deduped
+    );
+    let _ = writeln!(
+        out,
+        "memo      hits {:>6}  ({:.1}% of submissions)",
+        stats.memo_hits,
+        pct(stats.memo_hits, stats.submitted)
+    );
+    let store_lookups = stats.store_hits + stats.store_misses;
+    let _ = writeln!(
+        out,
+        "store     hits {:>6} / {:>6} lookups  ({:.1}%)  puts {:>6}",
+        stats.store_hits,
+        store_lookups,
+        pct(stats.store_hits, store_lookups),
+        stats.store_puts
+    );
+    let _ = write!(out, "rungs    ");
+    for tag in EngineTag::ALL {
+        let count = service
+            .metrics()
+            .counter_value(&format!("asv_rung_{}_total", tag.slug()))
+            .unwrap_or(0);
+        let _ = write!(out, " {} {:>5} ", tag.slug(), count);
+    }
+    out.push('\n');
+    out
+}
+
 fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         s.to_string()
@@ -130,6 +183,19 @@ mod tests {
                     n: 20,
                 })
                 .collect(),
+        }
+    }
+
+    #[test]
+    fn service_stats_table_renders_every_tier_and_rung() {
+        let service = VerifyService::default();
+        let t = service_stats_table("Service stats", &service);
+        assert!(t.contains("== Service stats =="), "{t}");
+        assert!(t.contains("jobs"), "{t}");
+        assert!(t.contains("memo"), "{t}");
+        assert!(t.contains("store"), "{t}");
+        for tag in EngineTag::ALL {
+            assert!(t.contains(tag.slug()), "missing rung column {tag:?}: {t}");
         }
     }
 

@@ -16,6 +16,7 @@ use asv_sim::exec::{SimError, Simulator};
 use asv_sim::interp::AstSimulator;
 use asv_sim::stimulus::{Stimulus, StimulusGen};
 use asv_sim::trace::Trace;
+use asv_trace::{probe, Cost, SpanKind, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -310,12 +311,21 @@ pub fn fuzz_budgeted<O: AssertionOracle>(
     let mut rounds = 0u64;
     let mut verdict = FuzzVerdict::NoFailure;
 
+    let sink = budget.trace().clone();
     'campaign: while runs < opts.budget {
         // Poll before scheduling the round, not only inside it, so a
         // loser cancelled between rounds never starts another batch.
         budget.check_fuzz_rounds(rounds)?;
-        budget.probe("fuzz.round")?;
+        budget.probe(probe::FUZZ_ROUND)?;
         rounds += 1;
+        // Cost accrues incrementally so the span stays honest on every
+        // exit path (verdict, error, cancellation) via its drop guard.
+        let mut round_span = sink.span(probe::FUZZ_ROUND, SpanKind::FuzzRound);
+        round_span.set_code(rounds);
+        round_span.add_cost(Cost {
+            rounds: 1,
+            ..Cost::default()
+        });
         let n = batch_size.min(opts.budget - runs);
         let batch = schedule(&gen, &mutator, &mut corpus, &mut rng, n, opts);
         let (chunk_size, per_chunk) = run_batch(compiled, oracle, &batch, threads, budget);
@@ -325,6 +335,10 @@ pub fn fuzz_budgeted<O: AssertionOracle>(
                 let new_points = coverage.merge(&cov);
                 let stim = &batch[c * chunk_size + j];
                 runs += 1;
+                round_span.add_cost(Cost {
+                    stimuli: 1,
+                    ..Cost::default()
+                });
                 if failed {
                     replay_on_interpreter(compiled, stim)?;
                     verdict = FuzzVerdict::Failure {

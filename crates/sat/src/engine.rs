@@ -25,6 +25,7 @@ use asv_sim::cancel::{Budget, CancelToken, Exhausted, Resource, Stop};
 use asv_sim::compile::{compile_expr, CompiledDesign, ExprProg, HistoryKind, NameRef, SigId};
 use asv_sim::stimulus::{InputVector, Stimulus};
 use asv_sim::value::Value;
+use asv_trace::{probe, Cost, SpanKind, TraceSink};
 use asv_verilog::ast::{AssertTarget, Module, PropExpr, PropertyDecl, SeqExpr};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -751,11 +752,15 @@ impl<'a> Engine<'a> {
                 vacuous: props.iter().map(|p| p.name.clone()).collect(),
             });
         }
+        let trace = self.budget.trace().clone();
         for len in 1..=max_len {
             // Poll before starting the depth, not just inside it: a
             // portfolio loser cancelled between depths stops here
             // immediately instead of burning a full check interval.
-            self.budget.probe("sat.depth")?;
+            self.budget.probe(probe::SAT_DEPTH)?;
+            let mut blast = trace.span(probe::SAT_BLAST, SpanKind::AigBlast);
+            blast.set_code(len as u64);
+            let nodes_before = self.g.len();
             self.push_frame()?;
             let mut fail = NLit::FALSE;
             for prop in props {
@@ -764,6 +769,11 @@ impl<'a> Engine<'a> {
                     fail = self.g.or(fail, f);
                 }
             }
+            blast.add_cost(Cost {
+                aig_nodes: (self.g.len() - nodes_before) as u64,
+                ..Cost::default()
+            });
+            drop(blast);
             match fail.as_const() {
                 Some(false) => continue,
                 Some(true) => {
@@ -775,7 +785,16 @@ impl<'a> Engine<'a> {
                 None => {
                     self.refresh_conflict_budget();
                     let q = self.enc.lit(&self.g, &mut self.solver, fail);
-                    match self.solver.solve(&[q]) {
+                    let mut solve = trace.span(probe::SAT_SOLVE, SpanKind::SatSolve);
+                    solve.set_code(len as u64);
+                    let conflicts_before = self.solver.conflicts;
+                    let res = self.solver.solve(&[q]);
+                    solve.add_cost(Cost {
+                        conflicts: self.solver.conflicts - conflicts_before,
+                        ..Cost::default()
+                    });
+                    drop(solve);
+                    match res {
                         SolveResult::Sat => {
                             // A witness exists. Canonicalisation must
                             // never lose it: stash the raw model's
@@ -816,13 +835,21 @@ impl<'a> Engine<'a> {
             // Each vacuity query is its own SAT solve: poll between
             // them so cancellation and deadlines land mid-phase, not
             // only after the whole phase.
-            self.budget.probe("sat.vacuity")?;
+            self.budget.probe(probe::SAT_VACUITY)?;
             let can_fire = match lit.as_const() {
                 Some(b) => b,
                 None => {
                     self.refresh_conflict_budget();
                     let q = self.enc.lit(&self.g, &mut self.solver, *lit);
-                    match self.solver.solve(&[q]) {
+                    let mut solve = trace.span(probe::SAT_VACUITY, SpanKind::SatSolve);
+                    let conflicts_before = self.solver.conflicts;
+                    let res = self.solver.solve(&[q]);
+                    solve.add_cost(Cost {
+                        conflicts: self.solver.conflicts - conflicts_before,
+                        ..Cost::default()
+                    });
+                    drop(solve);
+                    match res {
                         SolveResult::Sat => true,
                         SolveResult::Unsat => false,
                         SolveResult::Unknown => return Err(self.conflicts_exhausted()),

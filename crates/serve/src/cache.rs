@@ -19,8 +19,9 @@
 //! rest of the service.
 
 use crate::job::{JobKey, JobOutcome};
-use std::sync::atomic::{AtomicU64, Ordering};
+use asv_trace::{Counter, Histogram, Registry};
 use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Locks a shard, recovering from poisoning: a panic in another worker
 /// must not take the memo down with it (the data is always structurally
@@ -50,27 +51,56 @@ pub struct CacheStats {
 }
 
 /// A sharded LRU verdict memo.
+///
+/// Counters are [`Counter`] views: a cache built by
+/// [`VerdictCache::with_registry`] registers them under `asv_memo_*`
+/// names, so [`CacheStats`] reads the very same values a metrics scrape
+/// sees — one bookkeeping site, two consumers. [`VerdictCache::new`]
+/// uses detached counters (no registry, same behaviour).
 pub struct VerdictCache {
-    shards: Vec<Mutex<Vec<(JobKey, JobOutcome)>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
-    evictions: AtomicU64,
+    shards: Vec<Mutex<Vec<(JobKey, JobOutcome, Instant)>>>,
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    evictions: Counter,
+    eviction_age: Histogram,
 }
 
 impl VerdictCache {
-    /// An empty cache.
+    /// An empty cache with detached (registry-less) counters.
     pub fn new() -> Self {
         VerdictCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            inserts: Counter::detached(),
+            evictions: Counter::detached(),
+            eviction_age: Histogram::detached(),
         }
     }
 
-    fn shard(&self, key: JobKey) -> &Mutex<Vec<(JobKey, JobOutcome)>> {
+    /// An empty cache whose counters live in `registry` (names
+    /// `asv_memo_hits_total`, `asv_memo_misses_total`,
+    /// `asv_memo_inserts_total`, `asv_memo_evictions_total`, plus the
+    /// `asv_memo_eviction_age_ns` residency histogram).
+    pub fn with_registry(registry: &Registry) -> Self {
+        VerdictCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            hits: registry.counter("asv_memo_hits_total", "Verdict memo lookups that hit"),
+            misses: registry.counter("asv_memo_misses_total", "Verdict memo lookups that missed"),
+            inserts: registry.counter("asv_memo_inserts_total", "Outcomes newly memoised"),
+            evictions: registry.counter(
+                "asv_memo_evictions_total",
+                "Memo entries dropped by per-shard LRU eviction",
+            ),
+            eviction_age: registry.histogram(
+                "asv_memo_eviction_age_ns",
+                "Residency (insert to eviction) of evicted memo entries in nanoseconds",
+            ),
+        }
+    }
+
+    fn shard(&self, key: JobKey) -> &Mutex<Vec<(JobKey, JobOutcome, Instant)>> {
         &self.shards[(key.0 as usize) & (SHARDS - 1)]
     }
 
@@ -78,14 +108,14 @@ impl VerdictCache {
     /// most-recently-used on a hit.
     pub fn get(&self, key: JobKey) -> Option<JobOutcome> {
         let mut shard = lock_shard(self.shard(key));
-        if let Some(pos) = shard.iter().position(|(k, _)| *k == key) {
+        if let Some(pos) = shard.iter().position(|(k, ..)| *k == key) {
             let entry = shard.remove(pos);
             let outcome = entry.1.clone();
             shard.push(entry); // most recently used last
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             Some(outcome)
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             None
         }
     }
@@ -94,24 +124,29 @@ impl VerdictCache {
     /// same key are ignored since outcomes are deterministic in the key).
     pub fn insert(&self, key: JobKey, outcome: JobOutcome) {
         let mut shard = lock_shard(self.shard(key));
-        if shard.iter().any(|(k, _)| *k == key) {
+        if shard.iter().any(|(k, ..)| *k == key) {
             return;
         }
         if shard.len() == SHARD_CAP {
-            let _evicted = shard.remove(0); // least recently used first
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            // Least recently used first. The evicted entry's residency
+            // (insert to eviction — MRU bumps do not refresh it) feeds
+            // the age histogram: a short residency means the shard is
+            // churning and the cache is undersized for the workload.
+            let evicted = shard.remove(0);
+            self.evictions.inc();
+            self.eviction_age.observe(evicted.2.elapsed());
         }
-        shard.push((key, outcome));
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+        shard.push((key, outcome, Instant::now()));
+        self.inserts.inc();
     }
 
     /// Activity counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            inserts: self.inserts.get(),
+            evictions: self.evictions.get(),
         }
     }
 
@@ -206,6 +241,41 @@ mod tests {
         let stats = c.stats();
         assert_eq!(stats.inserts, 4 * SHARD_CAP as u64);
         assert_eq!(stats.evictions, 3 * SHARD_CAP as u64);
+    }
+
+    #[test]
+    fn registry_backed_counters_are_views_not_copies() {
+        let r = Registry::new();
+        let c = VerdictCache::with_registry(&r);
+        c.insert(JobKey(1), outcome(1));
+        assert!(c.get(JobKey(1)).is_some());
+        assert!(c.get(JobKey(2)).is_none());
+        // One bookkeeping site: the registry scrape and `stats()` agree.
+        assert_eq!(r.counter_value("asv_memo_hits_total"), Some(1));
+        assert_eq!(r.counter_value("asv_memo_misses_total"), Some(1));
+        assert_eq!(r.counter_value("asv_memo_inserts_total"), Some(1));
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                inserts: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_age_histogram_records_residency() {
+        let r = Registry::new();
+        let c = VerdictCache::with_registry(&r);
+        // Overflow one shard so exactly one eviction happens.
+        for i in 0..=SHARD_CAP as u64 {
+            c.insert(JobKey(u128::from(i * SHARDS as u64)), outcome(0));
+        }
+        assert_eq!(c.stats().evictions, 1);
+        let h = r.histogram("asv_memo_eviction_age_ns", "");
+        assert_eq!(h.count(), 1, "one eviction, one residency observation");
     }
 
     #[test]

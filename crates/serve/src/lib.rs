@@ -75,10 +75,12 @@
 pub mod cache;
 pub mod job;
 pub mod persist;
+pub mod report;
 pub mod service;
 
 pub use cache::{CacheStats, VerdictCache};
 pub use job::{JobKey, JobOutcome, VerdictError, VerifyJob};
+pub use report::{AnswerTier, JobReport, RungReport};
 pub use service::{ServeOptions, ServeStats, VerifyService};
 
 /// Clears the process-wide compiled-design cache (`asv_sim::cache`).

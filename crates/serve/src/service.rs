@@ -50,13 +50,15 @@
 use crate::cache::VerdictCache;
 use crate::job::{JobKey, JobOutcome, VerdictError, VerifyJob};
 use crate::persist;
+use crate::report::{assemble_reports, AnswerTier, JobReport};
 use asv_sim::cancel::Budget;
 use asv_sim::FaultPlan;
 use asv_store::{ArtifactStore, StoreKey};
 use asv_sva::bmc::Verdict;
+use asv_trace::{probe, Counter, EndReason, Registry, SpanKind, TraceHandle, TraceSink, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
@@ -199,18 +201,28 @@ fn lock_inflight(m: &Mutex<HashSet<JobKey>>) -> MutexGuard<'_, HashSet<JobKey>> 
 }
 
 /// A verification job service with sharded verdict memoisation.
+///
+/// Counters are [`Counter`] views over the service's private metrics
+/// [`Registry`] (one registry per service keeps concurrent services and
+/// tests isolated): [`VerifyService::stats`] and a
+/// [`Registry::dump_prometheus`] scrape read the same values from one
+/// bookkeeping site. An optional [`Tracer`] (see
+/// [`VerifyService::traced`]) adds structured spans and per-job
+/// [`JobReport`] provenance on top.
 pub struct VerifyService {
     opts: ServeOptions,
+    registry: Registry,
+    tracer: Option<Tracer>,
     verdicts: VerdictCache,
     store: Option<ArtifactStore>,
     inflight: InflightTable,
-    submitted: AtomicU64,
-    executed: AtomicU64,
-    memo_hits: AtomicU64,
-    deduped: AtomicU64,
-    store_hits: AtomicU64,
-    store_misses: AtomicU64,
-    store_puts: AtomicU64,
+    submitted: Counter,
+    executed: Counter,
+    memo_hits: Counter,
+    deduped: Counter,
+    store_hits: Counter,
+    store_misses: Counter,
+    store_puts: Counter,
 }
 
 /// True if `outcome` is a pure function of the job key and may be
@@ -237,6 +249,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "opaque panic payload".to_string()
+    }
+}
+
+/// [`EndReason`] of a finished job, recorded on its `serve.job` span.
+fn job_end(outcome: &JobOutcome) -> EndReason {
+    match outcome {
+        Ok(Verdict::Holds { .. }) => EndReason::Holds,
+        Ok(Verdict::Fails(_)) => EndReason::Fails,
+        Ok(Verdict::Inconclusive { .. }) => EndReason::Exhausted,
+        Err(VerdictError::Panic(_)) => EndReason::Panicked,
+        Err(VerdictError::Cancelled) => EndReason::Cancelled,
+        Err(VerdictError::Exhausted(_)) => EndReason::Exhausted,
+        Err(VerdictError::Verify(_)) => EndReason::Unknown,
     }
 }
 
@@ -267,19 +292,67 @@ impl VerifyService {
             ArtifactStore::open(dir)
                 .unwrap_or_else(|e| panic!("opening artifact store at {}: {e}", dir.display()))
         });
+        let registry = Registry::new();
         VerifyService {
+            verdicts: VerdictCache::with_registry(&registry),
+            submitted: registry.counter(
+                "asv_jobs_submitted_total",
+                "Jobs submitted across all batches (duplicates and cache hits included)",
+            ),
+            executed: registry.counter("asv_jobs_executed_total", "Jobs that ran an engine"),
+            memo_hits: registry.counter(
+                "asv_jobs_memo_hits_total",
+                "Jobs answered from the verdict memo",
+            ),
+            deduped: registry.counter(
+                "asv_jobs_deduped_total",
+                "Jobs answered by in-batch deduplication",
+            ),
+            store_hits: registry.counter(
+                "asv_store_hits_total",
+                "Jobs answered from the persistent store tier",
+            ),
+            store_misses: registry
+                .counter("asv_store_misses_total", "Store lookups that found nothing"),
+            store_puts: registry.counter(
+                "asv_store_puts_total",
+                "Outcomes written to the persistent store",
+            ),
+            registry,
+            tracer: None,
             opts,
-            verdicts: VerdictCache::new(),
             store,
             inflight: InflightTable::default(),
-            submitted: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
-            memo_hits: AtomicU64::new(0),
-            deduped: AtomicU64::new(0),
-            store_hits: AtomicU64::new(0),
-            store_misses: AtomicU64::new(0),
-            store_puts: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a [`Tracer`]: engines emit spans into it, span-derived
+    /// metrics land in this service's registry, and
+    /// [`VerifyService::verify_batch_reported`] can assemble per-job
+    /// provenance. Tracing never affects verdicts — only observes them.
+    pub fn traced(mut self, tracer: Tracer) -> Self {
+        tracer.bind_metrics(&self.registry);
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// This service's metrics registry (scrape with
+    /// [`Registry::dump_prometheus`] or [`Registry::dump_json`]).
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// The root trace handle jobs derive from (disabled when no tracer
+    /// is attached — all span emission compiles down to no-ops).
+    fn trace_handle(&self) -> TraceHandle {
+        self.tracer
+            .as_ref()
+            .map_or_else(TraceHandle::disabled, Tracer::handle)
     }
 
     /// A service with an explicit worker count (0 = all cores).
@@ -319,25 +392,29 @@ impl VerifyService {
         if let Some(plan) = self.opts.fault_plan {
             budget = budget.with_fault(plan.session(key.fault_salt()));
         }
-        budget
+        // The trace handle is observational only: `Budget::is_plain`
+        // ignores it, so traced and untraced runs take identical paths.
+        budget.with_trace(self.trace_handle().for_job(key.0))
     }
 
     /// Looks up `job` in the persistent store tier: the cone key first
     /// (maximal reuse — it survives edits outside every assertion
     /// cone), then the exact key. Returns `None` on miss *or* when no
     /// store is configured; counters move only when a store exists.
-    fn store_get(&self, job: &VerifyJob) -> Option<JobOutcome> {
+    fn store_get(&self, job: &VerifyJob, trace: &TraceHandle) -> Option<JobOutcome> {
         let store = self.store.as_ref()?;
+        let mut span = trace.span(probe::STORE_GET, SpanKind::StoreGet);
         let stored = persist::cone_outcome_key(job)
             .and_then(|k| store.get_outcome(k))
             .or_else(|| store.get_outcome(persist::exact_outcome_key(job)));
         match stored {
             Some(outcome) => {
-                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                span.set_code(1); // hit
+                self.store_hits.inc();
                 Some(persist::from_persisted(outcome))
             }
             None => {
-                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                self.store_misses.inc();
                 None
             }
         }
@@ -349,19 +426,21 @@ impl VerifyService {
     /// everything else deterministic goes under the exact key. Write
     /// errors are swallowed: persistence is an accelerator, and a full
     /// disk must degrade to cold verification, not failed verification.
-    fn store_put(&self, job: &VerifyJob, outcome: &JobOutcome) {
+    fn store_put(&self, job: &VerifyJob, outcome: &JobOutcome, trace: &TraceHandle) {
         let Some(store) = self.store.as_ref() else {
             return;
         };
         let Some(persisted) = persist::to_persisted(outcome) else {
             return;
         };
+        let mut span = trace.span(probe::STORE_PUT, SpanKind::StorePut);
         let key: StoreKey = persist::symbolic_shaped(outcome)
             .then(|| persist::cone_outcome_key(job))
             .flatten()
             .unwrap_or_else(|| persist::exact_outcome_key(job));
         if let Ok(Some(_)) = store.put_outcome(key, &persisted) {
-            self.store_puts.fetch_add(1, Ordering::Relaxed);
+            span.set_code(1); // newly written
+            self.store_puts.inc();
         }
     }
 
@@ -369,40 +448,50 @@ impl VerifyService {
     /// memoising), consults the persistent store tier, runs the engine
     /// under the per-job budget, and memoises/persists cacheable
     /// outcomes before releasing the claim.
-    fn execute(&self, job: &VerifyJob, key: JobKey) -> JobOutcome {
+    fn execute(&self, job: &VerifyJob, key: JobKey) -> (JobOutcome, AnswerTier) {
+        let trace = self.trace_handle().for_job(key.0);
         if !self.opts.memoize {
             // `memoize: false` means *always execute* — both cache
             // tiers are bypassed (cache-cold benchmarking relies on it).
-            self.executed.fetch_add(1, Ordering::Relaxed);
-            return run_job(job, &self.job_budget(key));
+            self.executed.inc();
+            return (self.run_job_traced(job, key, &trace), AnswerTier::Engine);
         }
         match self.inflight.claim(key, &self.verdicts) {
             Claim::Hit(outcome) => {
-                self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                outcome
+                self.memo_hits.inc();
+                (outcome, AnswerTier::Memo)
             }
             Claim::Claimed(lease) => {
                 // Second tier: the persistent store. A hit is promoted
                 // into the in-memory memo (waiters and repeat batches
                 // then hit tier one) and runs no engine.
-                if let Some(outcome) = self.store_get(job) {
+                if let Some(outcome) = self.store_get(job, &trace) {
                     self.verdicts.insert(key, outcome.clone());
                     drop(lease);
-                    return outcome;
+                    return (outcome, AnswerTier::Store);
                 }
-                self.executed.fetch_add(1, Ordering::Relaxed);
-                let outcome = run_job(job, &self.job_budget(key));
+                self.executed.inc();
+                let outcome = self.run_job_traced(job, key, &trace);
                 // Memoise before releasing the claim so woken waiters
                 // find the result; a non-cacheable outcome leaves the
                 // memo untouched and waiters execute for themselves.
                 if cacheable(&outcome) {
                     self.verdicts.insert(key, outcome.clone());
-                    self.store_put(job, &outcome);
+                    self.store_put(job, &outcome, &trace);
                 }
                 drop(lease);
-                outcome
+                (outcome, AnswerTier::Engine)
             }
         }
+    }
+
+    /// [`run_job`] under a `serve.job` span carrying the outcome's
+    /// [`EndReason`] — the root of the job's trace tree.
+    fn run_job_traced(&self, job: &VerifyJob, key: JobKey, trace: &TraceHandle) -> JobOutcome {
+        let mut span = trace.span(probe::SERVE_JOB, SpanKind::Job);
+        let outcome = run_job(job, &self.job_budget(key));
+        span.set_end(job_end(&outcome));
+        outcome
     }
 
     /// Verifies one job (a batch of one).
@@ -426,9 +515,52 @@ impl VerifyService {
     /// scheduling change wall time only. Jobs sharing a [`JobKey`] are
     /// executed once.
     pub fn verify_batch(&self, jobs: &[VerifyJob]) -> Vec<JobOutcome> {
-        self.submitted
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-        let mut results: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+        self.verify_batch_tiered(jobs)
+            .into_iter()
+            .map(|(outcome, _)| outcome)
+            .collect()
+    }
+
+    /// [`VerifyService::verify_batch`] plus per-job provenance: one
+    /// [`JobReport`] per submission slot recording which tier answered,
+    /// which ladder rungs ran (with engine, end reason, wall time, and
+    /// engine-tagged resource costs), and the engine wall time.
+    ///
+    /// Rung detail requires an attached tracer ([`VerifyService::traced`])
+    /// and drains its event buffer, so interleaving this call with other
+    /// traced batches on the same service attributes spans to whichever
+    /// call drains first. Without a tracer the reports still carry
+    /// correct tiers — the rung lists are simply empty.
+    pub fn verify_batch_reported(&self, jobs: &[VerifyJob]) -> (Vec<JobOutcome>, Vec<JobReport>) {
+        let (outcomes, reports, _) = self.verify_batch_traced(jobs);
+        (outcomes, reports)
+    }
+
+    /// [`VerifyService::verify_batch_reported`] plus the raw trace
+    /// events the batch emitted, for export (e.g. to
+    /// [`asv_trace::chrome_trace_json`]). Empty without a tracer.
+    pub fn verify_batch_traced(
+        &self,
+        jobs: &[VerifyJob],
+    ) -> (Vec<JobOutcome>, Vec<JobReport>, Vec<asv_trace::Event>) {
+        let keys: Vec<JobKey> = jobs.iter().map(VerifyJob::key).collect();
+        let tiered = self.verify_batch_tiered(jobs);
+        let events = self.tracer.as_ref().map(Tracer::drain).unwrap_or_default();
+        let tiers: Vec<AnswerTier> = tiered.iter().map(|(_, tier)| *tier).collect();
+        let reports = assemble_reports(&keys, &tiers, &events);
+        (
+            tiered.into_iter().map(|(outcome, _)| outcome).collect(),
+            reports,
+            events,
+        )
+    }
+
+    /// The batch pipeline, returning each slot's outcome and the tier
+    /// that answered it.
+    fn verify_batch_tiered(&self, jobs: &[VerifyJob]) -> Vec<(JobOutcome, AnswerTier)> {
+        self.submitted.add(jobs.len() as u64);
+        let root_trace = self.trace_handle();
+        let mut results: Vec<Option<(JobOutcome, AnswerTier)>> = vec![None; jobs.len()];
         // In-batch dedup: first submission index per key runs the job.
         let mut first_of: HashMap<JobKey, usize> = HashMap::with_capacity(jobs.len());
         let mut owners: Vec<usize> = Vec::with_capacity(jobs.len());
@@ -444,8 +576,14 @@ impl VerifyService {
             }
             if self.opts.memoize {
                 if let Some(hit) = self.verdicts.get(keys[i]) {
-                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                    results[i] = Some(hit);
+                    self.memo_hits.inc();
+                    root_trace.for_job(keys[i].0).instant(
+                        probe::SERVE_MEMO,
+                        SpanKind::MemoLookup,
+                        1, // hit
+                        asv_trace::Cost::default(),
+                    );
+                    results[i] = Some((hit, AnswerTier::Memo));
                     continue;
                 }
             }
@@ -455,7 +593,8 @@ impl VerifyService {
         if !pending.is_empty() {
             let workers = self.workers().min(pending.len()).max(1);
             let cursor = AtomicUsize::new(0);
-            let mut per_worker: Vec<Vec<(usize, JobOutcome)>> = Vec::with_capacity(workers);
+            let mut per_worker: Vec<Vec<(usize, (JobOutcome, AnswerTier))>> =
+                Vec::with_capacity(workers);
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for _ in 0..workers {
@@ -488,12 +627,13 @@ impl VerifyService {
         for i in 0..jobs.len() {
             if results[i].is_none() {
                 let owner = owners[i];
-                self.deduped.fetch_add(1, Ordering::Relaxed);
-                results[i] = Some(
-                    results[owner]
-                        .clone()
-                        .expect("owner job resolved before its duplicates"),
-                );
+                self.deduped.inc();
+                let outcome = results[owner]
+                    .as_ref()
+                    .expect("owner job resolved before its duplicates")
+                    .0
+                    .clone();
+                results[i] = Some((outcome, AnswerTier::Deduped));
             }
         }
         results
@@ -505,13 +645,13 @@ impl VerifyService {
     /// Cumulative counters.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            executed: self.executed.load(Ordering::Relaxed),
-            memo_hits: self.memo_hits.load(Ordering::Relaxed),
-            deduped: self.deduped.load(Ordering::Relaxed),
-            store_hits: self.store_hits.load(Ordering::Relaxed),
-            store_misses: self.store_misses.load(Ordering::Relaxed),
-            store_puts: self.store_puts.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            executed: self.executed.get(),
+            memo_hits: self.memo_hits.get(),
+            deduped: self.deduped.get(),
+            store_hits: self.store_hits.get(),
+            store_misses: self.store_misses.get(),
+            store_puts: self.store_puts.get(),
         }
     }
 
@@ -755,6 +895,39 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(VerifyService::default().verify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn traced_batches_report_provenance_and_identical_verdicts() {
+        let jobs = batch(8, Engine::Auto);
+        let untraced = VerifyService::default().verify_batch(&jobs);
+        let service = VerifyService::default().traced(asv_trace::Tracer::new());
+        let (out, reports) = service.verify_batch_reported(&jobs);
+        assert_eq!(out, untraced, "tracing must never change verdicts");
+        assert_eq!(reports.len(), jobs.len());
+        // Cold batch: every unique job ran an engine and has rung detail.
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.key, jobs[i].key());
+            match r.tier {
+                crate::report::AnswerTier::Engine => {
+                    assert!(!r.rungs.is_empty(), "slot {i}: engine run without rungs");
+                    assert!(r.wall_ns > 0, "slot {i}: engine run without wall time");
+                }
+                crate::report::AnswerTier::Deduped => assert!(r.rungs.is_empty()),
+                other => panic!("slot {i}: unexpected tier {other:?} on a cold batch"),
+            }
+        }
+        // A warm repeat answers from the memo — no rungs anywhere.
+        let (_, warm) = service.verify_batch_reported(&jobs);
+        assert!(warm.iter().all(|r| matches!(
+            r.tier,
+            crate::report::AnswerTier::Memo | crate::report::AnswerTier::Deduped
+        )));
+        assert!(warm.iter().all(|r| r.rungs.is_empty()));
+        // Span-derived metrics landed in the service registry.
+        let dump = service.metrics().dump_prometheus();
+        assert!(dump.contains("asv_jobs_executed_total"));
+        assert!(dump.contains("asv_span_job_total"));
     }
 
     /// A scratch store directory, removed on drop.

@@ -92,6 +92,21 @@ impl CompileCache {
         design: &Design,
         opt: OptLevel,
     ) -> std::sync::Arc<CompiledDesign> {
+        self.get_or_compile_traced(design, opt, &asv_trace::TraceHandle::disabled())
+    }
+
+    /// [`CompileCache::get_or_compile_opt`] with span emission: a cache
+    /// hit records an instant `sim.compile` event (code 0), a miss
+    /// records the full compile span (code 1, with a nested `sim.opt`
+    /// span at `OptLevel::Full`). Every job thus gets its compile cost
+    /// attributed, hit or miss; the compiled artifact is identical
+    /// either way.
+    pub fn get_or_compile_traced(
+        &self,
+        design: &Design,
+        opt: OptLevel,
+        trace: &asv_trace::TraceHandle,
+    ) -> std::sync::Arc<CompiledDesign> {
         let key = design_hash(design);
         let shard = &self.shards[(key as usize) & (SHARDS - 1)];
         {
@@ -107,13 +122,19 @@ impl CompileCache {
                 let cd = std::sync::Arc::clone(&entry.2);
                 s.entries.push(entry); // most recently used last
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                trace.instant(
+                    asv_trace::probe::SIM_COMPILE,
+                    asv_trace::SpanKind::Compile,
+                    0,
+                    asv_trace::Cost::default(),
+                );
                 return cd;
             }
         }
         // Compile outside the shard lock: a slow compile of one design
         // must not block lookups of the other designs in its shard.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let cd = std::sync::Arc::new(CompiledDesign::compile_opt(design, opt));
+        let cd = std::sync::Arc::new(CompiledDesign::compile_traced(design, opt, trace));
         let mut s = shard
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::fault::FaultSession;
+use asv_trace::TraceHandle;
 
 /// A shared poison flag: once [`CancelToken::cancel`] is called, every
 /// clone observes [`CancelToken::is_cancelled`] `== true` forever.
@@ -246,6 +247,7 @@ pub struct Budget {
     max_fuzz_rounds: Option<u64>,
     max_aig_nodes: Option<u64>,
     fault: FaultSession,
+    trace: TraceHandle,
 }
 
 impl Budget {
@@ -299,6 +301,30 @@ impl Budget {
     pub fn with_fault(mut self, fault: FaultSession) -> Self {
         self.fault = fault;
         self
+    }
+
+    /// Attaches a tracing handle: engines emit spans through
+    /// [`Budget::trace`] wherever this budget travels. Purely
+    /// observational — the handle never influences [`Budget::check`],
+    /// [`Budget::is_plain`] or any engine decision, so verdicts are
+    /// bit-identical with tracing on or off.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The attached tracing handle (disabled by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// A sibling budget with tracing stripped. The portfolio debug
+    /// cross-check re-runs `Engine::Auto` on the same budget; without
+    /// stripping, the re-run would duplicate every rung span of the job.
+    pub fn without_trace(&self) -> Self {
+        let mut b = self.clone();
+        b.trace = TraceHandle::disabled();
+        b
     }
 
     /// A budget wrapping just a token (the pre-budget `*_cancellable`
@@ -360,6 +386,11 @@ impl Budget {
     /// cross-check (re-running sequential Auto after a portfolio
     /// verdict) only fires for plain budgets, since a limited or faulty
     /// run is not comparable to an unbounded one.
+    ///
+    /// A [`TraceHandle`] deliberately does **not** count: tracing is
+    /// observational, and letting it flip `is_plain` would change
+    /// ladder-backoff penalties — verdicts would differ between traced
+    /// and untraced runs.
     pub fn is_plain(&self) -> bool {
         self.cancel.is_none()
             && self.deadline.is_none()
@@ -489,6 +520,24 @@ mod tests {
         assert!(b.check_fuzz_rounds(u64::MAX).is_ok());
         assert!(b.check_aig_nodes(u64::MAX).is_ok());
         assert!(b.probe("test.unbounded").is_ok());
+    }
+
+    #[test]
+    fn trace_handle_keeps_the_budget_plain() {
+        let tracer = asv_trace::Tracer::new();
+        let b = Budget::unbounded().with_trace(tracer.handle());
+        assert!(
+            b.is_plain(),
+            "tracing is observational; it must not affect ladder semantics"
+        );
+        assert!(b.trace().is_enabled());
+        assert!(!b.without_trace().trace().is_enabled());
+        // Limits and fault sessions survive the strip.
+        let capped = Budget::unbounded()
+            .with_max_conflicts(5)
+            .with_trace(tracer.handle())
+            .without_trace();
+        assert!(capped.check_conflicts(5).is_err());
     }
 
     #[test]

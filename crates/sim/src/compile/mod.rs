@@ -191,6 +191,26 @@ impl CompiledDesign {
     /// forms are observationally identical (traces, errors, coverage,
     /// verdicts) — the `differential_opt` suite is the enforcement.
     pub fn compile_opt(design: &Design, opt: OptLevel) -> Self {
+        Self::compile_traced(design, opt, &asv_trace::NoTrace)
+    }
+
+    /// [`CompiledDesign::compile_opt`] emitting `sim.compile` /
+    /// `sim.opt` spans into `sink`. Monomorphized per sink: with
+    /// [`NoTrace`](asv_trace::NoTrace) (the `compile_opt` path) the
+    /// instrumentation compiles to nothing, and the produced bytecode is
+    /// identical whichever sink is passed — tracing observes lowering,
+    /// it never participates in it.
+    pub fn compile_traced<S: asv_trace::TraceSink>(
+        design: &Design,
+        opt: OptLevel,
+        sink: &S,
+    ) -> Self {
+        let mut span = sink.span(asv_trace::probe::SIM_COMPILE, asv_trace::SpanKind::Compile);
+        span.set_code(1); // 1 = actually compiled (cache hits emit 0)
+        Self::compile_inner(design, opt, sink)
+    }
+
+    fn compile_inner<S: asv_trace::TraceSink>(design: &Design, opt: OptLevel, sink: &S) -> Self {
         let names: Vec<String> = design.signals.keys().cloned().collect();
         let index: HashMap<String, SigId> = names
             .iter()
@@ -215,7 +235,11 @@ impl CompiledDesign {
             OptLevel::None => (raw.comb, raw.seq, raw_order, raw_lev),
             OptLevel::Full => {
                 let mut oir = ir;
-                asv_ir::opt::optimize(&mut oir, raw_lev);
+                {
+                    let _opt_span =
+                        sink.span(asv_trace::probe::SIM_OPT, asv_trace::SpanKind::OptPass);
+                    asv_ir::opt::optimize(&mut oir, raw_lev);
+                }
                 let ob = lower::emit_design(&oir, lower::EmitMode::Optimized);
                 let (o_order, o_lev) = levelize(&ob.comb, names.len());
                 // Optimization only removes dependencies, so a

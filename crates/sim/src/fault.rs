@@ -11,6 +11,11 @@
 //! same `(seed, plan)` reproduces the same faults regardless of worker
 //! count, scheduling, or sibling jobs in the batch.
 //!
+//! Probe names are the canonical constants in [`asv_trace::probe`] —
+//! the same identifiers name the trace spans around each site, so a
+//! chaos failure at `sat.depth` and a trace timeline entry for
+//! `sat.depth` are, by construction, the same location.
+//!
 //! Probes compile to plain budget polls unless the crate is built with
 //! the `fault-inject` feature, so release builds carry no injection
 //! logic; the types themselves always exist so higher layers can hold a
@@ -310,8 +315,12 @@ mod tests {
         };
         let a = plan.session(9);
         let b = plan.session(9);
-        let draws_a: Vec<_> = (0..100).map(|_| a.draw("sat.depth")).collect();
-        let draws_b: Vec<_> = (0..100).map(|_| b.draw("sat.depth")).collect();
+        let draws_a: Vec<_> = (0..100)
+            .map(|_| a.draw(asv_trace::probe::SAT_DEPTH))
+            .collect();
+        let draws_b: Vec<_> = (0..100)
+            .map(|_| b.draw(asv_trace::probe::SAT_DEPTH))
+            .collect();
         assert_eq!(draws_a, draws_b);
         assert!(draws_a.iter().any(Option::is_some), "rate 1/2 must fire");
         assert!(
@@ -332,18 +341,19 @@ mod tests {
             rate_per_1024: 512,
             ..FaultPlan::new(0xBEEF)
         };
+        use asv_trace::probe::{FUZZ_ROUND, SAT_DEPTH};
         let s = plan.session(3);
         // Interleaving two probe streams must not perturb either one.
         let mut interleaved_sat = Vec::new();
         let mut interleaved_fuzz = Vec::new();
         for _ in 0..50 {
-            interleaved_sat.push(s.draw("sat.depth"));
-            interleaved_fuzz.push(s.draw("fuzz.round"));
+            interleaved_sat.push(s.draw(SAT_DEPTH));
+            interleaved_fuzz.push(s.draw(FUZZ_ROUND));
         }
         let t = plan.session(3);
-        let solo_sat: Vec<_> = (0..50).map(|_| t.draw("sat.depth")).collect();
+        let solo_sat: Vec<_> = (0..50).map(|_| t.draw(SAT_DEPTH)).collect();
         let u = plan.session(3);
-        let solo_fuzz: Vec<_> = (0..50).map(|_| u.draw("fuzz.round")).collect();
+        let solo_fuzz: Vec<_> = (0..50).map(|_| u.draw(FUZZ_ROUND)).collect();
         assert_eq!(interleaved_sat, solo_sat);
         assert_eq!(interleaved_fuzz, solo_fuzz);
     }

@@ -82,6 +82,7 @@ use asv_sim::cover::CovMap;
 use asv_sim::exec::{SimError, Simulator};
 use asv_sim::stimulus::{Stimulus, StimulusGen};
 use asv_sim::trace::Trace;
+use asv_trace::{probe, Cost, EndReason, EngineTag, SpanKind, TraceSink};
 use asv_verilog::sema::Design;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -395,6 +396,69 @@ fn penalty_step(budget: &Budget) -> u32 {
     u32::from(!budget.is_plain())
 }
 
+/// [`EndReason`] of a finished verification attempt, for rung spans.
+fn verdict_end(res: &Result<Verdict, VerifyError>) -> EndReason {
+    match res {
+        Ok(Verdict::Holds { .. }) => EndReason::Holds,
+        Ok(Verdict::Fails(_)) => EndReason::Fails,
+        Ok(Verdict::Inconclusive { .. }) => EndReason::Exhausted,
+        Err(VerifyError::Cancelled) => EndReason::Cancelled,
+        Err(VerifyError::Exhausted(_)) => EndReason::Exhausted,
+        Err(_) => EndReason::Unknown,
+    }
+}
+
+/// [`EndReason`] of a classified ladder rung.
+fn rung_end(outcome: &RungOutcome) -> EndReason {
+    match outcome {
+        RungOutcome::Verdict(Verdict::Holds { .. }) => EndReason::Holds,
+        RungOutcome::Verdict(Verdict::Fails(_)) => EndReason::Fails,
+        RungOutcome::Verdict(Verdict::Inconclusive { .. }) => EndReason::Exhausted,
+        RungOutcome::Hard(VerifyError::Cancelled) => EndReason::Cancelled,
+        RungOutcome::Hard(_) => EndReason::Unknown,
+        RungOutcome::Exhausted(t) if t.reason.starts_with("panicked") => EndReason::Panicked,
+        RungOutcome::Exhausted(_) => EndReason::Exhausted,
+        RungOutcome::Unsupported(_) => EndReason::Unsupported,
+    }
+}
+
+/// [`EndReason`] of the portfolio's symbolic racer (the un-classified
+/// [`Verifier::check_symbolic`] result shape).
+fn sym_racer_end(res: &Result<Result<Verdict, VerifyError>, RungFailure>) -> EndReason {
+    match res {
+        Ok(inner) => verdict_end(inner),
+        Err(fall) if fall.unsupported => EndReason::Unsupported,
+        Err(fall) if fall.reason.starts_with("panicked") => EndReason::Panicked,
+        Err(_) => EndReason::Exhausted,
+    }
+}
+
+/// Wraps one ladder rung in its trace span.
+///
+/// The body runs under an engine-tagged copy of `budget`, so every child
+/// span it emits (SAT solves, fuzz rounds, enumeration sweeps) carries
+/// the rung's [`EngineTag`] — that tag, not time containment, is how
+/// per-rung resource costs are attributed when rungs overlap (portfolio
+/// racers run concurrently). The span itself records the rung's
+/// [`EndReason`] on every exit path via its drop guard. With tracing
+/// disabled the tagged budget is byte-identical in behaviour and the
+/// span is inert, so verdicts cannot depend on instrumentation.
+fn traced_rung<R>(
+    name: &'static str,
+    tag: EngineTag,
+    budget: &Budget,
+    body: impl FnOnce(&Budget) -> R,
+    end: impl FnOnce(&R) -> EndReason,
+) -> R {
+    let sink = budget.trace().clone();
+    let tagged = budget.clone().with_trace(sink.with_engine(tag));
+    let mut span = sink.span(name, SpanKind::Rung);
+    span.set_engine(tag);
+    let out = body(&tagged);
+    span.set_end(end(&out));
+    out
+}
+
 /// Which verification engine [`Verifier::check`] runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Engine {
@@ -466,6 +530,16 @@ impl Default for Verifier {
 /// each distinct design exactly once per process.
 fn compiled_for(design: &Design, opt: OptLevel) -> Arc<CompiledDesign> {
     asv_sim::cache::global().get_or_compile_opt(design, opt)
+}
+
+/// [`compiled_for`] with compile-cost attribution: hits and misses both
+/// land a `sim.compile` event on the caller's trace handle.
+fn compiled_for_traced(
+    design: &Design,
+    opt: OptLevel,
+    trace: &asv_trace::TraceHandle,
+) -> Arc<CompiledDesign> {
+    asv_sim::cache::global().get_or_compile_traced(design, opt, trace)
 }
 
 /// Exact equality, except the one documented tolerance of the portfolio
@@ -557,20 +631,30 @@ impl Verifier {
         if design.module.assertions().count() == 0 {
             return Err(VerifyError::NoAssertions);
         }
-        let compiled = compiled_for(design, self.opt);
+        let compiled = compiled_for_traced(design, self.opt, budget.trace());
         // State index == trace column: the checker can be built from the
         // compiled design's interner before any trace exists.
         let col = |name: &str| compiled.sig(name).map(|s| s.idx());
         let checker = CompiledChecker::new(&design.module, col)?;
         match self.engine {
             Engine::Simulation => self.check_simulation(design, &compiled, &checker, budget),
-            Engine::Fuzz => {
-                self.check_fuzz(design, &compiled, &checker, budget, false, self.random_runs)
-            }
-            Engine::Symbolic => match self.check_symbolic(&compiled, &checker, budget) {
-                Ok(verdict) => verdict,
-                Err(fall) => Err(fall.into_error()),
-            },
+            Engine::Fuzz => traced_rung(
+                probe::RUNG_FUZZ,
+                EngineTag::Fuzz,
+                budget,
+                |b| self.check_fuzz(design, &compiled, &checker, b, false, self.random_runs),
+                verdict_end,
+            ),
+            Engine::Symbolic => traced_rung(
+                probe::RUNG_SYMBOLIC,
+                EngineTag::Symbolic,
+                budget,
+                |b| match self.check_symbolic(&compiled, &checker, b) {
+                    Ok(verdict) => verdict,
+                    Err(fall) => Err(fall.into_error()),
+                },
+                verdict_end,
+            ),
             Engine::Auto => self.check_auto(design, &compiled, &checker, budget),
             Engine::Portfolio => {
                 let res = self.check_portfolio(design, &compiled, &checker, budget);
@@ -583,7 +667,11 @@ impl Verifier {
                 // diverge by design.
                 #[cfg(debug_assertions)]
                 if budget.is_plain() {
-                    let auto = self.check_auto(design, &compiled, &checker, budget);
+                    // Re-derive without the trace handle: the cross-check
+                    // is an implementation detail and must not double
+                    // every rung span in debug builds.
+                    let untraced = budget.without_trace();
+                    let auto = self.check_auto(design, &compiled, &checker, &untraced);
                     debug_assert!(
                         portfolio_matches_auto(&res, &auto),
                         "portfolio verdict diverged from Engine::Auto: {res:?} vs {auto:?}"
@@ -608,7 +696,13 @@ impl Verifier {
     ) -> Result<Verdict, VerifyError> {
         let mut tried: Vec<TriedEngine> = Vec::new();
         let mut penalties = 0u32;
-        match self.symbolic_rung(compiled, checker, budget) {
+        match traced_rung(
+            probe::RUNG_SYMBOLIC,
+            EngineTag::Symbolic,
+            budget,
+            |b| self.symbolic_rung(compiled, checker, b),
+            rung_end,
+        ) {
             RungOutcome::Verdict(v) => return Ok(v),
             RungOutcome::Hard(e) => return Err(e),
             RungOutcome::Exhausted(t) => {
@@ -670,9 +764,17 @@ impl Verifier {
     ) -> Result<Verdict, VerifyError> {
         let gen = StimulusGen::new(design);
         if let Some(all) = gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
-            match run_rung(Engine::Simulation, budget, || {
-                self.check_enumerated(design, compiled, checker, all, budget)
-            }) {
+            match traced_rung(
+                probe::RUNG_ENUM,
+                EngineTag::Enumeration,
+                budget,
+                |b| {
+                    run_rung(Engine::Simulation, b, || {
+                        self.check_enumerated(design, compiled, checker, all, b)
+                    })
+                },
+                rung_end,
+            ) {
                 RungOutcome::Verdict(v) => return Ok(v),
                 RungOutcome::Hard(e) => return Err(e),
                 RungOutcome::Exhausted(t) => {
@@ -683,9 +785,17 @@ impl Verifier {
             }
         }
         let runs = backoff(self.random_runs, penalties);
-        match run_rung(Engine::Fuzz, budget, || {
-            self.check_fuzz(design, compiled, checker, budget, false, runs)
-        }) {
+        match traced_rung(
+            probe::RUNG_FUZZ,
+            EngineTag::Fuzz,
+            budget,
+            |b| {
+                run_rung(Engine::Fuzz, b, || {
+                    self.check_fuzz(design, compiled, checker, b, false, runs)
+                })
+            },
+            rung_end,
+        ) {
             RungOutcome::Verdict(v) => return Ok(v),
             RungOutcome::Hard(e) => return Err(e),
             RungOutcome::Exhausted(t) => {
@@ -698,9 +808,17 @@ impl Verifier {
         // fuzzer (no corpus, no coverage maps), so it survives failure
         // modes that take the fuzzer down.
         let runs = backoff(self.random_runs, penalties);
-        match run_rung(Engine::Simulation, budget, || {
-            self.check_sampled(design, compiled, checker, budget, runs)
-        }) {
+        match traced_rung(
+            probe::RUNG_SAMPLE,
+            EngineTag::Sampling,
+            budget,
+            |b| {
+                run_rung(Engine::Simulation, b, || {
+                    self.check_sampled(design, compiled, checker, b, runs)
+                })
+            },
+            rung_end,
+        ) {
             RungOutcome::Verdict(v) => Ok(v),
             RungOutcome::Hard(e) => Err(e),
             RungOutcome::Exhausted(t) | RungOutcome::Unsupported(t) => {
@@ -806,8 +924,20 @@ impl Verifier {
     ) -> Result<Verdict, VerifyError> {
         let gen = StimulusGen::new(design);
         match gen.exhaustive(self.depth, self.reset_cycles, self.exhaustive_limit) {
-            Some(all) => self.check_enumerated(design, compiled, checker, all, budget),
-            None => self.check_sampled(design, compiled, checker, budget, self.random_runs),
+            Some(all) => traced_rung(
+                probe::RUNG_ENUM,
+                EngineTag::Enumeration,
+                budget,
+                |b| self.check_enumerated(design, compiled, checker, all, b),
+                verdict_end,
+            ),
+            None => traced_rung(
+                probe::RUNG_SAMPLE,
+                EngineTag::Sampling,
+                budget,
+                |b| self.check_sampled(design, compiled, checker, b, self.random_runs),
+                verdict_end,
+            ),
         }
     }
 
@@ -825,7 +955,9 @@ impl Verifier {
         // The one sequential point of the sampling rung — fault probes
         // must not run inside the worker threads (concurrent draws would
         // make per-probe hit counters order-dependent).
-        budget.probe("sva.sample")?;
+        budget.probe(probe::SVA_SAMPLE)?;
+        let sink = budget.trace().clone();
+        let mut span = sink.span(probe::SVA_SAMPLE, SpanKind::Sampling);
         let gen = StimulusGen::new(design);
         // Per-stimulus RNG streams (SplitMix64-expanded seeds) are
         // decorrelated but can still collide on narrow inputs;
@@ -844,6 +976,10 @@ impl Verifier {
             .filter(|s| seen.insert(s.clone()))
             .collect();
         let count = stimuli.len();
+        span.add_cost(Cost {
+            stimuli: count as u64,
+            ..Cost::default()
+        });
         let fired = match check_stimuli_parallel(compiled, checker, stimuli, budget)? {
             Ok(fired) => fired,
             Err(cex) => return Ok(Verdict::Fails(cex)),
@@ -861,15 +997,23 @@ impl Verifier {
         budget: &Budget,
     ) -> Result<Verdict, VerifyError> {
         let count = all.len();
+        let sink = budget.trace().clone();
+        let mut span = sink.span(probe::SVA_ENUM, SpanKind::Enumeration);
         let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         for stim in all {
             // Poll *before* each stimulus, so a poisoned token or a blown
             // deadline stops the rung without starting more work.
-            budget.probe("sva.enum")?;
+            budget.probe(probe::SVA_ENUM)?;
             match run_stimulus(compiled, checker, stim)? {
                 StimulusOutcome::Fails(cex) => return Ok(Verdict::Fails(cex)),
                 StimulusOutcome::Passes(names) => fired.extend(names),
             }
+            // Per-stimulus accrual keeps the count honest when a failure
+            // or budget stop cuts the sweep short.
+            span.add_cost(Cost {
+                stimuli: 1,
+                ..Cost::default()
+            });
         }
         Ok(self.holds(design, true, count, fired))
     }
@@ -995,16 +1139,24 @@ impl Verifier {
                 // not strand the decision loop or tear the scope down:
                 // it is exactly a rung failure — the concrete racer
                 // decides.
-                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.check_symbolic(compiled, checker, sym_budget)
-                }))
-                .unwrap_or_else(|payload| {
-                    Err(RungFailure {
-                        reason: format!("panicked: {}", panic_message(payload.as_ref())),
-                        exhausted: None,
-                        unsupported: false,
-                    })
-                });
+                let r = traced_rung(
+                    probe::RUNG_SYMBOLIC,
+                    EngineTag::Symbolic,
+                    sym_budget,
+                    |b| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.check_symbolic(compiled, checker, b)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(RungFailure {
+                                reason: format!("panicked: {}", panic_message(payload.as_ref())),
+                                exhausted: None,
+                                unsupported: false,
+                            })
+                        })
+                    },
+                    sym_racer_end,
+                );
                 let _ = tx_sym.send(Msg::Sym(r));
             });
             let conc_budget = &conc_budget;
