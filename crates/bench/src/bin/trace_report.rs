@@ -8,7 +8,9 @@
 //!   rung counts from the metrics registry),
 //! * the Prometheus text exposition of the same registry,
 //! * a Chrome-tracing JSON export (`chrome://tracing` /
-//!   <https://ui.perfetto.dev>) written to `target/trace_report.json`.
+//!   <https://ui.perfetto.dev>) and a folded-stack profile (flamegraph
+//!   input, inclusive/exclusive spans) written to `--out <dir>`
+//!   (default `target/`), with a top-10 hot-span table on stdout.
 //!
 //! The run is also a differential check: the traced verdict vector must
 //! be bit-identical to an untraced service's on the same batch, and a
@@ -21,7 +23,7 @@ use asv_datagen::corpus::{Archetype, CorpusGen};
 use asv_mutation::inject::{apply, enumerate};
 use asv_serve::{AnswerTier, JobReport, ServeOptions, VerifyJob, VerifyService};
 use asv_sva::bmc::{Engine, Verifier};
-use asv_trace::{chrome_trace_json, Tracer};
+use asv_trace::{chrome_trace_json, Profile, Tracer};
 use std::sync::Arc;
 
 /// 64 jobs over golden + bug-injected designs of every archetype, mixing
@@ -99,7 +101,21 @@ fn print_timeline(reports: &[JobReport]) {
     }
 }
 
+/// Parses `--out <dir>` (default `target`).
+fn out_dir() -> std::path::PathBuf {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            if let Some(dir) = args.next() {
+                return std::path::PathBuf::from(dir);
+            }
+        }
+    }
+    std::path::PathBuf::from("target")
+}
+
 fn main() {
+    let out = out_dir();
     let jobs = mixed_batch();
 
     // Baseline leg: an untraced service on the same cold batch.
@@ -155,14 +171,30 @@ fn main() {
         "Chrome trace must be a JSON object with a traceEvents array"
     );
     assert!(chrome.contains("\"ph\""), "Chrome events carry a phase");
-    let out = std::path::Path::new("target").join("trace_report.json");
-    if std::fs::write(&out, &chrome).is_ok() {
+    let _ = std::fs::create_dir_all(&out);
+    let chrome_path = out.join("trace_report.json");
+    if std::fs::write(&chrome_path, &chrome).is_ok() {
         println!(
             "\nwrote {} trace events to {} (load in chrome://tracing or ui.perfetto.dev)",
             events.len(),
-            out.display()
+            chrome_path.display()
         );
     }
+
+    // Span-derived profile: folded stacks (flamegraph input) + hot spans.
+    let profile = Profile::from_events(&events);
+    let folded = profile.folded();
+    assert!(!folded.is_empty(), "cold traced batch must yield frames");
+    let folded_path = out.join("trace_report.folded");
+    if std::fs::write(&folded_path, &folded).is_ok() {
+        println!(
+            "wrote {} profile frames to {} (feed to flamegraph.pl / inferno)",
+            profile.frames().count(),
+            folded_path.display()
+        );
+    }
+    println!();
+    print!("{}", profile.table(10));
 
     // Prometheus exposition of the same registry the table read.
     let dump = service.metrics().dump_prometheus();

@@ -18,6 +18,13 @@
 //! | `ablation_features` | localisation-feature ablation |
 //!
 //! Scale is controlled by `ASV_SCALE` ∈ {`quick`, `default`, `paper`}.
+//!
+//! Beyond the paper artefacts, [`perf`] is the performance observatory:
+//! a deterministic workload matrix emitting `BENCH_<label>.json`
+//! reports (`perf_matrix`) that a regression gate compares with exact
+//! counter equality (`perf_gate`).
+
+pub mod perf;
 
 use assertsolver_core::prelude::*;
 use asv_datagen::pipeline::{run as run_pipeline, PipelineConfig};

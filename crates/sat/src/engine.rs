@@ -788,9 +788,13 @@ impl<'a> Engine<'a> {
                     let mut solve = trace.span(probe::SAT_SOLVE, SpanKind::SatSolve);
                     solve.set_code(len as u64);
                     let conflicts_before = self.solver.conflicts;
+                    let decisions_before = self.solver.decisions;
+                    let propagations_before = self.solver.propagations;
                     let res = self.solver.solve(&[q]);
                     solve.add_cost(Cost {
                         conflicts: self.solver.conflicts - conflicts_before,
+                        decisions: self.solver.decisions - decisions_before,
+                        propagations: self.solver.propagations - propagations_before,
                         ..Cost::default()
                     });
                     drop(solve);
@@ -843,9 +847,13 @@ impl<'a> Engine<'a> {
                     let q = self.enc.lit(&self.g, &mut self.solver, *lit);
                     let mut solve = trace.span(probe::SAT_VACUITY, SpanKind::SatSolve);
                     let conflicts_before = self.solver.conflicts;
+                    let decisions_before = self.solver.decisions;
+                    let propagations_before = self.solver.propagations;
                     let res = self.solver.solve(&[q]);
                     solve.add_cost(Cost {
                         conflicts: self.solver.conflicts - conflicts_before,
+                        decisions: self.solver.decisions - decisions_before,
+                        propagations: self.solver.propagations - propagations_before,
                         ..Cost::default()
                     });
                     drop(solve);

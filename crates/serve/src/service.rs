@@ -586,6 +586,15 @@ impl VerifyService {
                     results[i] = Some((hit, AnswerTier::Memo));
                     continue;
                 }
+                // The miss is observable too: deterministic cost
+                // accounting (asv_trace::cost) reads hit *and* miss
+                // counts off the event stream alone.
+                root_trace.for_job(keys[i].0).instant(
+                    probe::SERVE_MEMO,
+                    SpanKind::MemoLookup,
+                    0, // miss
+                    asv_trace::Cost::default(),
+                );
             }
             pending.push(i);
         }

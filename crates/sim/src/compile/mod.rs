@@ -457,6 +457,7 @@ impl CompiledDesign {
         match step {
             CombStep::Assign { lhs, rhs } => {
                 let v = run(rhs, &StateEnv { state }, stack)?;
+                cov.ops(rhs.ops.len() as u64);
                 self.write_lvalue(lhs, v, state, stack)?;
             }
             CombStep::Block(body) => {
@@ -544,7 +545,9 @@ impl CompiledDesign {
                 else_branch,
                 site,
             } => {
-                if run(cond, &StateEnv { state }, stack)?.is_truthy() {
+                let taken = run(cond, &StateEnv { state }, stack)?.is_truthy();
+                cov.ops(cond.ops.len() as u64);
+                if taken {
                     cov.branch(*site);
                     self.exec_stmt(then_branch, state, stack, nba, cov)
                 } else {
@@ -563,9 +566,11 @@ impl CompiledDesign {
                 site,
             } => {
                 let sv = run(scrutinee, &StateEnv { state }, stack)?;
+                cov.ops(scrutinee.ops.len() as u64);
                 for (i, arm) in arms.iter().enumerate() {
                     for label in &arm.labels {
                         let lv = run(label, &StateEnv { state }, stack)?;
+                        cov.ops(label.ops.len() as u64);
                         if lv.bits() == sv.bits() {
                             cov.branch(*site + i as u32);
                             return self.exec_stmt(&arm.body, state, stack, nba, cov);
@@ -585,6 +590,7 @@ impl CompiledDesign {
                 nonblocking,
             } => {
                 let v = run(rhs, &StateEnv { state }, stack)?;
+                cov.ops(rhs.ops.len() as u64);
                 if *nonblocking {
                     nba.push((lhs, v));
                 } else {

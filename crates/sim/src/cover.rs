@@ -31,6 +31,17 @@ use std::fmt;
 pub trait CovSink {
     /// Marks branch site `site` as executed.
     fn branch(&mut self, site: u32);
+
+    /// Credits `n` executed bytecode operations (called once per
+    /// dispatched statement-expression program with that program's op
+    /// count). Default no-op — and deliberately **not** implemented by
+    /// [`CovMap`]: coverage maps must stay bit-identical across opt
+    /// levels while optimized programs are shorter, so op counts never
+    /// land in a coverage map. [`OpsTally`] is the counting sink.
+    #[inline(always)]
+    fn ops(&mut self, n: u64) {
+        let _ = n;
+    }
 }
 
 /// The disabled sink: every probe is an inlined no-op, so instrumented
@@ -41,6 +52,31 @@ pub struct NoCov;
 impl CovSink for NoCov {
     #[inline(always)]
     fn branch(&mut self, _site: u32) {}
+}
+
+/// Wraps any sink, additionally tallying dispatched bytecode ops into a
+/// borrowed counter. This is how `Simulator` counts work without
+/// perturbing the wrapped sink's coverage map (see [`CovSink::ops`]);
+/// the count is a pure function of bytecode and stimulus, so it is
+/// deterministic across thread counts and reruns.
+#[derive(Debug)]
+pub struct OpsTally<'a, C: CovSink> {
+    /// The sink branch probes are forwarded to.
+    pub inner: &'a mut C,
+    /// Accumulates executed op counts (saturating).
+    pub ops: &'a mut u64,
+}
+
+impl<C: CovSink> CovSink for OpsTally<'_, C> {
+    #[inline(always)]
+    fn branch(&mut self, site: u32) {
+        self.inner.branch(site);
+    }
+
+    #[inline(always)]
+    fn ops(&mut self, n: u64) {
+        *self.ops = self.ops.saturating_add(n);
+    }
 }
 
 fn width_mask(w: u32) -> u64 {

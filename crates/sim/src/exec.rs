@@ -24,7 +24,7 @@
 //! differential tests compare against.
 
 use crate::compile::CompiledDesign;
-use crate::cover::CovMap;
+use crate::cover::{CovMap, NoCov, OpsTally};
 use crate::eval::EvalError;
 use crate::trace::Trace;
 use crate::value::Value;
@@ -70,6 +70,8 @@ pub struct Simulator {
     stack: Vec<Value>,
     trace: Trace,
     cov: Option<Box<CovMap>>,
+    count_ops: bool,
+    ops: u64,
 }
 
 impl Simulator {
@@ -91,6 +93,8 @@ impl Simulator {
             stack: Vec::with_capacity(16),
             trace,
             cov: None,
+            count_ops: false,
+            ops: 0,
         }
     }
 
@@ -105,6 +109,22 @@ impl Simulator {
     /// The coverage recorded so far, if enabled.
     pub fn coverage(&self) -> Option<&CovMap> {
         self.cov.as_deref()
+    }
+
+    /// Enables bytecode op counting for subsequent steps (see
+    /// [`Simulator::ops_executed`]). Like coverage, this is opt-in so
+    /// the default hot path stays fully uninstrumented; unlike
+    /// coverage, the tally is a pure function of bytecode and stimulus
+    /// — the deterministic work metric the perf harness records.
+    pub fn enable_op_count(&mut self) {
+        self.count_ops = true;
+    }
+
+    /// Bytecode operations dispatched so far (0 unless
+    /// [`Simulator::enable_op_count`] was called), counted at
+    /// statement-expression program granularity.
+    pub fn ops_executed(&self) -> u64 {
+        self.ops
     }
 
     /// Consumes the simulator, returning the trace and the coverage map
@@ -163,14 +183,25 @@ impl Simulator {
             self.set_input(name, *v);
         }
         let cd = Arc::clone(&self.compiled);
-        match self.cov.as_deref_mut() {
-            None => {
+        match (self.cov.as_deref_mut(), self.count_ops) {
+            (None, false) => {
                 cd.settle(&mut self.state, &mut self.stack)?;
                 self.trace.push(self.state.clone());
                 cd.clock_edge(&mut self.state, &mut self.stack)?;
                 cd.settle(&mut self.state, &mut self.stack)?;
             }
-            Some(cov) => {
+            (None, true) => {
+                let mut nocov = NoCov;
+                let mut sink = OpsTally {
+                    inner: &mut nocov,
+                    ops: &mut self.ops,
+                };
+                cd.settle_cov(&mut self.state, &mut self.stack, &mut sink)?;
+                self.trace.push(self.state.clone());
+                cd.clock_edge_cov(&mut self.state, &mut self.stack, &mut sink)?;
+                cd.settle_cov(&mut self.state, &mut self.stack, &mut sink)?;
+            }
+            (Some(cov), false) => {
                 cd.settle_cov(&mut self.state, &mut self.stack, cov)?;
                 // Toggle coverage observes the preponed samples — exactly
                 // the values SVA properties see.
@@ -178,6 +209,17 @@ impl Simulator {
                 self.trace.push(self.state.clone());
                 cd.clock_edge_cov(&mut self.state, &mut self.stack, cov)?;
                 cd.settle_cov(&mut self.state, &mut self.stack, cov)?;
+            }
+            (Some(cov), true) => {
+                let mut sink = OpsTally {
+                    inner: cov,
+                    ops: &mut self.ops,
+                };
+                cd.settle_cov(&mut self.state, &mut self.stack, &mut sink)?;
+                sink.inner.record_row(&self.state);
+                self.trace.push(self.state.clone());
+                cd.clock_edge_cov(&mut self.state, &mut self.stack, &mut sink)?;
+                cd.settle_cov(&mut self.state, &mut self.stack, &mut sink)?;
             }
         }
         Ok(())
@@ -327,6 +369,46 @@ mod tests {
         let mut s = sim(COUNTER);
         s.set_input("en", 0xFF);
         assert_eq!(s.value("en").map(Value::bits), Some(1));
+    }
+
+    #[test]
+    fn op_counting_is_opt_in_deterministic_and_invisible() {
+        let d = compile(COUNTER).expect("compile");
+        let compiled = Arc::new(CompiledDesign::compile(&d));
+        let run_counted = |n: usize| {
+            let mut s = Simulator::from_compiled(Arc::clone(&compiled));
+            s.enable_op_count();
+            for _ in 0..n {
+                s.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+            }
+            (s.value("q").map(Value::bits), s.ops_executed())
+        };
+        let (q8a, ops8a) = run_counted(8);
+        let (q8b, ops8b) = run_counted(8);
+        assert!(ops8a > 0, "counting enabled must observe work");
+        assert_eq!(ops8a, ops8b, "op count is a pure function of the run");
+        assert_eq!(q8a, q8b);
+        let (_, ops4) = run_counted(4);
+        assert!(ops4 < ops8a, "more cycles, more ops");
+
+        // Without opt-in the tally stays zero, and counting never
+        // changes simulation results or coverage.
+        let mut plain = Simulator::from_compiled(Arc::clone(&compiled));
+        plain.enable_coverage(0);
+        let mut counted = Simulator::from_compiled(Arc::clone(&compiled));
+        counted.enable_coverage(0);
+        counted.enable_op_count();
+        for _ in 0..8 {
+            plain.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+            counted.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+        }
+        assert_eq!(plain.ops_executed(), 0);
+        assert_eq!(plain.value("q"), counted.value("q"));
+        assert_eq!(
+            plain.coverage(),
+            counted.coverage(),
+            "op counting must not leak into coverage maps"
+        );
     }
 
     #[test]

@@ -1000,11 +1000,15 @@ impl Verifier {
         let sink = budget.trace().clone();
         let mut span = sink.span(probe::SVA_ENUM, SpanKind::Enumeration);
         let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        // Count bytecode ops only when someone is listening — the
+        // untraced sweep keeps the fully uninstrumented simulator.
+        let counting = sink.is_enabled();
         for stim in all {
             // Poll *before* each stimulus, so a poisoned token or a blown
             // deadline stops the rung without starting more work.
             budget.probe(probe::SVA_ENUM)?;
-            match run_stimulus(compiled, checker, stim)? {
+            let mut ops = 0u64;
+            match run_stimulus_counted(compiled, checker, stim, counting.then_some(&mut ops))? {
                 StimulusOutcome::Fails(cex) => return Ok(Verdict::Fails(cex)),
                 StimulusOutcome::Passes(names) => fired.extend(names),
             }
@@ -1012,6 +1016,7 @@ impl Verifier {
             // or budget stop cuts the sweep short.
             span.add_cost(Cost {
                 stimuli: 1,
+                ops,
                 ..Cost::default()
             });
         }
@@ -1351,9 +1356,29 @@ fn run_stimulus(
     checker: &CompiledChecker,
     stim: Stimulus,
 ) -> Result<StimulusOutcome, VerifyError> {
+    run_stimulus_counted(compiled, checker, stim, None)
+}
+
+/// [`run_stimulus`] with optional bytecode op accounting: when `ops` is
+/// given, the simulator counts dispatched ops into it (a pure function
+/// of bytecode and stimulus, so deterministic). Only the sequential
+/// enumeration sweep passes `Some` — parallel paths would make the sum
+/// depend on how many stimuli each racing worker executed.
+fn run_stimulus_counted(
+    compiled: &Arc<CompiledDesign>,
+    checker: &CompiledChecker,
+    stim: Stimulus,
+    ops: Option<&mut u64>,
+) -> Result<StimulusOutcome, VerifyError> {
     let mut sim = Simulator::from_compiled(Arc::clone(compiled));
+    if ops.is_some() {
+        sim.enable_op_count();
+    }
     for t in 0..stim.len() {
         sim.step(&stim.cycle(t))?;
+    }
+    if let Some(ops) = ops {
+        *ops = ops.saturating_add(sim.ops_executed());
     }
     let trace = sim.into_trace();
     let results = checker.outcomes(&trace)?;

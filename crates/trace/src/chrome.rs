@@ -73,10 +73,13 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         }
         for (label, value) in [
             ("conflicts", ev.cost.conflicts),
+            ("decisions", ev.cost.decisions),
+            ("propagations", ev.cost.propagations),
             ("rounds", ev.cost.rounds),
             ("aig_nodes", ev.cost.aig_nodes),
             ("bytes", ev.cost.bytes),
             ("stimuli", ev.cost.stimuli),
+            ("ops", ev.cost.ops),
         ] {
             if value != 0 {
                 let _ = write!(out, ",\"{label}\":{value}");

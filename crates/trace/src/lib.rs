@@ -22,18 +22,28 @@
 //!   fault-injection point and the trace span wrapping it, so the chaos
 //!   suite and a trace timeline refer to identical identifiers.
 //!
+//! On top of the substrate, two derived views of a drained event
+//! vector: [`cost::CostCounters`] folds events into deterministic,
+//! machine-independent work counters (the perf harness's regression
+//! signal), and [`profile::Profile`] rebuilds the span hierarchy into
+//! folded stacks (flamegraph input) with inclusive/exclusive time.
+//!
 //! Determinism contract: timestamps exist only inside trace output
 //! (events, histograms). Nothing here feeds verdicts, cache keys or
 //! schedules — tracing on vs. off is asserted bit-identical by
 //! `tests/trace_observability.rs`.
 
 pub mod chrome;
+pub mod cost;
 pub mod metrics;
 pub mod probe;
+pub mod profile;
 pub mod span;
 
 pub use chrome::chrome_trace_json;
+pub use cost::CostCounters;
 pub use metrics::{Counter, Histogram, Registry};
+pub use profile::{FrameStat, Profile};
 pub use span::{
     Cost, EndReason, EngineTag, Event, NoTrace, SinkSpan, SpanKind, TraceHandle, TraceSink, Tracer,
 };

@@ -121,6 +121,35 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Approximate `q`-quantile (`q` clamped to `[0, 1]`): the upper
+    /// bound of the log2 bucket containing the ⌈q·count⌉-th observation.
+    /// The resolution is therefore one power of two — good enough for
+    /// the perf harness's latency columns, and monotone in `q` by
+    /// construction. Observations in the overflow bucket report
+    /// `u64::MAX` ("off the scale"). Returns `None` for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ⌈q·count⌉, at least 1 so quantile(0.0) is the first bucket.
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets().iter().enumerate() {
+            cumulative = cumulative.saturating_add(*b);
+            if cumulative >= rank {
+                return Some(if i < HIST_BUCKETS {
+                    bucket_bound(i)
+                } else {
+                    u64::MAX
+                });
+            }
+        }
+        Some(u64::MAX)
+    }
 }
 
 enum Metric {
@@ -328,6 +357,58 @@ mod tests {
         assert_eq!(b[1], 1);
         assert_eq!(b[HIST_BUCKETS], 1);
         assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        assert_eq!(Histogram::detached().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_of_value_zero_lands_in_the_first_bucket() {
+        // 0 ns is below the smallest bound; every quantile reports the
+        // first bucket's bound.
+        let h = Histogram::detached();
+        h.observe_ns(0);
+        assert_eq!(h.quantile(0.0), Some(bucket_bound(0)));
+        assert_eq!(h.quantile(0.5), Some(bucket_bound(0)));
+        assert_eq!(h.quantile(1.0), Some(bucket_bound(0)));
+    }
+
+    #[test]
+    fn quantile_with_a_single_bucket_is_that_bucket_for_all_q() {
+        let h = Histogram::detached();
+        for _ in 0..10 {
+            h.observe_ns(5000); // bucket le=8192
+        }
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(8192), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_splits_across_buckets_at_the_rank_boundary() {
+        let h = Histogram::detached();
+        h.observe_ns(1000); // bucket 0 (le=1024)
+        h.observe_ns(3000); // bucket 2 (le=4096)
+        h.observe_ns(3000);
+        h.observe_ns(3000);
+        // rank(0.25·4)=1 → bucket 0; rank(0.5·4)=2 → bucket 2.
+        assert_eq!(h.quantile(0.25), Some(1024));
+        assert_eq!(h.quantile(0.5), Some(4096));
+        assert_eq!(h.quantile(1.0), Some(4096));
+    }
+
+    #[test]
+    fn quantile_saturates_in_the_overflow_bucket() {
+        let h = Histogram::detached();
+        h.observe_ns(1024); // bucket 0
+        h.observe_ns(u64::MAX); // overflow
+        assert_eq!(h.quantile(0.5), Some(1024));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX), "overflow is off-scale");
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(h.quantile(7.0), Some(u64::MAX));
+        assert_eq!(h.quantile(-1.0), Some(1024));
     }
 
     #[test]

@@ -198,6 +198,10 @@ impl EndReason {
 pub struct Cost {
     /// CDCL conflicts spent.
     pub conflicts: u64,
+    /// CDCL decisions taken.
+    pub decisions: u64,
+    /// CDCL unit propagations performed.
+    pub propagations: u64,
     /// Fuzz campaign rounds run.
     pub rounds: u64,
     /// AIG nodes built.
@@ -206,16 +210,23 @@ pub struct Cost {
     pub bytes: u64,
     /// Stimuli simulated (enumeration/sampling/fuzz executions).
     pub stimuli: u64,
+    /// Bytecode operations dispatched by the compiled simulator (at
+    /// statement-expression program granularity; see
+    /// `asv_sim::cover::CovSink::ops`).
+    pub ops: u64,
 }
 
 impl Cost {
     /// Saturating component-wise sum.
     pub fn add(&mut self, other: Cost) {
         self.conflicts = self.conflicts.saturating_add(other.conflicts);
+        self.decisions = self.decisions.saturating_add(other.decisions);
+        self.propagations = self.propagations.saturating_add(other.propagations);
         self.rounds = self.rounds.saturating_add(other.rounds);
         self.aig_nodes = self.aig_nodes.saturating_add(other.aig_nodes);
         self.bytes = self.bytes.saturating_add(other.bytes);
         self.stimuli = self.stimuli.saturating_add(other.stimuli);
+        self.ops = self.ops.saturating_add(other.ops);
     }
 
     /// True when every component is zero.

@@ -1,0 +1,64 @@
+//! End-to-end enforcement of the cost-counter determinism contract
+//! (`asv_trace::cost`): the **full** [`CostCounters`] vector folded
+//! from a traced mixed 64-job batch must be bit-identical across
+//! worker counts {1, 2, 8} and across reruns at the same worker count.
+//!
+//! Counters count *work*, not time — wall clock is excluded by
+//! construction (it lives in event timestamps, which the fold never
+//! reads). The harness pre-warms the compile cache before each traced
+//! leg (see `asv_bench::perf::batch_counters`), which is the one
+//! scheduling-dependent source the contract documents.
+//!
+//! [`CostCounters`]: asv_trace::CostCounters
+
+use asv_bench::perf::{batch_counters, mixed_batch};
+
+#[test]
+fn counters_bit_identical_across_workers_and_reruns() {
+    let jobs = mixed_batch(false);
+    assert_eq!(jobs.len(), 64, "the contract is stated over a 64-job batch");
+
+    let (reference, events) = batch_counters(&jobs, 1);
+    assert!(!events.is_empty(), "traced batch must produce events");
+
+    // The batch must exercise enough machinery for equality to mean
+    // something: engines ran, the sequential simulator counted ops,
+    // several engine families and the memo pipeline were touched.
+    assert!(reference.jobs_executed > 0, "cold batch must execute jobs");
+    assert!(reference.compiles + reference.compile_cache_hits > 0);
+    assert!(
+        reference.ops > 0,
+        "enumeration jobs must count bytecode ops"
+    );
+    assert!(
+        reference.conflicts + reference.propagations > 0,
+        "symbolic jobs must touch the CDCL core"
+    );
+    assert!(reference.fuzz_rounds > 0, "fuzz jobs must run rounds");
+    assert!(
+        reference.rungs_symbolic + reference.rungs_enumeration + reference.rungs_fuzz > 0,
+        "ladder rungs must be attributed"
+    );
+
+    for workers in [2usize, 8] {
+        let (counters, _) = batch_counters(&jobs, workers);
+        assert_eq!(
+            counters,
+            reference,
+            "counters drifted at {workers} workers:\n  1 worker: {}\n  {workers} workers: {}",
+            reference.to_json(),
+            counters.to_json()
+        );
+    }
+
+    // Rerun at a fixed worker count: same process, warm caches cleared
+    // by the helper — still bit-identical.
+    let (again, _) = batch_counters(&jobs, 8);
+    assert_eq!(
+        again,
+        reference,
+        "counters drifted across reruns:\n  first: {}\n  rerun: {}",
+        reference.to_json(),
+        again.to_json()
+    );
+}
