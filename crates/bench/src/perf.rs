@@ -22,10 +22,15 @@
 //! parser covering exactly the JSON this module emits.
 
 use asv_datagen::corpus::{Archetype, CorpusGen};
+use asv_fuzz::{AssertionOracle, FuzzOptions};
 use asv_mutation::inject::{apply, enumerate};
 use asv_serve::{ServeOptions, VerifyJob, VerifyService};
-use asv_sim::{CompiledDesign, OptLevel, Simulator};
+use asv_sim::cover::CovMap;
+use asv_sim::{
+    run_stimulus_group, Budget, CompiledDesign, OptLevel, Simulator, Stimulus, StimulusGen, Trace,
+};
 use asv_sva::bmc::{Engine, Verifier};
+use asv_sva::monitor::CompiledChecker;
 use asv_trace::{CostCounters, Event, SpanKind, Tracer};
 use asv_verilog::Design;
 use std::collections::BTreeMap;
@@ -33,7 +38,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Bench report schema version; bump on any incompatible layout change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: added the lane-batched simulation legs (`simulate_64x_scalar`,
+/// `simulate_64x_batch`, `fuzz_throughput_batch`) and the
+/// `sim_batches`/`sim_lanes_*` counter fields.
+pub const SCHEMA_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // Minimal JSON
@@ -712,6 +720,136 @@ fn workload_simulate(golden: &[Arc<Design>], runs: usize, cycles: usize) -> Work
     }
 }
 
+/// 64 seeded random stimuli per design for the stimulus-throughput legs
+/// (the "64x" in the workload names).
+fn batch_stimuli(golden: &[Arc<Design>], cycles: usize) -> Vec<Vec<Stimulus>> {
+    golden
+        .iter()
+        .map(|d| {
+            let gen = StimulusGen::new(d);
+            (0..64u64)
+                .map(|i| gen.random_seeded(cycles, 2, 0x64C4 ^ i))
+                .collect()
+        })
+        .collect()
+}
+
+/// Stimulus-throughput workload: the same 64 stimuli per design drained
+/// through [`run_stimulus_group`] at lane width `lanes` (1 = the scalar
+/// fallback loop, reusing one simulator via `restart`). The scalar and
+/// batched legs therefore simulate identical work — their wall-time
+/// ratio *is* the lane speedup, and their `ops` counters must be equal.
+fn workload_simulate_stimuli(
+    golden: &[Arc<Design>],
+    runs: usize,
+    cycles: usize,
+    lanes: usize,
+) -> WorkloadResult {
+    let compiled: Vec<Arc<CompiledDesign>> = golden
+        .iter()
+        .map(|d| Arc::new(CompiledDesign::compile_opt(d, OptLevel::Full)))
+        .collect();
+    let stim_sets = batch_stimuli(golden, cycles);
+    let wall_ns = time_runs(runs, || {
+        for (c, stims) in compiled.iter().zip(&stim_sets) {
+            for group in stims.chunks(lanes) {
+                std::hint::black_box(run_stimulus_group(c, group, lanes, None, false));
+            }
+        }
+    });
+    // Counter leg: per-lane op tallies are scalar-basis (bit-identical
+    // to a scalar run of each stimulus); batch occupancy is a pure
+    // function of the stimulus count and the lane width.
+    let mut counters = CostCounters::default();
+    for (c, stims) in compiled.iter().zip(&stim_sets) {
+        for group in stims.chunks(lanes) {
+            for run in run_stimulus_group(c, group, lanes, None, true)
+                .into_iter()
+                .flatten()
+            {
+                counters.ops = counters.ops.saturating_add(run.ops);
+            }
+        }
+        if lanes > 1 {
+            let batches = stims.len().div_ceil(lanes) as u64;
+            counters.sim_batches = counters.sim_batches.saturating_add(batches);
+            counters.sim_lanes_occupied = counters
+                .sim_lanes_occupied
+                .saturating_add(stims.len() as u64);
+            counters.sim_lanes_total = counters
+                .sim_lanes_total
+                .saturating_add(batches * lanes as u64);
+        }
+    }
+    WorkloadResult {
+        wall_ns,
+        counters,
+        job_ns: None,
+    }
+}
+
+/// The SVA checker bridged into the fuzzer, as `asv-sva` wires it.
+struct BenchOracle<'a> {
+    checker: &'a CompiledChecker,
+}
+
+impl AssertionOracle for BenchOracle<'_> {
+    fn assertions(&self) -> usize {
+        self.checker.assertion_count()
+    }
+    fn failed(&self, trace: &Trace, cov: &mut CovMap) -> Result<bool, String> {
+        let out = self
+            .checker
+            .outcomes_cov(trace, cov)
+            .map_err(|e| e.to_string())?;
+        Ok(out.iter().any(|(_, o)| o.is_failure()))
+    }
+}
+
+/// Fuzzer stimulus-throughput workload: a fixed-budget campaign per
+/// golden design with the lane-batched round executor (K = 16), one
+/// worker thread. Counters come from a traced rerun of the same
+/// campaigns (rounds, runs and scheduled-basis batch occupancy).
+fn workload_fuzz_batch(golden: &[Arc<Design>], runs: usize) -> WorkloadResult {
+    let compiled: Vec<Arc<CompiledDesign>> = golden
+        .iter()
+        .map(|d| Arc::new(CompiledDesign::compile_opt(d, OptLevel::Full)))
+        .collect();
+    let checkers: Vec<CompiledChecker> = golden
+        .iter()
+        .zip(&compiled)
+        .map(|(d, c)| {
+            let col = |name: &str| c.sig(name).map(|s| s.idx());
+            CompiledChecker::new(&d.module, col).expect("bench design checks")
+        })
+        .collect();
+    let opts = FuzzOptions {
+        cycles: 12,
+        reset_cycles: 2,
+        budget: 128,
+        seed: 0xF422,
+        threads: 1,
+        lanes: 16,
+        ..FuzzOptions::default()
+    };
+    let campaign = |budget: &Budget| {
+        for (c, checker) in compiled.iter().zip(&checkers) {
+            let oracle = BenchOracle { checker };
+            std::hint::black_box(
+                asv_fuzz::fuzz_budgeted(c, &oracle, &opts, budget).expect("bench fuzz"),
+            );
+        }
+    };
+    let wall_ns = time_runs(runs, || campaign(&Budget::unbounded()));
+    let tracer = Tracer::new();
+    campaign(&Budget::unbounded().with_trace(tracer.handle()));
+    WorkloadResult {
+        wall_ns,
+        counters: CostCounters::from_events(&tracer.drain()),
+        job_ns: None,
+    }
+}
+
 /// Single-engine workload: every pool design through one engine on one
 /// worker (isolates the engine's own cost from scheduling).
 fn workload_engine(pool: &[Arc<Design>], engine: Engine, runs: usize) -> WorkloadResult {
@@ -798,6 +936,27 @@ pub fn run_matrix(cfg: &MatrixConfig) -> (BenchReport, Vec<Event>) {
     workloads.insert(
         "simulate".to_string(),
         workload_simulate(&pool.golden, cfg.runs, cycles),
+    );
+    let stim_cycles = if cfg.quick { 16 } else { 64 };
+    eprintln!(
+        "[perf] simulate_64x: {} designs x 64 stimuli x {stim_cycles} cycles, scalar + batch ...",
+        pool.golden.len()
+    );
+    workloads.insert(
+        "simulate_64x_scalar".to_string(),
+        workload_simulate_stimuli(&pool.golden, cfg.runs, stim_cycles, 1),
+    );
+    workloads.insert(
+        "simulate_64x_batch".to_string(),
+        workload_simulate_stimuli(&pool.golden, cfg.runs, stim_cycles, 16),
+    );
+    eprintln!(
+        "[perf] fuzz_throughput_batch: {} designs, lane-batched campaigns ...",
+        pool.golden.len()
+    );
+    workloads.insert(
+        "fuzz_throughput_batch".to_string(),
+        workload_fuzz_batch(&pool.golden, cfg.runs),
     );
     eprintln!("[perf] symbolic: {} designs ...", pool.pool.len());
     workloads.insert(

@@ -9,30 +9,34 @@
 pub use asv_fuzz::novelty_rank;
 pub use asv_sim::cover::{CovMap, CoverageReport};
 
-use asv_sim::exec::{SimError, Simulator};
+use asv_sim::exec::SimError;
 use asv_sim::stimulus::Stimulus;
-use asv_sim::CompiledDesign;
+use asv_sim::{run_stimulus_group, CompiledDesign};
 use asv_verilog::sema::Design;
 use std::sync::Arc;
 
+/// Lane width the coverage sweep batches stimuli at (matches the
+/// fuzzer's round executor).
+const LANES: usize = 16;
+
 /// Simulates every stimulus against `design` and returns the combined
 /// coverage report — how much of the design's behaviour the set
-/// exercises (the datagen trace-diversity metric).
+/// exercises (the datagen trace-diversity metric). Stimuli run through
+/// the lane-batched executor, 16 per bytecode pass; lane coverage maps
+/// are merged in stimulus order, bit-identical to the old per-stimulus
+/// scalar sweep.
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
+/// Propagates the first [`SimError`] in stimulus order.
 pub fn coverage_report(design: &Design, stimuli: &[Stimulus]) -> Result<CoverageReport, SimError> {
     let compiled = Arc::new(CompiledDesign::compile(design));
     let mut acc = CovMap::new(&compiled, 0);
-    for stim in stimuli {
-        let mut sim = Simulator::from_compiled(Arc::clone(&compiled));
-        sim.enable_coverage(0);
-        for t in 0..stim.len() {
-            sim.step(&stim.cycle(t))?;
-        }
-        if let (_, Some(cov)) = sim.into_trace_and_coverage() {
-            acc.merge(&cov);
+    for group in stimuli.chunks(LANES) {
+        for run in run_stimulus_group(&compiled, group, LANES, Some(0), false) {
+            if let Some(cov) = run?.coverage {
+                acc.merge(&cov);
+            }
         }
     }
     Ok(CoverageReport::of(&acc))

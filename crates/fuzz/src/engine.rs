@@ -14,6 +14,7 @@ use asv_sim::compile::CompiledDesign;
 use asv_sim::cover::{CovMap, CoverageReport};
 use asv_sim::exec::{SimError, Simulator};
 use asv_sim::interp::AstSimulator;
+use asv_sim::run_stimulus_group;
 use asv_sim::stimulus::{Stimulus, StimulusGen};
 use asv_sim::trace::Trace;
 use asv_trace::{probe, Cost, SpanKind, TraceSink};
@@ -53,6 +54,11 @@ pub struct FuzzOptions {
     pub batch: usize,
     /// Worker threads; 0 means `std::thread::available_parallelism`.
     pub threads: usize,
+    /// Simulation lanes per bytecode pass (`asv_sim::LaneBatch`
+    /// widths 8/16/32; anything else — including 1, the differential
+    /// configuration — drains through the scalar executor). Results are
+    /// bit-identical at every setting; only throughput changes.
+    pub lanes: usize,
 }
 
 impl Default for FuzzOptions {
@@ -64,6 +70,7 @@ impl Default for FuzzOptions {
             seed: 0xF0_77E12,
             batch: 16,
             threads: 0,
+            lanes: 16,
         }
     }
 }
@@ -150,21 +157,16 @@ impl From<Stop> for FuzzError {
     }
 }
 
-/// Runs one stimulus with coverage, returning its map and whether an
+/// Judges one completed run, returning its coverage map and whether an
 /// assertion failed.
-fn run_one<O: AssertionOracle>(
-    compiled: &Arc<CompiledDesign>,
+fn judge<O: AssertionOracle>(
     oracle: &O,
-    stim: &Stimulus,
+    run: asv_sim::LaneRun,
 ) -> Result<(CovMap, bool), FuzzError> {
-    let mut sim = Simulator::from_compiled(Arc::clone(compiled));
-    sim.enable_coverage(oracle.assertions());
-    for t in 0..stim.len() {
-        sim.step(&stim.cycle(t))?;
-    }
-    let (trace, cov) = sim.into_trace_and_coverage();
-    let mut cov = cov.expect("coverage was enabled");
-    let failed = oracle.failed(&trace, &mut cov).map_err(FuzzError::Oracle)?;
+    let mut cov = run.coverage.expect("coverage was enabled");
+    let failed = oracle
+        .failed(&run.trace, &mut cov)
+        .map_err(FuzzError::Oracle)?;
     Ok((cov, failed))
 }
 
@@ -197,18 +199,22 @@ fn run_batch<O: AssertionOracle>(
     oracle: &O,
     batch: &[Stimulus],
     threads: usize,
+    lanes: usize,
     budget: &Budget,
 ) -> (usize, Vec<Vec<RunOutcome>>) {
     let workers = threads.min(batch.len()).max(1);
     let chunk = batch.len().div_ceil(workers);
     if workers == 1 {
-        return (chunk, vec![run_chunk(compiled, oracle, batch, budget)]);
+        return (
+            chunk,
+            vec![run_chunk(compiled, oracle, batch, lanes, budget)],
+        );
     }
     let mut per_chunk = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for part in batch.chunks(chunk) {
-            handles.push(scope.spawn(move || run_chunk(compiled, oracle, part, budget)));
+            handles.push(scope.spawn(move || run_chunk(compiled, oracle, part, lanes, budget)));
         }
         for h in handles {
             per_chunk.push(h.join().expect("fuzz worker panicked"));
@@ -221,23 +227,34 @@ fn run_chunk<O: AssertionOracle>(
     compiled: &Arc<CompiledDesign>,
     oracle: &O,
     part: &[Stimulus],
+    lanes: usize,
     budget: &Budget,
 ) -> Vec<RunOutcome> {
     let mut out = Vec::with_capacity(part.len());
-    for stim in part {
-        // Per-stimulus poll: a losing portfolio campaign cancelled
-        // mid-batch stops before the next simulation instead of
+    for group in part.chunks(lanes.max(1)) {
+        // Per-group poll: a losing portfolio campaign cancelled
+        // mid-batch stops before the next lane group instead of
         // finishing the whole chunk. In fault-free unbounded runs this
         // never fires, so the merge stays bit-identical.
         if let Err(stop) = budget.check() {
             out.push(Err(stop.into()));
-            break;
+            return out;
         }
-        let r = run_one(compiled, oracle, stim);
-        let stop = matches!(&r, Err(_) | Ok((_, true)));
-        out.push(r);
-        if stop {
-            break;
+        // The whole group simulates together; results are still judged
+        // and reported in index order, and everything after the chunk's
+        // first failure/error is dropped — exactly what the scalar loop
+        // produced, since the round merge discards post-stop results.
+        for outcome in run_stimulus_group(compiled, group, lanes, Some(oracle.assertions()), false)
+        {
+            let r = match outcome {
+                Ok(run) => judge(oracle, run),
+                Err(e) => Err(e.into()),
+            };
+            let stop = matches!(&r, Err(_) | Ok((_, true)));
+            out.push(r);
+            if stop {
+                return out;
+            }
         }
     }
     out
@@ -328,7 +345,27 @@ pub fn fuzz_budgeted<O: AssertionOracle>(
         });
         let n = batch_size.min(opts.budget - runs);
         let batch = schedule(&gen, &mutator, &mut corpus, &mut rng, n, opts);
-        let (chunk_size, per_chunk) = run_batch(compiled, oracle, &batch, threads, budget);
+        if opts.lanes > 1 {
+            // Lane occupancy on a *scheduled* basis (the canonical
+            // single-worker grouping), emitted here at the sequential
+            // point — worker chunking changes the realised grouping but
+            // never this counter, keeping the cost vector bit-identical
+            // across thread counts.
+            let batches = (batch.len().div_ceil(opts.lanes)) as u64;
+            sink.instant(
+                probe::SIM_BATCH,
+                SpanKind::Batch,
+                0,
+                Cost {
+                    batches,
+                    lanes_occupied: batch.len() as u64,
+                    lanes_total: batches * opts.lanes as u64,
+                    ..Cost::default()
+                },
+            );
+        }
+        let (chunk_size, per_chunk) =
+            run_batch(compiled, oracle, &batch, threads, opts.lanes, budget);
         for (c, chunk) in per_chunk.into_iter().enumerate() {
             for (j, result) in chunk.into_iter().enumerate() {
                 let (cov, failed) = result?;
@@ -516,6 +553,30 @@ mod tests {
         assert_eq!(one.runs, four.runs);
         assert_eq!(one.coverage, four.coverage);
         assert_eq!(one.corpus_fingerprint, four.corpus_fingerprint);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_lane_widths() {
+        let cd = compiled(RARE);
+        let oracle = rare_oracle(&cd);
+        let base = FuzzOptions {
+            budget: 96,
+            seed: 3,
+            threads: 2,
+            ..FuzzOptions::default()
+        };
+        let scalar = fuzz(&cd, &oracle, &FuzzOptions { lanes: 1, ..base }).expect("scalar");
+        for lanes in [8, 16, 32] {
+            let batched = fuzz(&cd, &oracle, &FuzzOptions { lanes, ..base })
+                .unwrap_or_else(|e| panic!("lanes={lanes}: {e}"));
+            assert_eq!(scalar.verdict, batched.verdict, "lanes={lanes}");
+            assert_eq!(scalar.runs, batched.runs, "lanes={lanes}");
+            assert_eq!(scalar.coverage, batched.coverage, "lanes={lanes}");
+            assert_eq!(
+                scalar.corpus_fingerprint, batched.corpus_fingerprint,
+                "lanes={lanes}"
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub fn default_sys_call(name: &str, args: &[Value]) -> Result<Value, EvalError> 
 }
 
 /// Applies a unary operator (2-state semantics shared by all backends).
+// `#[inline]`: the workspace builds without LTO, and the sim/sat/fuzz hot
+// loops dispatch through here from other crates; without the hint every
+// bytecode op pays a cross-crate call.
+#[inline]
 pub fn unary(op: UnaryOp, v: Value) -> Value {
     match op {
         UnaryOp::Neg => Value::new(v.bits().wrapping_neg(), v.width()),
@@ -77,6 +81,10 @@ pub fn unary(op: UnaryOp, v: Value) -> Value {
 /// # Errors
 ///
 /// Returns [`EvalError::DivideByZero`] for `/`/`%` with a zero divisor.
+// `#[inline]`: see [`unary`] — with a constant `op` the callee folds to a
+// single arm, which is what lets the lane-batched executor's per-operator
+// loops vectorize.
+#[inline]
 pub fn binary(op: BinaryOp, a: Value, b: Value) -> Result<Value, EvalError> {
     use BinaryOp as B;
     let w = a.width().max(b.width());

@@ -21,6 +21,7 @@ impl Value {
     /// # Panics
     ///
     /// Panics if `width` is 0 or greater than 64.
+    #[inline]
     pub fn new(bits: u64, width: u32) -> Self {
         assert!((1..=64).contains(&width), "width must be in 1..=64");
         Value {
@@ -30,20 +31,24 @@ impl Value {
     }
 
     /// A zero value of the given width.
+    #[inline]
     pub fn zero(width: u32) -> Self {
         Value::new(0, width)
     }
 
     /// A single-bit value from a boolean.
+    #[inline]
     pub fn bit(b: bool) -> Self {
         Value::new(u64::from(b), 1)
     }
 
     /// All-ones value of the given width.
+    #[inline]
     pub fn ones(width: u32) -> Self {
         Value::new(u64::MAX, width)
     }
 
+    #[inline]
     fn mask(width: u32) -> u64 {
         if width >= 64 {
             u64::MAX
@@ -53,27 +58,32 @@ impl Value {
     }
 
     /// The raw bits (already masked).
+    #[inline]
     pub fn bits(self) -> u64 {
         self.bits
     }
 
     /// The declared width.
+    #[inline]
     pub fn width(self) -> u32 {
         self.width
     }
 
     /// True if any bit is set.
+    #[inline]
     pub fn is_truthy(self) -> bool {
         self.bits != 0
     }
 
     /// Reinterprets at a new width (truncating or zero-extending).
+    #[inline]
     pub fn resize(self, width: u32) -> Self {
         Value::new(self.bits, width)
     }
 
     /// Extracts bit `i` (0 if out of range, matching 2-state reads of
     /// out-of-range selects).
+    #[inline]
     pub fn get_bit(self, i: u32) -> bool {
         if i >= self.width {
             false
@@ -83,6 +93,7 @@ impl Value {
     }
 
     /// Extracts bits `[msb:lsb]` as a new value.
+    #[inline]
     pub fn slice(self, msb: u32, lsb: u32) -> Self {
         debug_assert!(msb >= lsb);
         let w = (msb - lsb + 1).min(64);
@@ -90,6 +101,7 @@ impl Value {
     }
 
     /// Writes bit `i` (no-op when out of range).
+    #[inline]
     pub fn set_bit(self, i: u32, v: bool) -> Self {
         if i >= self.width {
             return self;
@@ -103,6 +115,7 @@ impl Value {
     }
 
     /// Writes the range `[msb:lsb]` from the low bits of `v`.
+    #[inline]
     pub fn set_slice(self, msb: u32, lsb: u32, v: Value) -> Self {
         debug_assert!(msb >= lsb);
         let w = msb - lsb + 1;
@@ -112,6 +125,7 @@ impl Value {
     }
 
     /// Concatenates `self` (high) with `low`, clamping to 64 bits.
+    #[inline]
     pub fn concat(self, low: Value) -> Self {
         let w = (self.width + low.width).min(64);
         let bits = (self.bits.checked_shl(low.width).unwrap_or(0)) | low.bits;
@@ -119,21 +133,25 @@ impl Value {
     }
 
     /// Reduction AND over all bits in width.
+    #[inline]
     pub fn reduce_and(self) -> bool {
         self.bits == Self::mask(self.width)
     }
 
     /// Reduction OR.
+    #[inline]
     pub fn reduce_or(self) -> bool {
         self.bits != 0
     }
 
     /// Reduction XOR (parity).
+    #[inline]
     pub fn reduce_xor(self) -> bool {
         self.bits.count_ones() % 2 == 1
     }
 
     /// Number of set bits (`$countones`).
+    #[inline]
     pub fn count_ones(self) -> u32 {
         self.bits.count_ones()
     }

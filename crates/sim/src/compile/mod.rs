@@ -27,6 +27,7 @@
 //! assigned here. Branch sites are allocated at IR lowering — before any
 //! pass — so coverage maps are identical at every opt level.
 
+pub mod batch;
 pub mod bytecode;
 mod levelize;
 pub mod lower;
@@ -37,11 +38,13 @@ pub use bytecode::{compile_expr, run, ExecEnv, ExprProg, HistoryKind, NameRef, O
 use crate::cover::{CovSink, NoCov};
 use crate::eval::EvalError;
 use crate::exec::SimError;
+use crate::trace::TraceHeader;
 use crate::value::Value;
 use asv_ir::IrDesign;
 use asv_verilog::sema::Design;
 use levelize::{levelize, StepFx};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Maximum delta iterations of the fallback fixpoint loop (mirrors the
 /// AST interpreter).
@@ -174,6 +177,9 @@ pub struct CompiledDesign {
     sym_clean_comb: Vec<bool>,
     /// Per clocked block: statically guaranteed to bit-blast.
     sym_clean_seq: Vec<bool>,
+    /// Interned trace name table, shared by every trace of this design so
+    /// simulator restarts are O(#signals) in state only.
+    trace_header: Arc<TraceHeader>,
 }
 
 impl CompiledDesign {
@@ -256,6 +262,7 @@ impl CompiledDesign {
             }
         };
 
+        let trace_header = Arc::new(TraceHeader::new(names.clone()));
         CompiledDesign {
             design: design.clone(),
             names,
@@ -271,6 +278,7 @@ impl CompiledDesign {
             dict_consts,
             sym_clean_comb,
             sym_clean_seq,
+            trace_header,
         }
     }
 
@@ -302,6 +310,18 @@ impl CompiledDesign {
     /// A fresh all-zero state vector.
     pub fn init_state(&self) -> Vec<Value> {
         self.init.clone()
+    }
+
+    /// The initial state as a slice, for in-place restarts that reuse an
+    /// existing state buffer instead of allocating.
+    pub(crate) fn init_slice(&self) -> &[Value] {
+        &self.init
+    }
+
+    /// The interned trace name table shared by every trace of this design
+    /// (see [`crate::trace::Trace::with_header`]).
+    pub fn trace_header(&self) -> &Arc<TraceHeader> {
+        &self.trace_header
     }
 
     /// True when combinational logic settles in one levelized pass (the

@@ -147,6 +147,16 @@ impl CovMap {
         }
     }
 
+    /// Clears every recorded point in place, keeping the allocated
+    /// bitsets — the restart path for executors that reuse one map
+    /// across stimuli.
+    pub fn reset(&mut self) {
+        self.branch.fill(0);
+        self.seen0.fill(0);
+        self.seen1.fill(0);
+        self.antecedent.fill(0);
+    }
+
     /// Records one sampled state row (toggle coverage). `row` must follow
     /// the compiled design's signal order.
     pub fn record_row(&mut self, row: &[Value]) {

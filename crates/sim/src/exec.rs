@@ -86,7 +86,9 @@ impl Simulator {
     /// cheap restart path: O(#signals) state initialisation, no AST work.
     pub fn from_compiled(compiled: Arc<CompiledDesign>) -> Self {
         let state = compiled.init_state();
-        let trace = Trace::new(compiled.names().to_vec());
+        // Share the design's interned name table instead of cloning it:
+        // starting (or restarting) a trace is O(1).
+        let trace = Trace::with_header(Arc::clone(compiled.trace_header()));
         Simulator {
             compiled,
             state,
@@ -96,6 +98,32 @@ impl Simulator {
             count_ops: false,
             ops: 0,
         }
+    }
+
+    /// Rewinds the simulator to its initial state *in place*: signals
+    /// back to their reset values, trace/ops/coverage cleared — with
+    /// every buffer (state vector, operand stack, trace steps, coverage
+    /// bitsets) reused. This is the per-stimulus restart the
+    /// stimulus-bound engines run in their hot loops: O(#signals) work
+    /// and zero allocation, where constructing a fresh simulator
+    /// reallocates the state vector and trace.
+    pub fn restart(&mut self) {
+        self.state.copy_from_slice(self.compiled.init_slice());
+        self.trace.clear();
+        self.ops = 0;
+        if let Some(cov) = &mut self.cov {
+            cov.reset();
+        }
+    }
+
+    /// Takes the recorded trace, leaving an empty one sharing the same
+    /// interned header (O(1)) — pair with [`Simulator::restart`] to
+    /// drain results between stimuli without tearing the simulator down.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::replace(
+            &mut self.trace,
+            Trace::with_header(Arc::clone(self.compiled.trace_header())),
+        )
     }
 
     /// Enables coverage recording (branch arms + signal toggles) for
@@ -186,7 +214,7 @@ impl Simulator {
         match (self.cov.as_deref_mut(), self.count_ops) {
             (None, false) => {
                 cd.settle(&mut self.state, &mut self.stack)?;
-                self.trace.push(self.state.clone());
+                self.trace.push_row(&self.state);
                 cd.clock_edge(&mut self.state, &mut self.stack)?;
                 cd.settle(&mut self.state, &mut self.stack)?;
             }
@@ -197,7 +225,7 @@ impl Simulator {
                     ops: &mut self.ops,
                 };
                 cd.settle_cov(&mut self.state, &mut self.stack, &mut sink)?;
-                self.trace.push(self.state.clone());
+                self.trace.push_row(&self.state);
                 cd.clock_edge_cov(&mut self.state, &mut self.stack, &mut sink)?;
                 cd.settle_cov(&mut self.state, &mut self.stack, &mut sink)?;
             }
@@ -206,7 +234,7 @@ impl Simulator {
                 // Toggle coverage observes the preponed samples — exactly
                 // the values SVA properties see.
                 cov.record_row(&self.state);
-                self.trace.push(self.state.clone());
+                self.trace.push_row(&self.state);
                 cd.clock_edge_cov(&mut self.state, &mut self.stack, cov)?;
                 cd.settle_cov(&mut self.state, &mut self.stack, cov)?;
             }
@@ -217,7 +245,7 @@ impl Simulator {
                 };
                 cd.settle_cov(&mut self.state, &mut self.stack, &mut sink)?;
                 sink.inner.record_row(&self.state);
-                self.trace.push(self.state.clone());
+                self.trace.push_row(&self.state);
                 cd.clock_edge_cov(&mut self.state, &mut self.stack, &mut sink)?;
                 cd.settle_cov(&mut self.state, &mut self.stack, &mut sink)?;
             }
@@ -409,6 +437,46 @@ mod tests {
             counted.coverage(),
             "op counting must not leak into coverage maps"
         );
+    }
+
+    #[test]
+    fn restart_reuses_buffers_in_place() {
+        let d = compile(COUNTER).expect("compile");
+        let compiled = Arc::new(CompiledDesign::compile(&d));
+        let mut s = Simulator::from_compiled(Arc::clone(&compiled));
+        s.enable_coverage(0);
+        s.enable_op_count();
+        s.step(&[("rst_n", 0), ("en", 0)]).expect("reset");
+        s.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+        assert_eq!(s.value("q").map(Value::bits), Some(1));
+        assert!(s.ops_executed() > 0);
+
+        // The trace never owned its own name table: it shares the
+        // compiled design's interned header.
+        assert!(Arc::ptr_eq(s.trace().header(), compiled.trace_header()));
+
+        let state_ptr = s.state.as_ptr();
+        let first_trace = s.take_trace();
+        assert_eq!(first_trace.len(), 2);
+        s.restart();
+        // Same buffers, initial contents: no reallocation happened.
+        assert_eq!(s.state.as_ptr(), state_ptr);
+        assert_eq!(s.value("q").map(Value::bits), Some(0));
+        assert!(s.trace().is_empty());
+        assert_eq!(s.ops_executed(), 0);
+        assert_eq!(
+            s.coverage().map(CovMap::covered_points),
+            Some(0),
+            "coverage map cleared in place"
+        );
+
+        // And the restarted run is bit-identical to a fresh simulator's.
+        let mut fresh = Simulator::from_compiled(Arc::clone(&compiled));
+        for sim in [&mut s, &mut fresh] {
+            sim.step(&[("rst_n", 0), ("en", 0)]).expect("reset");
+            sim.step(&[("rst_n", 1), ("en", 1)]).expect("step");
+        }
+        assert_eq!(s.trace(), fresh.trace());
     }
 
     #[test]

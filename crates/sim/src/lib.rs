@@ -46,6 +46,9 @@ pub use asv_ir::value;
 pub use asv_ir::OptLevel;
 pub use cache::CompileCache;
 pub use cancel::{Budget, CancelToken, Deadline, Exhausted, ManualClock, Resource, Stop};
+pub use compile::batch::{
+    run_stimulus_group, run_stimulus_scalar, LaneBatch, LaneOutcome, LaneRun, LANE_WIDTHS,
+};
 pub use compile::{CompiledDesign, SigId};
 pub use cover::{CovMap, CoverageReport};
 pub use eval::{Env, EvalError};
@@ -53,5 +56,5 @@ pub use exec::{SimError, Simulator};
 pub use fault::{FaultKind, FaultKinds, FaultPlan, FaultSession};
 pub use interp::AstSimulator;
 pub use stimulus::{Stimulus, StimulusGen};
-pub use trace::Trace;
+pub use trace::{Trace, TraceHeader};
 pub use value::Value;

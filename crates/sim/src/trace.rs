@@ -8,43 +8,112 @@
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// A recorded waveform.
+/// The immutable name table of a trace: signal names in column order plus
+/// the name→column index. Shared (`Arc`) between every trace of one
+/// compiled design, so starting a fresh trace is O(1) instead of cloning
+/// each name and rebuilding the index — the per-stimulus allocation that
+/// used to dominate simulator restarts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Trace {
+pub struct TraceHeader {
     names: Vec<String>,
     index: BTreeMap<String, usize>,
-    steps: Vec<Vec<Value>>,
 }
 
-impl Trace {
-    /// Creates an empty trace over the given signal names.
+impl TraceHeader {
+    /// Builds a header over signal names in column order.
     pub fn new(names: Vec<String>) -> Self {
         let index = names
             .iter()
             .enumerate()
             .map(|(i, n)| (n.clone(), i))
             .collect();
+        TraceHeader { names, index }
+    }
+}
+
+/// A recorded waveform.
+///
+/// Samples are stored **flat** (tick-major: `samples[t * cols + col]`)
+/// rather than as one `Vec` per tick: appending a tick is an
+/// `extend_from_slice` into one growing buffer, so the hot recording
+/// paths ([`push_row`](Trace::push_row)) do zero per-tick allocations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    header: Arc<TraceHeader>,
+    samples: Vec<Value>,
+}
+
+impl Trace {
+    /// Creates an empty trace over the given signal names.
+    pub fn new(names: Vec<String>) -> Self {
+        Trace::with_header(Arc::new(TraceHeader::new(names)))
+    }
+
+    /// Creates an empty trace sharing an existing header — the O(1)
+    /// restart path used by the executors, which intern one header per
+    /// compiled design.
+    pub fn with_header(header: Arc<TraceHeader>) -> Self {
         Trace {
-            names,
-            index,
-            steps: Vec::new(),
+            header,
+            samples: Vec::new(),
         }
+    }
+
+    /// Builds a trace directly from a flat sample buffer (tick-major,
+    /// `samples[t * cols + col]`) — the bulk path of the lane-batched
+    /// executor, which logs lane-minor rows during the run and
+    /// transposes each lane's samples out once at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is not a whole number of rows.
+    pub fn from_parts(header: Arc<TraceHeader>, samples: Vec<Value>) -> Self {
+        let cols = header.names.len();
+        assert!(
+            if cols == 0 {
+                samples.is_empty()
+            } else {
+                samples.len().is_multiple_of(cols)
+            },
+            "sample buffer not a whole number of rows"
+        );
+        Trace { header, samples }
+    }
+
+    /// The shared name table.
+    pub fn header(&self) -> &Arc<TraceHeader> {
+        &self.header
+    }
+
+    /// Drops all recorded ticks, keeping the name table (and the sample
+    /// buffer's capacity) for reuse.
+    pub fn clear(&mut self) {
+        self.samples.clear();
     }
 
     /// Signal names in column order.
     pub fn names(&self) -> &[String] {
-        &self.names
+        &self.header.names
+    }
+
+    /// Number of columns per tick.
+    fn cols(&self) -> usize {
+        self.header.names.len()
     }
 
     /// Number of recorded ticks.
     pub fn len(&self) -> usize {
-        self.steps.len()
+        match self.cols() {
+            0 => 0,
+            c => self.samples.len() / c,
+        }
     }
 
     /// True if no tick has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.steps.is_empty()
+        self.samples.is_empty()
     }
 
     /// Appends one tick worth of samples (must match column order).
@@ -53,20 +122,34 @@ impl Trace {
     ///
     /// Panics if `row` length differs from the number of signals.
     pub fn push(&mut self, row: Vec<Value>) {
-        assert_eq!(row.len(), self.names.len(), "row arity mismatch");
-        self.steps.push(row);
+        self.push_row(&row);
+    }
+
+    /// [`push`](Trace::push) from a borrowed slice — the allocation-free
+    /// recording path: executors sample into a reused scratch buffer (or
+    /// straight from their state vector) and append it here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` length differs from the number of signals.
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.cols(), "row arity mismatch");
+        self.samples.extend_from_slice(row);
     }
 
     /// Sampled value of `signal` at tick `t`.
     pub fn value(&self, t: usize, signal: &str) -> Option<Value> {
-        let &col = self.index.get(signal)?;
-        self.steps.get(t).map(|row| row[col])
+        let &col = self.header.index.get(signal)?;
+        if t >= self.len() {
+            return None;
+        }
+        Some(self.samples[t * self.cols() + col])
     }
 
     /// Column index of a signal (for the compiled evaluation path, which
     /// resolves names once and then indexes rows directly).
     pub fn col(&self, signal: &str) -> Option<usize> {
-        self.index.get(signal).copied()
+        self.header.index.get(signal).copied()
     }
 
     /// Sampled value at tick `t`, column `col` — the hot-path lookup of
@@ -78,7 +161,8 @@ impl Trace {
     /// checkers only evaluate in-range ticks over their own column map.
     #[inline]
     pub fn get(&self, t: usize, col: usize) -> Value {
-        self.steps[t][col]
+        assert!(col < self.cols() && t < self.len(), "trace index range");
+        self.samples[t * self.cols() + col]
     }
 
     /// Sampled value `n` ticks before `t` (`$past` semantics). For
@@ -130,14 +214,15 @@ impl Trace {
         let mut out = String::new();
         out.push_str("$timescale 1ns $end\n");
         out.push_str(&format!("$scope module {module} $end\n"));
-        let ids: Vec<String> = (0..self.names.len()).map(vcd_id).collect();
-        for (i, name) in self.names.iter().enumerate() {
-            let width = self.steps.first().map(|row| row[i].width()).unwrap_or(1);
+        let ids: Vec<String> = (0..self.header.names.len()).map(vcd_id).collect();
+        for (i, name) in self.header.names.iter().enumerate() {
+            let width = self.samples.get(i).map(|v| v.width()).unwrap_or(1);
             out.push_str(&format!("$var wire {width} {} {name} $end\n", ids[i]));
         }
         out.push_str("$upscope $end\n$enddefinitions $end\n");
-        let mut last: Vec<Option<Value>> = vec![None; self.names.len()];
-        for (t, row) in self.steps.iter().enumerate() {
+        let mut last: Vec<Option<Value>> = vec![None; self.header.names.len()];
+        let cols = self.cols().max(1);
+        for (t, row) in self.samples.chunks_exact(cols).enumerate() {
             out.push_str(&format!("#{t}\n"));
             for (i, v) in row.iter().enumerate() {
                 if last[i] == Some(*v) {
@@ -151,7 +236,7 @@ impl Trace {
                 }
             }
         }
-        out.push_str(&format!("#{}\n", self.steps.len()));
+        out.push_str(&format!("#{}\n", self.len()));
         out
     }
 

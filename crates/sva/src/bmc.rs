@@ -80,6 +80,7 @@ use asv_sim::cancel::{Budget, CancelToken, Exhausted, Stop};
 use asv_sim::compile::CompiledDesign;
 use asv_sim::cover::CovMap;
 use asv_sim::exec::{SimError, Simulator};
+use asv_sim::run_stimulus_group;
 use asv_sim::stimulus::{Stimulus, StimulusGen};
 use asv_sim::trace::Trace;
 use asv_trace::{probe, Cost, EndReason, EngineTag, SpanKind, TraceSink};
@@ -980,6 +981,24 @@ impl Verifier {
             stimuli: count as u64,
             ..Cost::default()
         });
+        // Scheduled-basis batch accounting, emitted at this sequential
+        // point: the lane grouping is a pure function of the stimulus
+        // count, so the cost vector is identical however many workers
+        // drain the groups.
+        if count > 0 {
+            let batches = count.div_ceil(LANES) as u64;
+            sink.instant(
+                probe::SIM_BATCH,
+                SpanKind::Batch,
+                0,
+                Cost {
+                    batches,
+                    lanes_occupied: count as u64,
+                    lanes_total: batches * LANES as u64,
+                    ..Cost::default()
+                },
+            );
+        }
         let fired = match check_stimuli_parallel(compiled, checker, stimuli, budget)? {
             Ok(fired) => fired,
             Err(cex) => return Ok(Verdict::Fails(cex)),
@@ -1003,22 +1022,56 @@ impl Verifier {
         // Count bytecode ops only when someone is listening — the
         // untraced sweep keeps the fully uninstrumented simulator.
         let counting = sink.is_enabled();
-        for stim in all {
-            // Poll *before* each stimulus, so a poisoned token or a blown
-            // deadline stops the rung without starting more work.
-            budget.probe(probe::SVA_ENUM)?;
-            let mut ops = 0u64;
-            match run_stimulus_counted(compiled, checker, stim, counting.then_some(&mut ops))? {
-                StimulusOutcome::Fails(cex) => return Ok(Verdict::Fails(cex)),
-                StimulusOutcome::Passes(names) => fired.extend(names),
+        for group in all.chunks(LANES) {
+            // Fire the per-stimulus fault probes *before* the group runs —
+            // one draw per stimulus, exactly the cardinality the scalar
+            // sweep had, so deterministic fault schedules keyed on this
+            // probe hit the same stimulus ordinals. (Under an injected
+            // fault the batched sweep stops before the group's earlier
+            // stimuli run, where the scalar sweep had already run and
+            // accrued them — cost accounting under fault is the one
+            // tolerated difference; verdicts and probe draws match.)
+            for _ in group {
+                budget.probe(probe::SVA_ENUM)?;
             }
-            // Per-stimulus accrual keeps the count honest when a failure
-            // or budget stop cuts the sweep short.
-            span.add_cost(Cost {
-                stimuli: 1,
-                ops,
-                ..Cost::default()
-            });
+            sink.instant(
+                probe::SIM_BATCH,
+                SpanKind::Batch,
+                0,
+                Cost {
+                    batches: 1,
+                    lanes_occupied: group.len() as u64,
+                    lanes_total: LANES as u64,
+                    ..Cost::default()
+                },
+            );
+            let runs = run_stimulus_group(compiled, group, LANES, None, counting);
+            // One shared monitor scratch stack for the whole group.
+            let mut judged = checker
+                .outcomes_lanes(
+                    runs.iter()
+                        .filter_map(|o| o.as_ref().ok())
+                        .map(|r| &r.trace),
+                )
+                .into_iter();
+            for (j, outcome) in runs.iter().enumerate() {
+                let run = match outcome {
+                    Ok(run) => run,
+                    Err(e) => return Err(VerifyError::Sim(e.clone())),
+                };
+                let results = judged.next().expect("one judgment per surviving lane")?;
+                match classify_outcomes(&results, &group[j]) {
+                    StimulusOutcome::Fails(cex) => return Ok(Verdict::Fails(cex)),
+                    StimulusOutcome::Passes(names) => fired.extend(names),
+                }
+                // Per-stimulus accrual keeps the count honest when a
+                // failure or budget stop cuts the sweep short.
+                span.add_cost(Cost {
+                    stimuli: 1,
+                    ops: run.ops,
+                    ..Cost::default()
+                });
+            }
         }
         Ok(self.holds(design, true, count, fired))
     }
@@ -1382,9 +1435,20 @@ fn run_stimulus_counted(
     }
     let trace = sim.into_trace();
     let results = checker.outcomes(&trace)?;
+    Ok(classify_outcomes(&results, &stim))
+}
+
+/// Folds one stimulus's per-directive monitor outcomes into a
+/// [`StimulusOutcome`], cloning the stimulus into the counterexample
+/// only on failure. Shared between the scalar runner and the
+/// lane-batched group paths so both classify identically.
+fn classify_outcomes(
+    results: &[(&asv_verilog::ast::AssertDirective, CheckOutcome)],
+    stim: &Stimulus,
+) -> StimulusOutcome {
     let mut failures = Vec::new();
     let mut passed = Vec::new();
-    for (dir, outcome) in &results {
+    for (dir, outcome) in results {
         match outcome {
             CheckOutcome::Failed(f) => failures.extend(f.clone()),
             CheckOutcome::Passed { .. } => passed.push(dir.log_name().to_string()),
@@ -1392,16 +1456,25 @@ fn run_stimulus_counted(
         }
     }
     if failures.is_empty() {
-        Ok(StimulusOutcome::Passes(passed))
+        StimulusOutcome::Passes(passed)
     } else {
         let logs = failures.iter().map(ToString::to_string).collect();
-        Ok(StimulusOutcome::Fails(CounterExample {
-            stimulus: stim,
+        StimulusOutcome::Fails(CounterExample {
+            stimulus: stim.clone(),
             failures,
             logs,
-        }))
+        })
     }
 }
+
+/// Lane width for batched stimulus simulation: each group of this many
+/// stimuli runs through one SoA bytecode pass
+/// ([`asv_sim::run_stimulus_group`], bit-identical per lane to the
+/// scalar loop it replaces). Deliberately a private constant rather
+/// than a [`Verifier`] field — `Verifier` derives `Hash`/`Serialize`
+/// as the service cache key, and the lane width must never affect
+/// verdicts or cache identity.
+const LANES: usize = 16;
 
 /// Result of a worker's earliest "event" (error or failure) at a stimulus
 /// index; the merge keeps the lowest index so the parallel fallback is
@@ -1434,37 +1507,63 @@ fn check_stimuli_parallel(
     // skipped by every worker (they can never win the merge).
     let best = AtomicUsize::new(usize::MAX);
     let chunk = stimuli.len().div_ceil(workers);
-    let indexed: Vec<(usize, Stimulus)> = stimuli.into_iter().enumerate().collect();
     let mut events: Vec<Option<WorkerEvent>> = Vec::new();
     let mut fired_sets: Vec<std::collections::BTreeSet<String>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for part in indexed.chunks(chunk) {
+        for (p, part) in stimuli.chunks(chunk).enumerate() {
             let best = &best;
+            let part_start = p * chunk;
             handles.push(scope.spawn(move || {
                 let mut fired = std::collections::BTreeSet::new();
                 let mut event: Option<WorkerEvent> = None;
-                for (idx, stim) in part {
+                // Lane-batched drain: each group of LANES stimuli runs as
+                // one SoA bytecode pass, then every lane's trace is judged
+                // in stimulus-index order. Lanes past a failing one are
+                // simulated but their outcomes discarded — wasted work at
+                // most once per worker, never an observable difference.
+                'groups: for (g, group) in part.chunks(LANES).enumerate() {
+                    let start = part_start + g * LANES;
                     // Plain poll, never a fault probe: concurrent workers
                     // drawing from one per-probe hit counter would be
                     // order-dependent.
                     if budget.check().is_err() {
                         break; // the whole check is being torn down
                     }
-                    if *idx >= best.load(Ordering::Relaxed) {
+                    if start >= best.load(Ordering::Relaxed) {
                         break; // an earlier event already wins the merge
                     }
-                    match run_stimulus(compiled, checker, stim.clone()) {
-                        Ok(StimulusOutcome::Passes(names)) => fired.extend(names),
-                        Ok(StimulusOutcome::Fails(cex)) => {
-                            event = Some((*idx, Ok(cex)));
-                            best.fetch_min(*idx, Ordering::Relaxed);
-                            break;
-                        }
-                        Err(e) => {
-                            event = Some((*idx, Err(e)));
-                            best.fetch_min(*idx, Ordering::Relaxed);
-                            break;
+                    let runs = run_stimulus_group(compiled, group, LANES, None, false);
+                    // One shared monitor scratch stack for the whole group.
+                    let mut judged = checker
+                        .outcomes_lanes(
+                            runs.iter()
+                                .filter_map(|o| o.as_ref().ok())
+                                .map(|r| &r.trace),
+                        )
+                        .into_iter();
+                    for (j, outcome) in runs.iter().enumerate() {
+                        let idx = start + j;
+                        let res = match outcome {
+                            Ok(_) => judged
+                                .next()
+                                .expect("one judgment per surviving lane")
+                                .map(|results| classify_outcomes(&results, &group[j]))
+                                .map_err(VerifyError::from),
+                            Err(e) => Err(VerifyError::Sim(e.clone())),
+                        };
+                        match res {
+                            Ok(StimulusOutcome::Passes(names)) => fired.extend(names),
+                            Ok(StimulusOutcome::Fails(cex)) => {
+                                event = Some((idx, Ok(cex)));
+                                best.fetch_min(idx, Ordering::Relaxed);
+                                break 'groups;
+                            }
+                            Err(e) => {
+                                event = Some((idx, Err(e)));
+                                best.fetch_min(idx, Ordering::Relaxed);
+                                break 'groups;
+                            }
                         }
                     }
                 }

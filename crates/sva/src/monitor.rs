@@ -206,6 +206,31 @@ impl CompiledChecker {
         Ok(out)
     }
 
+    /// Lane-batched [`CompiledChecker::outcomes`]: judges every trace of
+    /// a lane group with one shared scratch stack, returning per-trace
+    /// results in order. Each trace's judgment is independent (an eval
+    /// error in one lane never masks another lane's outcome), so callers
+    /// can merge events in stimulus-index order exactly as the scalar
+    /// loop would have.
+    pub fn outcomes_lanes<'a, 'b>(
+        &'a self,
+        traces: impl IntoIterator<Item = &'b Trace>,
+    ) -> Vec<Result<Vec<(&'a AssertDirective, CheckOutcome)>, MonitorError>> {
+        let mut stack = Vec::with_capacity(8);
+        traces
+            .into_iter()
+            .map(|trace| {
+                self.directives
+                    .iter()
+                    .map(|(dir, prop)| {
+                        check_property(&self.module_name, dir, prop, trace, &mut stack)
+                            .map(|outcome| (dir, outcome))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Number of compiled assertion directives (the antecedent axis of a
     /// [`CovMap`]).
     pub fn assertion_count(&self) -> usize {

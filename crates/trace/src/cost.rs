@@ -82,10 +82,17 @@ pub struct CostCounters {
     pub rungs_fuzz: u64,
     /// Sampling ladder rungs run.
     pub rungs_sampling: u64,
+    /// Lane-batched executor passes scheduled (`sim.batch` events).
+    pub sim_batches: u64,
+    /// Lanes that carried a stimulus across those passes.
+    pub sim_lanes_occupied: u64,
+    /// Lane slots available across those passes; divide
+    /// `sim_lanes_occupied` by this for lane utilization.
+    pub sim_lanes_total: u64,
 }
 
 /// Number of counter fields (length of [`CostCounters::fields`]).
-pub const COUNTER_FIELDS: usize = 24;
+pub const COUNTER_FIELDS: usize = 27;
 
 impl CostCounters {
     /// Folds a drained event vector into counters. Order-insensitive:
@@ -154,6 +161,12 @@ impl CostCounters {
                     }
                 }
                 SpanKind::Job => c.jobs_executed += 1,
+                SpanKind::Batch => {
+                    c.sim_batches = c.sim_batches.saturating_add(e.cost.batches);
+                    c.sim_lanes_occupied =
+                        c.sim_lanes_occupied.saturating_add(e.cost.lanes_occupied);
+                    c.sim_lanes_total = c.sim_lanes_total.saturating_add(e.cost.lanes_total);
+                }
             }
         }
         c
@@ -195,6 +208,9 @@ impl CostCounters {
             ("rungs_enumeration", self.rungs_enumeration),
             ("rungs_fuzz", self.rungs_fuzz),
             ("rungs_sampling", self.rungs_sampling),
+            ("sim_batches", self.sim_batches),
+            ("sim_lanes_occupied", self.sim_lanes_occupied),
+            ("sim_lanes_total", self.sim_lanes_total),
         ]
     }
 
@@ -224,6 +240,9 @@ impl CostCounters {
             ("rungs_enumeration", &mut self.rungs_enumeration),
             ("rungs_fuzz", &mut self.rungs_fuzz),
             ("rungs_sampling", &mut self.rungs_sampling),
+            ("sim_batches", &mut self.sim_batches),
+            ("sim_lanes_occupied", &mut self.sim_lanes_occupied),
+            ("sim_lanes_total", &mut self.sim_lanes_total),
         ]
     }
 
@@ -345,6 +364,17 @@ mod tests {
             ),
             event(SpanKind::Rung, Some(EngineTag::Fuzz), 3, Cost::default()),
             event(SpanKind::Job, None, 1, Cost::default()),
+            event(
+                SpanKind::Batch,
+                Some(EngineTag::Fuzz),
+                0,
+                Cost {
+                    batches: 3,
+                    lanes_occupied: 40,
+                    lanes_total: 48,
+                    ..Cost::default()
+                },
+            ),
         ];
         let c = CostCounters::from_events(&events);
         assert_eq!(c.compiles, 1);
@@ -361,6 +391,10 @@ mod tests {
         assert_eq!(c.store_bytes, 192);
         assert_eq!((c.rungs_symbolic, c.rungs_fuzz), (1, 1));
         assert_eq!(c.jobs_executed, 1);
+        assert_eq!(
+            (c.sim_batches, c.sim_lanes_occupied, c.sim_lanes_total),
+            (3, 40, 48)
+        );
     }
 
     #[test]

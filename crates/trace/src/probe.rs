@@ -35,6 +35,10 @@ pub const SVA_ENUM: &str = "sva.enum";
 /// Sampling oracle: per-rung probe (fired once, before the parallel
 /// workers start) and span.
 pub const SVA_SAMPLE: &str = "sva.sample";
+/// Lane-batched simulation: batch scheduling instant carrying batch
+/// count and lane occupancy (emitted at sequential points, so the cost
+/// vector is identical however many workers drain the groups).
+pub const SIM_BATCH: &str = "sim.batch";
 /// Degradation-ladder rung: symbolic proof attempt.
 pub const RUNG_SYMBOLIC: &str = "rung.symbolic";
 /// Degradation-ladder rung: exhaustive enumeration.

@@ -77,7 +77,8 @@ fn stack_of(e: &Event) -> String {
         | SpanKind::SatSolve
         | SpanKind::FuzzRound
         | SpanKind::Enumeration
-        | SpanKind::Sampling => {
+        | SpanKind::Sampling
+        | SpanKind::Batch => {
             if let Some(tag) = e.engine {
                 path.push_str("rung.");
                 path.push_str(tag.slug());

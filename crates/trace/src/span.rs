@@ -54,11 +54,13 @@ pub enum SpanKind {
     Rung = 10,
     /// One whole job as the service executed it.
     Job = 11,
+    /// A lane-batched simulation pass (`LaneBatch` stimulus groups).
+    Batch = 12,
 }
 
 impl SpanKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [SpanKind; 12] = [
+    pub const ALL: [SpanKind; 13] = [
         SpanKind::Compile,
         SpanKind::OptPass,
         SpanKind::AigBlast,
@@ -71,6 +73,7 @@ impl SpanKind {
         SpanKind::MemoLookup,
         SpanKind::Rung,
         SpanKind::Job,
+        SpanKind::Batch,
     ];
 
     /// Metric-name-safe slug.
@@ -88,6 +91,7 @@ impl SpanKind {
             SpanKind::MemoLookup => "memo_lookup",
             SpanKind::Rung => "rung",
             SpanKind::Job => "job",
+            SpanKind::Batch => "sim_batch",
         }
     }
 }
@@ -214,6 +218,13 @@ pub struct Cost {
     /// statement-expression program granularity; see
     /// `asv_sim::cover::CovSink::ops`).
     pub ops: u64,
+    /// Lane-batched executor passes scheduled (`ceil(stimuli / K)`).
+    pub batches: u64,
+    /// Lanes actually carrying a stimulus across those passes.
+    pub lanes_occupied: u64,
+    /// Lane slots available across those passes (`batches * K`); the
+    /// occupancy ratio is the lane-utilization metric.
+    pub lanes_total: u64,
 }
 
 impl Cost {
@@ -227,6 +238,9 @@ impl Cost {
         self.bytes = self.bytes.saturating_add(other.bytes);
         self.stimuli = self.stimuli.saturating_add(other.stimuli);
         self.ops = self.ops.saturating_add(other.ops);
+        self.batches = self.batches.saturating_add(other.batches);
+        self.lanes_occupied = self.lanes_occupied.saturating_add(other.lanes_occupied);
+        self.lanes_total = self.lanes_total.saturating_add(other.lanes_total);
     }
 
     /// True when every component is zero.

@@ -35,6 +35,18 @@ fn counters_bit_identical_across_workers_and_reruns() {
         "symbolic jobs must touch the CDCL core"
     );
     assert!(reference.fuzz_rounds > 0, "fuzz jobs must run rounds");
+    // Lane-batched simulation accounting is scheduled-basis (a pure
+    // function of each rung's stimulus count), so it participates in
+    // the bit-identity contract like any other work counter.
+    assert!(
+        reference.sim_batches > 0,
+        "batched rungs must count lane batches"
+    );
+    assert!(
+        reference.sim_lanes_occupied > 0
+            && reference.sim_lanes_occupied <= reference.sim_lanes_total,
+        "lane occupancy must be positive and bounded by capacity"
+    );
     assert!(
         reference.rungs_symbolic + reference.rungs_enumeration + reference.rungs_fuzz > 0,
         "ladder rungs must be attributed"
